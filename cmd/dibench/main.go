@@ -1,0 +1,68 @@
+// Command dibench regenerates the evaluation tables of the paper (Figures
+// 8, 9, 10 and 11, plus the Section 6.2 structural-key experiment) over
+// the built-in XMark-like generator.
+//
+// Usage:
+//
+//	dibench [-exp all|q13|q8|q8breakdown|q9|deepkeys]
+//	        [-scales 0.001,0.01,...] [-systems interp,generic-sql,di-nlj,di-msj]
+//	        [-timeout 60s] [-maxtuples N]
+//
+// Systems exceeding the budget are reported DNF, mirroring the paper's
+// experiment cutoffs. See EXPERIMENTS.md for paper-vs-measured tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dixq/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(bench.Experiments, ", "))
+	scalesFlag := flag.String("scales", "", "comma-separated XMark scale factors (default harness set)")
+	systemsFlag := flag.String("systems", "", "comma-separated systems (default: all)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-run budget; exceeding runs report DNF")
+	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-run materialization budget for DI plans (0 = unlimited)")
+	flag.Parse()
+
+	scales := bench.DefaultScales
+	if *scalesFlag != "" {
+		scales = nil
+		for _, s := range strings.Split(*scalesFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fatal("bad scale factor %q", s)
+			}
+			scales = append(scales, v)
+		}
+	}
+	systems := bench.AllSystems
+	if *systemsFlag != "" {
+		systems = nil
+		for _, s := range strings.Split(*systemsFlag, ",") {
+			systems = append(systems, bench.System(strings.TrimSpace(s)))
+		}
+	}
+	cfg := bench.Config{Timeout: *timeout, MaxTuples: *maxTuples}
+
+	experiments := bench.Experiments
+	if *exp != "all" {
+		experiments = strings.Split(*exp, ",")
+	}
+	for _, name := range experiments {
+		if err := bench.Run(os.Stdout, strings.TrimSpace(name), scales, systems, cfg); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dibench: "+format+"\n", args...)
+	os.Exit(1)
+}

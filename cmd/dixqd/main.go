@@ -1,0 +1,71 @@
+// Command dixqd serves a document catalog over HTTP.
+//
+// Usage:
+//
+//	dixqd -addr :8080 -doc auction.xml=auction.xml -doc d2=other.dixq
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness
+//	GET  /docs      loaded documents
+//	POST /query     {"query": "...", "engine": "di-msj"} -> {"xml": ...}
+//	POST /explain   plan description for a query
+//	POST /sql       the Section 4 SQL translation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dixq"
+	"dixq/internal/server"
+)
+
+type docFlags []string
+
+func (d *docFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *docFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	var docs docFlags
+	flag.Var(&docs, "doc", "document binding name=path (.xml or .dixq, repeatable)")
+	timeout := flag.Duration("timeout", time.Minute, "per-query budget")
+	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-query DI materialization budget (0 = unlimited)")
+	flag.Parse()
+
+	if len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "dixqd: at least one -doc name=path is required")
+		os.Exit(1)
+	}
+	loaded := map[string]*dixq.Document{}
+	for _, binding := range docs {
+		name, path, ok := strings.Cut(binding, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dixqd: bad -doc %q, want name=path\n", binding)
+			os.Exit(1)
+		}
+		doc, err := dixq.LoadDocumentFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dixqd: %v\n", err)
+			os.Exit(1)
+		}
+		loaded[name] = doc
+		log.Printf("loaded %s from %s (%d nodes)", name, path, doc.Nodes())
+	}
+
+	srv := server.New(loaded, server.Config{Timeout: *timeout, MaxTuples: *maxTuples})
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package dixq is an XQuery processor built on the dynamic interval
+// encoding of DeHaan, Toman, Consens and Özsu, "A Comprehensive XQuery to
+// SQL Translation using Dynamic Interval Encoding" (SIGMOD 2003).
+//
+// Queries in the paper's XQuery fragment (arbitrarily nested FLWR
+// expressions, XPath steps, element constructors, structural comparison)
+// are compiled either to plans over the dynamic interval encoding —
+// executed by a built-in relational engine with the paper's special-purpose
+// operators — or to a single SQL statement runnable on a generic relational
+// engine (one is bundled).
+//
+// Quickstart:
+//
+//	doc, _ := dixq.ParseDocument(`<site>...</site>`)
+//	cat := dixq.NewCatalog()
+//	cat.Add("auction.xml", doc)
+//	q, _ := dixq.ParseQuery(`for $p in document("auction.xml")/site/people/person
+//	                         return $p/name/text()`)
+//	res, _ := q.Run(cat, nil)
+//	fmt.Println(res.XML())
+package dixq
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+	"time"
+
+	"dixq/internal/core"
+	"dixq/internal/engine"
+	"dixq/internal/interp"
+	"dixq/internal/interval"
+	"dixq/internal/sqlgen"
+	"dixq/internal/store"
+	"dixq/internal/xmark"
+	"dixq/internal/xmltree"
+	"dixq/internal/xq"
+)
+
+// Document is a parsed XML document or fragment: an ordered forest.
+type Document struct {
+	forest xmltree.Forest
+}
+
+// ParseDocument parses XML text into a Document.
+func ParseDocument(xmlText string) (*Document, error) {
+	f, err := xmltree.Parse(xmlText)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{forest: f}, nil
+}
+
+// LoadDocumentFile reads a document from disk, dispatching on the file
+// extension: ".dixq" files hold a stored interval encoding (see
+// (*Document).SaveEncoded) and skip XML parsing entirely — the paper's
+// "XML data already stored in a relational system" workflow — while
+// anything else is parsed as XML text.
+func LoadDocumentFile(path string) (*Document, error) {
+	if strings.HasSuffix(path, ".dixq") {
+		rel, err := store.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := interval.Decode(rel)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &Document{forest: f}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseDocument(string(data))
+}
+
+// SaveEncoded writes the document's interval encoding to a ".dixq" file:
+// shred once, query many times without reparsing.
+func (d *Document) SaveEncoded(path string) error {
+	return store.Save(path, interval.Encode(d.forest))
+}
+
+// GenerateXMark generates an XMark-like benchmark document at the given
+// scale factor (1.0 ≈ the original benchmark's full size), deterministically
+// for a seed.
+func GenerateXMark(scaleFactor float64, seed int64) *Document {
+	return &Document{forest: xmark.Generate(xmark.Config{ScaleFactor: scaleFactor, Seed: seed})}
+}
+
+// XMark query texts from the paper's evaluation (Section 6), in the
+// modified forms the paper measures.
+const (
+	XMarkQ8  = xmark.Q8
+	XMarkQ9  = xmark.Q9
+	XMarkQ13 = xmark.Q13
+	// XMarkFigure1 is the running-example document of the paper.
+	XMarkFigure1 = xmark.Figure1
+)
+
+// XML renders the document as XML text.
+func (d *Document) XML() string { return d.forest.String() }
+
+// IndentedXML renders the document as indented XML text.
+func (d *Document) IndentedXML() string { return d.forest.Indent() }
+
+// Nodes returns the number of nodes in the document.
+func (d *Document) Nodes() int { return d.forest.Size() }
+
+// Trees returns the number of top-level trees in the forest (one for a
+// well-formed document; query results are often longer sequences).
+func (d *Document) Trees() int { return len(d.forest) }
+
+// Depth returns the document's tree depth.
+func (d *Document) Depth() int { return d.forest.Depth() }
+
+// Equal reports structural equality with another document.
+func (d *Document) Equal(o *Document) bool { return d.forest.Equal(o.forest) }
+
+// Encoding renders the document's interval encoding (the relation of
+// Definition 3.1), one "(label, l, r)" tuple per line — the representation
+// shown in Figure 4 of the paper.
+func (d *Document) Encoding() string { return interval.Encode(d.forest).String() }
+
+// Catalog supplies the documents a query's document(...) calls reference.
+type Catalog struct {
+	docs map[string]*Document
+	enc  core.Catalog
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{docs: map[string]*Document{}, enc: core.Catalog{}}
+}
+
+// Add registers a document under a name; it replaces a previous entry.
+func (c *Catalog) Add(name string, d *Document) {
+	c.docs[name] = d
+	c.enc[name] = interval.Encode(d.forest)
+}
+
+// Engine selects how a query is evaluated.
+type Engine int
+
+const (
+	// MergeJoin is the paper's DI-MSJ strategy: dynamic interval plans
+	// with decorrelated structural merge joins (the default).
+	MergeJoin Engine = iota
+	// NestedLoop is DI-NLJ: the literal translation, nested-loop joins.
+	NestedLoop
+	// Interpreter is the direct denotational-semantics evaluator — the
+	// stand-in for the Galax/Kweelt-class systems of the evaluation.
+	Interpreter
+	// GenericSQL translates to a single SQL statement and executes it on
+	// the bundled generic (untuned) relational engine.
+	GenericSQL
+)
+
+func (e Engine) String() string {
+	switch e {
+	case MergeJoin:
+		return "DI-MSJ"
+	case NestedLoop:
+		return "DI-NLJ"
+	case Interpreter:
+		return "interpreter"
+	case GenericSQL:
+		return "generic-sql"
+	default:
+		return "invalid"
+	}
+}
+
+// Options configures a run. The zero value (or nil) selects the MergeJoin
+// engine with no limits.
+type Options struct {
+	Engine Engine
+	// Timeout aborts evaluation (DI engines only); zero means none.
+	Timeout time.Duration
+	// MaxTuples aborts DI evaluation after this many embedded tuples.
+	MaxTuples int64
+	// Trace, when non-nil, collects per-operator statistics (DI engines
+	// only).
+	Trace *Trace
+}
+
+// ErrBudgetExceeded reports that a run hit Options.Timeout or MaxTuples.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
+// Stats is the per-phase cost breakdown of a DI run (Figure 10 of the
+// paper): time in path extraction, join/environment machinery, and result
+// construction, plus join-strategy counters.
+type Stats = core.Stats
+
+// Trace collects per-operator execution statistics for a DI run — the
+// engine's EXPLAIN ANALYZE. Attach one via Options.Trace and print it
+// (or inspect Entries) after the run.
+type Trace = core.Trace
+
+// Result is a query answer.
+type Result struct {
+	doc *Document
+	// Stats holds the phase breakdown for DI engine runs (nil otherwise).
+	Stats *Stats
+	// Elapsed is the wall-clock evaluation time.
+	Elapsed time.Duration
+}
+
+// Document returns the result forest.
+func (r *Result) Document() *Document { return r.doc }
+
+// XML renders the result as XML text.
+func (r *Result) XML() string { return r.doc.XML() }
+
+// Query is a compiled query.
+type Query struct {
+	text string
+	expr xq.Expr
+	q    *core.Query
+}
+
+// ParseQuery parses and compiles a query in the paper's XQuery fragment.
+func ParseQuery(text string) (*Query, error) {
+	e, err := xq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{text: text, expr: e, q: core.Compile(e, core.Options{})}, nil
+}
+
+// Text returns the original query text.
+func (q *Query) Text() string { return q.text }
+
+// Core returns the desugared core-language form (Definition 2.2).
+func (q *Query) Core() string { return q.expr.String() }
+
+// Explain describes the compiled plan: rewrites applied and the join
+// strategy available for each loop.
+func (q *Query) Explain() string { return q.q.Explain() }
+
+// Documents lists the document names the query references.
+func (q *Query) Documents() []string { return xq.Documents(q.expr) }
+
+// WidthBound reports the compile-time width analysis of Section 4.3 for
+// the query over the catalog's documents: the bound on interval endpoint
+// magnitudes (a possibly huge decimal — widths grow polynomially with loop
+// nesting) and the number of integer key digits the engine will allocate
+// per position, which is the paper's "sufficient number of integer-valued
+// attributes".
+func (q *Query) WidthBound(cat *Catalog) (bound string, digits int, err error) {
+	widths := map[string]*big.Int{}
+	for name, d := range cat.docs {
+		widths[name] = big.NewInt(int64(2 * d.forest.Size()))
+	}
+	w, err := core.AnalyzeWidth(q.expr, widths)
+	if err != nil {
+		return "", 0, err
+	}
+	return w.Width.String(), w.Digits, nil
+}
+
+// SQL returns the paper's single-statement SQL translation of the query
+// for the documents in the catalog (widths are fixed at translation time,
+// so the statement is catalog-specific). The statement's base tables are
+// (s, l, r) interval encodings, one per document, named doc_1, doc_2, ...
+func (q *Query) SQL(cat *Catalog) (string, error) {
+	stmt, err := q.sqlStatement(cat)
+	if err != nil {
+		return "", err
+	}
+	return stmt.SQL, nil
+}
+
+func (q *Query) sqlStatement(cat *Catalog) (*sqlgen.Statement, error) {
+	widths := map[string]int64{}
+	for name, d := range cat.docs {
+		widths[name] = int64(2 * d.forest.Size())
+	}
+	return sqlgen.Generate(q.expr, widths)
+}
+
+// Run evaluates the query against the catalog.
+func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	start := time.Now()
+	switch opts.Engine {
+	case MergeJoin, NestedLoop:
+		mode := core.ModeMSJ
+		if opts.Engine == NestedLoop {
+			mode = core.ModeNLJ
+		}
+		stats := &core.Stats{}
+		f, err := q.q.EvalForest(cat.enc, core.Options{
+			Mode:      mode,
+			Stats:     stats,
+			Timeout:   opts.Timeout,
+			MaxTuples: opts.MaxTuples,
+			Trace:     opts.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{doc: &Document{forest: f}, Stats: stats, Elapsed: time.Since(start)}, nil
+	case Interpreter:
+		docs := interp.Catalog{}
+		for name, d := range cat.docs {
+			docs[name] = d.forest
+		}
+		f, err := interp.Eval(q.expr, nil, docs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{doc: &Document{forest: f}, Elapsed: time.Since(start)}, nil
+	case GenericSQL:
+		docs := map[string]xmltree.Forest{}
+		for name, d := range cat.docs {
+			docs[name] = d.forest
+		}
+		f, err := sqlgen.Run(q.expr, docs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{doc: &Document{forest: f}, Elapsed: time.Since(start)}, nil
+	default:
+		return nil, fmt.Errorf("dixq: unknown engine %d", int(opts.Engine))
+	}
+}
+
+// Run is the one-call convenience: parse the query, run it on the catalog.
+func Run(query string, cat *Catalog, opts *Options) (*Result, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(cat, opts)
+}
+
+// IsUnsupportedSQL reports whether an error from SQL generation marks an
+// operator outside the SQL backend's fragment (the DI engines support all
+// operators).
+func IsUnsupportedSQL(err error) bool { return errors.Is(err, sqlgen.ErrUnsupported) }

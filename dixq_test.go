@@ -1,0 +1,230 @@
+package dixq
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func figureCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	doc, err := ParseDocument(XMarkFigure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	cat.Add("auction.xml", doc)
+	return cat
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cat := figureCatalog(t)
+	q, err := ParseQuery(`for $p in document("auction.xml")/site/people/person
+	                      return $p/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XML() != "Jaak TempestiCong Rosca" {
+		t.Errorf("XML = %q", res.XML())
+	}
+	if res.Stats == nil || res.Elapsed <= 0 {
+		t.Error("stats/elapsed not populated for DI run")
+	}
+}
+
+func TestAllEnginesAgreeOnQ8(t *testing.T) {
+	cat := figureCatalog(t)
+	want := `<item person="Cong Rosca">1</item>`
+	for _, eng := range []Engine{MergeJoin, NestedLoop, Interpreter, GenericSQL} {
+		res, err := Run(XMarkQ8, cat, &Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if res.XML() != want {
+			t.Errorf("%s: XML = %q, want %q", eng, res.XML(), want)
+		}
+	}
+}
+
+func TestDocumentAccessors(t *testing.T) {
+	doc, err := ParseDocument(`<a x="1"><b>t</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Nodes() != 5 || doc.Depth() != 3 {
+		t.Errorf("Nodes = %d, Depth = %d", doc.Nodes(), doc.Depth())
+	}
+	if !strings.Contains(doc.IndentedXML(), "  <b>t</b>") {
+		t.Errorf("IndentedXML = %q", doc.IndentedXML())
+	}
+	if !strings.HasPrefix(doc.Encoding(), "<a>") {
+		t.Errorf("Encoding = %q", doc.Encoding())
+	}
+	same, _ := ParseDocument(`<a x="1"><b>t</b></a>`)
+	if !doc.Equal(same) {
+		t.Error("Equal failed")
+	}
+	if _, err := ParseDocument(`<a>`); err == nil {
+		t.Error("bad XML should fail")
+	}
+}
+
+func TestGenerateXMark(t *testing.T) {
+	d := GenerateXMark(0.001, 7)
+	if d.Nodes() < 500 {
+		t.Errorf("Nodes = %d, too small", d.Nodes())
+	}
+	if !d.Equal(GenerateXMark(0.001, 7)) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestQueryIntrospection(t *testing.T) {
+	q, err := ParseQuery(XMarkQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Text(), "closed_auction") {
+		t.Error("Text lost")
+	}
+	if !strings.Contains(q.Core(), "for $p in") {
+		t.Errorf("Core = %q", q.Core())
+	}
+	if docs := q.Documents(); len(docs) != 1 || docs[0] != "auction.xml" {
+		t.Errorf("Documents = %v", docs)
+	}
+	if !strings.Contains(q.Explain(), "merge-join candidate") {
+		t.Errorf("Explain = %q", q.Explain())
+	}
+}
+
+func TestSQLGeneration(t *testing.T) {
+	cat := figureCatalog(t)
+	q, err := ParseQuery(XMarkQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := q.SQL(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "WITH") || !strings.Contains(sql, "NOT EXISTS") {
+		t.Errorf("SQL = %.80q...", sql)
+	}
+	// Unsupported fragment is reported as such.
+	q2, err := ParseQuery(`sort(document("auction.xml"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.SQL(cat); !IsUnsupportedSQL(err) {
+		t.Errorf("err = %v, want unsupported", err)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	cat := NewCatalog()
+	cat.Add("auction.xml", GenerateXMark(0.01, 1))
+	_, err := Run(XMarkQ8, cat, &Options{Engine: NestedLoop, MaxTuples: 10_000})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := Run(XMarkQ8, cat, &Options{Engine: MergeJoin, MaxTuples: 10_000, Timeout: time.Minute}); err != nil {
+		t.Fatalf("MSJ within budget: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cat := figureCatalog(t)
+	if _, err := Run(`$$$`, cat, nil); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := Run(`document("missing")`, cat, nil); err == nil {
+		t.Error("missing document not surfaced")
+	}
+	if _, err := Run(`document("auction.xml")`, cat, &Options{Engine: Engine(99)}); err == nil {
+		t.Error("bad engine not surfaced")
+	}
+	for _, eng := range []Engine{MergeJoin, NestedLoop, Interpreter, GenericSQL, Engine(99)} {
+		_ = eng.String()
+	}
+}
+
+func TestWidthBound(t *testing.T) {
+	cat := figureCatalog(t)
+	q, err := ParseQuery(XMarkQ9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, digits, err := q.WidthBound(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digits < 3 {
+		t.Errorf("digits = %d, want >= 3 for Q9", digits)
+	}
+	if len(bound) < 6 {
+		t.Errorf("bound = %s, suspiciously small for Q9 over Figure 1", bound)
+	}
+	q2, _ := ParseQuery(`$undefined`)
+	if _, _, err := q2.WidthBound(cat); err == nil {
+		t.Error("unbound variable should fail the analysis")
+	}
+}
+
+func TestDocumentFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	doc := GenerateXMark(0.0005, 3)
+
+	// XML path.
+	xmlPath := dir + "/doc.xml"
+	if err := os.WriteFile(xmlPath, []byte(doc.XML()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromXML, err := LoadDocumentFile(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromXML.Equal(doc) {
+		t.Error("XML file round trip mismatch")
+	}
+
+	// Encoded store path.
+	encPath := dir + "/doc.dixq"
+	if err := doc.SaveEncoded(encPath); err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := LoadDocumentFile(encPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromStore.Equal(doc) {
+		t.Error("store round trip mismatch")
+	}
+
+	if _, err := LoadDocumentFile(dir + "/missing.dixq"); err == nil {
+		t.Error("missing store file should fail")
+	}
+	if _, err := LoadDocumentFile(dir + "/missing.xml"); err == nil {
+		t.Error("missing xml file should fail")
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	cat := figureCatalog(t)
+	trace := &Trace{}
+	if _, err := Run(XMarkQ8, cat, &Options{Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Entries()) == 0 {
+		t.Error("trace empty")
+	}
+	if !strings.Contains(trace.String(), "merge-join") {
+		t.Errorf("trace:\n%s", trace.String())
+	}
+}

@@ -1,0 +1,57 @@
+// XMark benchmark walkthrough: generate a scaled document, run the
+// paper's Q8, Q9 and Q13 under both DI plan modes, and print the Figure
+// 10-style cost breakdown showing why merge-sort joins win.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dixq"
+)
+
+func main() {
+	const sf = 0.002
+	doc := dixq.GenerateXMark(sf, 42)
+	fmt.Printf("XMark document at scale %g: %d nodes\n\n", sf, doc.Nodes())
+
+	cat := dixq.NewCatalog()
+	cat.Add("auction.xml", doc)
+
+	queries := []struct {
+		name, text string
+	}{
+		{"Q13 (reconstruction)", dixq.XMarkQ13},
+		{"Q8 (single join)", dixq.XMarkQ8},
+		{"Q9 (multiple joins)", dixq.XMarkQ9},
+	}
+	for _, qq := range queries {
+		q, err := dixq.ParseQuery(qq.text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(qq.name)
+		for _, engine := range []dixq.Engine{dixq.NestedLoop, dixq.MergeJoin} {
+			res, err := q.Run(cat, &dixq.Options{Engine: engine, Timeout: time.Minute})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := res.Stats
+			total := s.Total().Seconds()
+			if total <= 0 {
+				total = 1e-12
+			}
+			fmt.Printf("  %-7s %8.3fs  paths %2.0f%%  join %2.0f%%  construction %2.0f%%  (embedded tuples: %d)\n",
+				engine, res.Elapsed.Seconds(),
+				100*s.Paths.Seconds()/total, 100*s.Join.Seconds()/total,
+				100*s.Construction.Seconds()/total, s.EmbeddedTuples)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The DI-NLJ plans embed the outer environment once per inner")
+	fmt.Println("iteration (the embedded-tuple counts above grow quadratically")
+	fmt.Println("with scale); the DI-MSJ plans replace that with a structural")
+	fmt.Println("sort + merge join, as described in Section 5 of the paper.")
+}

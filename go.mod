@@ -1,0 +1,3 @@
+module dixq
+
+go 1.22

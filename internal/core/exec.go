@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dixq/internal/engine"
+	"dixq/internal/interval"
+	"dixq/internal/pipeline"
+	"dixq/internal/xq"
+)
+
+// table is a translated expression's relation plus its local width: the
+// number of key digits that encode positions within one environment. The
+// full key length of a tuple is the owning environment's depth plus local.
+type table struct {
+	rel   *interval.Relation
+	local int
+}
+
+// binding records the table a variable is bound to and the environment
+// depth at which it was built. Using a binding at a greater depth embeds
+// it into the finer environments on demand.
+type binding struct {
+	tab   *table
+	depth int
+}
+
+// env is a node in the chain of dynamic-interval environments built while
+// walking the expression: For extends the depth, Where filters the index,
+// Let adds a binding.
+type env struct {
+	parent *env
+	depth  int
+	index  engine.Index
+	vars   map[string]binding
+	// embedCache memoizes on-demand embeddings of outer bindings into this
+	// environment.
+	embedCache map[string]*table
+}
+
+func (e *env) lookup(name string) (binding, bool) {
+	b, ok := e.vars[name]
+	return b, ok
+}
+
+func (e *env) child(depth int, index engine.Index) *env {
+	vars := make(map[string]binding, len(e.vars)+1)
+	for k, v := range e.vars {
+		vars[k] = v
+	}
+	return &env{parent: e, depth: depth, index: index, vars: vars}
+}
+
+type evaluator struct {
+	docs   Catalog
+	opts   Options
+	stats  *Stats
+	budget *engine.Budget
+	// inCond marks evaluation happening on behalf of a condition or join
+	// key; all such work is attributed to the Join phase (Figure 10 counts
+	// predicate evaluation as part of the join).
+	inCond bool
+}
+
+// phaseDur returns the duration to charge: the given phase normally, the
+// Join phase while evaluating conditions or join keys.
+func (ev *evaluator) phaseDur(d *time.Duration) *time.Duration {
+	if ev.inCond {
+		return &ev.stats.Join
+	}
+	return d
+}
+
+// condScope marks the evaluator as inside condition evaluation for the
+// duration of fn.
+func (ev *evaluator) condScope(fn func() error) error {
+	saved := ev.inCond
+	ev.inCond = true
+	err := fn()
+	ev.inCond = saved
+	return err
+}
+
+func newEvaluator(cat Catalog, opts Options) *evaluator {
+	ev := &evaluator{docs: cat, opts: opts, stats: opts.Stats}
+	if ev.stats == nil {
+		ev.stats = &Stats{}
+	}
+	if opts.MaxTuples > 0 || opts.Timeout > 0 {
+		ev.budget = &engine.Budget{MaxTuples: opts.MaxTuples}
+		if opts.Timeout > 0 {
+			ev.budget.Deadline = time.Now().Add(opts.Timeout)
+		}
+	}
+	return ev
+}
+
+func (ev *evaluator) rootEnv() *env {
+	vars := make(map[string]binding, len(ev.docs))
+	for name, rel := range ev.docs {
+		vars["doc:"+name] = binding{tab: &table{rel: rel, local: keyWidth(rel)}, depth: 0}
+	}
+	return &env{depth: 0, index: engine.Initial(), vars: vars}
+}
+
+// keyWidth returns the physical digit width of a relation's keys. Freshly
+// encoded documents use one digit; relations that have been through
+// package update may carry longer keys, which the width must cover so the
+// for-loop digit arithmetic stays aligned.
+func keyWidth(rel *interval.Relation) int {
+	w := 1
+	for _, t := range rel.Tuples {
+		if len(t.L) > w {
+			w = len(t.L)
+		}
+		if len(t.R) > w {
+			w = len(t.R)
+		}
+	}
+	return w
+}
+
+func (ev *evaluator) eval(e xq.Expr, en *env) (*table, error) {
+	switch e := e.(type) {
+	case xq.Var:
+		return ev.evalVar(e.Name, en)
+	case xq.Doc:
+		return ev.evalVar("doc:"+e.Name, en)
+	case xq.Const:
+		// Constants are replicated into every current environment; this
+		// must honour the index even at depth 0, where a false where
+		// clause can have emptied it.
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := interval.Encode(e.Value)
+		out, err := engine.EmbedOuter(en.index, 0, en.depth, rel, ev.budget)
+		if err != nil {
+			return nil, err
+		}
+		return &table{rel: out, local: 1}, nil
+	case xq.Call:
+		return ev.evalCall(e, en)
+	case xq.Let:
+		val, err := ev.eval(e.Value, en)
+		if err != nil {
+			return nil, err
+		}
+		child := en.child(en.depth, en.index)
+		child.vars[e.Var] = binding{tab: val, depth: en.depth}
+		return ev.eval(e.Body, child)
+	case xq.Where:
+		return ev.evalWhere(e, en)
+	case xq.For:
+		return ev.evalFor(e, en)
+	default:
+		return nil, fmt.Errorf("core: unknown expression %T", e)
+	}
+}
+
+// evalVar resolves a variable or document binding, embedding it into the
+// current environments when it was built at a coarser depth (the T'_e_i
+// views of Section 4.2).
+func (ev *evaluator) evalVar(name string, en *env) (*table, error) {
+	b, ok := en.lookup(name)
+	if !ok {
+		if doc, isDoc := strings.CutPrefix(name, "doc:"); isDoc {
+			return nil, fmt.Errorf("core: unknown document %q", doc)
+		}
+		return nil, fmt.Errorf("core: unbound variable $%s", name)
+	}
+	if b.depth == en.depth {
+		return b.tab, nil
+	}
+	if t, ok := en.embedCache[name]; ok {
+		return t, nil
+	}
+	defer track(&ev.stats.Join)()
+	start := ev.now()
+	rel, err := engine.EmbedOuter(en.index, b.depth, en.depth, b.tab.rel, ev.budget)
+	if err != nil {
+		return nil, err
+	}
+	ev.note("embed-outer", start, rel.Len())
+	ev.stats.EmbeddedTuples += int64(rel.Len())
+	t := &table{rel: rel, local: b.tab.local}
+	if en.embedCache == nil {
+		en.embedCache = map[string]*table{}
+	}
+	en.embedCache[name] = t
+	return t, nil
+}
+
+// fusibleFns are the order-preserving unary operators the streaming
+// backend implements; chains of them run as one fused pass.
+var fusibleFns = map[string]bool{
+	xq.FnSelect:   true,
+	xq.FnSelText:  true,
+	xq.FnChildren: true,
+	xq.FnRoots:    true,
+	xq.FnData:     true,
+	xq.FnHead:     true,
+	xq.FnTail:     true,
+}
+
+// tryFuse executes a maximal chain of path operators through the
+// streaming iterators of package pipeline — the "sequence of linear time
+// operations" plan fragments of Section 5 — materializing only the chain's
+// final output. Chains shorter than two operators gain nothing and fall
+// back to the materializing engine.
+func (ev *evaluator) tryFuse(e xq.Call, en *env) (*table, bool, error) {
+	if ev.opts.NoPipeline || !fusibleFns[e.Fn] {
+		return nil, false, nil
+	}
+	var chain []xq.Call
+	cur := e
+	for fusibleFns[cur.Fn] && len(cur.Args) == 1 {
+		chain = append(chain, cur)
+		next, ok := cur.Args[0].(xq.Call)
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	if len(chain) < 2 {
+		return nil, false, nil
+	}
+	input, err := ev.eval(chain[len(chain)-1].Args[0], en)
+	if err != nil {
+		return nil, false, err
+	}
+	defer track(ev.phaseDur(&ev.stats.Paths))()
+	var it pipeline.Iterator = pipeline.NewScan(input.rel)
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch op := chain[i]; op.Fn {
+		case xq.FnSelect:
+			it = pipeline.NewSelectLabel(op.Label, it)
+		case xq.FnSelText:
+			it = pipeline.NewSelectText(it)
+		case xq.FnChildren:
+			it = pipeline.NewChildren(it)
+		case xq.FnRoots:
+			it = pipeline.NewRoots(it)
+		case xq.FnData:
+			it = pipeline.NewData(it)
+		case xq.FnHead:
+			it = pipeline.NewHead(it, en.depth)
+		case xq.FnTail:
+			it = pipeline.NewTail(it, en.depth)
+		}
+	}
+	// Every fused operator preserves intervals, so the local width is the
+	// input's.
+	start := ev.now()
+	out := pipeline.Materialize(it)
+	ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, out.Len())
+	return &table{rel: out, local: input.local}, true, nil
+}
+
+func (ev *evaluator) evalCall(e xq.Call, en *env) (*table, error) {
+	if tab, ok, err := ev.tryFuse(e, en); err != nil {
+		return nil, err
+	} else if ok {
+		return tab, nil
+	}
+	args := make([]*table, len(e.Args))
+	for i, a := range e.Args {
+		t, err := ev.eval(a, en)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = t
+	}
+	start := ev.now()
+	tab, err := ev.applyOp(e, args, en)
+	if err != nil {
+		return nil, err
+	}
+	ev.note(e.Fn, start, tab.rel.Len())
+	return tab, nil
+}
+
+func (ev *evaluator) applyOp(e xq.Call, args []*table, en *env) (*table, error) {
+	switch e.Fn {
+	case xq.FnNode:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := engine.Construct(en.index, en.depth, e.Label, args[0].rel)
+		return &table{rel: rel, local: max(1, args[0].local)}, nil
+	case xq.FnConcat:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := engine.Concat(en.index, en.depth, args[0].rel, args[1].rel)
+		return &table{rel: rel, local: max(args[0].local, args[1].local)}, nil
+	case xq.FnCount:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := engine.Count(en.index, en.depth, args[0].rel)
+		return &table{rel: rel, local: 1}, nil
+	case xq.FnHead:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Head(args[0].rel, en.depth), local: args[0].local}, nil
+	case xq.FnTail:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Tail(args[0].rel, en.depth), local: args[0].local}, nil
+	case xq.FnReverse:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		return &table{rel: engine.Reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
+	case xq.FnSort:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		return &table{rel: engine.SortTrees(args[0].rel, en.depth), local: args[0].local + 1}, nil
+	case xq.FnDistinct:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Distinct(args[0].rel, en.depth), local: args[0].local}, nil
+	case xq.FnSelect:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.SelectLabel(e.Label, args[0].rel), local: args[0].local}, nil
+	case xq.FnSelText:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.SelectText(args[0].rel), local: args[0].local}, nil
+	case xq.FnData:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Data(args[0].rel), local: args[0].local}, nil
+	case xq.FnRoots:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Roots(args[0].rel), local: args[0].local}, nil
+	case xq.FnChildren:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Children(args[0].rel), local: args[0].local}, nil
+	case xq.FnSubtreesDFS:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.SubtreesDFS(args[0].rel, en.depth), local: args[0].local + 1}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown function %q", e.Fn)
+	}
+}
+
+// evalWhere implements the conditional template of Section 4.2.3: the
+// index is filtered to the environments satisfying the condition, and the
+// bindings built at the current depth are semi-joined against it.
+func (ev *evaluator) evalWhere(e xq.Where, en *env) (*table, error) {
+	keep, err := ev.evalCond(e.Cond, en)
+	if err != nil {
+		return nil, err
+	}
+	done := track(&ev.stats.Join)
+	start := ev.now()
+	index := engine.FilterIndex(en.index, keep)
+	child := en.child(en.depth, index)
+	for name, b := range child.vars {
+		if b.depth == en.depth {
+			child.vars[name] = binding{
+				tab:   &table{rel: engine.SemiJoin(b.tab.rel, index, en.depth), local: b.tab.local},
+				depth: b.depth,
+			}
+		}
+	}
+	ev.note("where-filter", start, len(index))
+	done()
+	return ev.eval(e.Body, child)
+}
+
+// evalCond evaluates a condition once per environment of the index. All
+// work below it — including operand path extraction — is charged to the
+// Join phase.
+func (ev *evaluator) evalCond(c xq.Cond, en *env) ([]bool, error) {
+	var out []bool
+	err := ev.condScope(func() error {
+		var err error
+		out, err = ev.evalCondBool(c, en)
+		return err
+	})
+	return out, err
+}
+
+func (ev *evaluator) evalCondBool(c xq.Cond, en *env) ([]bool, error) {
+	switch c := c.(type) {
+	case xq.Equal, xq.Less:
+		var le, re xq.Expr
+		if eq, ok := c.(xq.Equal); ok {
+			le, re = eq.L, eq.R
+		} else {
+			lt := c.(xq.Less)
+			le, re = lt.L, lt.R
+		}
+		lt, err := ev.eval(le, en)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := ev.eval(re, en)
+		if err != nil {
+			return nil, err
+		}
+		defer track(&ev.stats.Join)()
+		cmp := engine.ComparePerEnv(en.index, en.depth, lt.rel, rt.rel)
+		out := make([]bool, len(cmp))
+		for i, v := range cmp {
+			if _, isEq := c.(xq.Equal); isEq {
+				out[i] = v == 0
+			} else {
+				out[i] = v < 0
+			}
+		}
+		return out, nil
+	case xq.Empty:
+		t, err := ev.eval(c.E, en)
+		if err != nil {
+			return nil, err
+		}
+		defer track(&ev.stats.Join)()
+		return engine.EmptyPerEnv(en.index, en.depth, t.rel), nil
+	case xq.Contains:
+		lt, err := ev.eval(c.L, en)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := ev.eval(c.R, en)
+		if err != nil {
+			return nil, err
+		}
+		defer track(&ev.stats.Join)()
+		return engine.ContainsPerEnv(en.index, en.depth, lt.rel, rt.rel), nil
+	case xq.Not:
+		v, err := ev.evalCondBool(c.C, en)
+		if err != nil {
+			return nil, err
+		}
+		for i := range v {
+			v[i] = !v[i]
+		}
+		return v, nil
+	case xq.And:
+		l, err := ev.evalCondBool(c.L, en)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalCondBool(c.R, en)
+		if err != nil {
+			return nil, err
+		}
+		for i := range l {
+			l[i] = l[i] && r[i]
+		}
+		return l, nil
+	case xq.Or:
+		l, err := ev.evalCondBool(c.L, en)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalCondBool(c.R, en)
+		if err != nil {
+			return nil, err
+		}
+		for i := range l {
+			l[i] = l[i] || r[i]
+		}
+		return l, nil
+	default:
+		return nil, fmt.Errorf("core: unknown condition %T", c)
+	}
+}
+
+// evalFor implements the iteration template of Section 4.2.4. In MSJ mode
+// it first attempts the Section 5 decorrelated merge-join evaluation; the
+// literal nested-loop translation is the fallback (and the only behaviour
+// in NLJ mode).
+func (ev *evaluator) evalFor(e xq.For, en *env) (*table, error) {
+	if ev.opts.Mode == ModeMSJ {
+		if tab, ok, err := ev.tryMergeJoin(e, en); err != nil {
+			return nil, err
+		} else if ok {
+			return tab, nil
+		}
+	}
+	ev.stats.NestedLoops++
+	dom, err := ev.eval(e.Domain, en)
+	if err != nil {
+		return nil, err
+	}
+	done := track(&ev.stats.Join)
+	start := ev.now()
+	roots := engine.Roots(dom.rel)
+	index := engine.EnterIndex(roots)
+	newDepth := en.depth + dom.local
+	bound := engine.BindVar(dom.rel, roots, en.depth, newDepth)
+	child := en.child(newDepth, index)
+	child.vars[e.Var] = binding{tab: &table{rel: bound, local: dom.local}, depth: newDepth}
+	if e.Pos != "" {
+		pos := engine.Positions(roots, en.depth, newDepth)
+		child.vars[e.Pos] = binding{tab: &table{rel: pos, local: 1}, depth: newDepth}
+	}
+	ev.note("for-enter", start, len(index))
+	done()
+	body, err := ev.eval(e.Body, child)
+	if err != nil {
+		return nil, err
+	}
+	// Exiting the loop costs nothing: the environment digits become part
+	// of the local position (the paper's width adjustment w_e · w_e').
+	return &table{rel: body.rel, local: dom.local + body.local}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"dixq/internal/xmark"
+	"dixq/internal/xq"
+)
+
+// TestGoldenOutputs pins exact query results over a fixed generated
+// document, protecting the generator, the parser, the rewrites and both
+// engines jointly against silent behavioural drift. If a deliberate
+// change to any of them alters these strings, update them consciously.
+func TestGoldenOutputs(t *testing.T) {
+	cat, _ := generatedCatalog(0.0005, 20030609)
+	golden := []struct {
+		name  string
+		query string
+		want  string
+	}{
+		{"count-persons", `count(document("auction.xml")/site/people/person)`, `12`},
+		{"count-items", xmark.Q6, `10`},
+		{"q1", xmark.Q1, `Yelena Ivanov`},
+		{"first-names", `for $p in document("auction.xml")/site/people/person[homepage] return $p/name/text()`,
+			`Yelena IvanovUmesh IvanovCong OkabeFarid KovacsMarcus MeyerJaak Rosca`},
+		{"q8", xmark.Q8,
+			`<item person="Yelena Ivanov">1</item><item person="Cong Meyer">2</item>` +
+				`<item person="Cong Okabe">1</item>`},
+		{"positions", `for $p at $i in document("auction.xml")/site/people/person where $p/homepage return $i`,
+			`159101112`},
+		{"ordered", `for $p in document("auction.xml")/site/people/person order by $p/name descending return head($p/name/text())`,
+			`Yelena IvanovUmesh IvanovPiotr MeyerMarcus MeyerKeiko IvanovJaak RoscaJaak DumontFarid KovacsCong RoscaCong OkabeCong MeyerAna Okabe`},
+	}
+	for _, g := range golden {
+		e, err := xq.Parse(g.query)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		q := Compile(e, Options{})
+		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
+			f, err := q.EvalForest(cat, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s (%s): %v", g.name, mode, err)
+			}
+			if got := f.String(); got != g.want {
+				t.Errorf("%s (%s):\n got %q\nwant %q", g.name, mode, got, g.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"dixq/internal/engine"
+	"dixq/internal/interval"
+	"dixq/internal/xq"
+)
+
+// tryMergeJoin attempts the Section 5 evaluation of a for-loop: when the
+// loop's domain is invariant with respect to the current environments and
+// its condition contains an equality separating the loop variable from the
+// outer variables, the loop body's environments are built by a structural
+// sort + merge join instead of the nested-loop embedding.
+//
+// The steps mirror the paper's description:
+//
+//  1. evaluate the domain once, in the ancestor environment it depends on;
+//  2. build the candidate inner environments independently;
+//  3. evaluate the two join keys on their own sides;
+//  4. sort both environment sequences by the structural order of their key
+//     forests (DeepCompare as the comparator) and merge;
+//  5. rebuild the combined environments of the matching pairs in document
+//     order — identical to the environments the nested-loop strategy would
+//     produce, so all downstream translation steps are unchanged.
+//
+// It reports ok=false when the pattern does not apply and the literal
+// translation must run.
+func (ev *evaluator) tryMergeJoin(e xq.For, en *env) (*table, bool, error) {
+	w, ok := e.Body.(xq.Where)
+	if !ok {
+		return nil, false, nil
+	}
+	// The domain must be evaluable strictly above the current depth.
+	d0, ok := ev.maxFreeDepth(e.Domain, en)
+	if !ok || d0 >= en.depth {
+		return nil, false, nil
+	}
+	anc := ancestorAt(en, d0)
+	if anc == nil {
+		return nil, false, nil
+	}
+	// Find a separable equality conjunct: one side uses the loop variable
+	// (and otherwise only bindings visible at d0), the other avoids it.
+	conjuncts := flattenAnd(w.Cond)
+	keyIdx := -1
+	var outerKey, innerKey xq.Expr
+	for i, c := range conjuncts {
+		eq, isEq := c.(xq.Equal)
+		if !isEq {
+			continue
+		}
+		if ev.isInnerKey(eq.L, e.Var, d0, en) && ev.isOuterKey(eq.R, e.Var, en) {
+			innerKey, outerKey, keyIdx = eq.L, eq.R, i
+			break
+		}
+		if ev.isInnerKey(eq.R, e.Var, d0, en) && ev.isOuterKey(eq.L, e.Var, en) {
+			innerKey, outerKey, keyIdx = eq.R, eq.L, i
+			break
+		}
+	}
+	if keyIdx < 0 {
+		return nil, false, nil
+	}
+
+	// (1) + (2): the inner environments, built once.
+	domTab, err := ev.eval(e.Domain, anc)
+	if err != nil {
+		return nil, false, err
+	}
+	done := track(&ev.stats.Join)
+	roots := engine.Roots(domTab.rel)
+	yIndex := engine.EnterIndex(roots)
+	yDepth := d0 + domTab.local
+	yBound := engine.BindVar(domTab.rel, roots, d0, yDepth)
+	done()
+	yEnv := anc.child(yDepth, yIndex)
+	yEnv.vars[e.Var] = binding{tab: &table{rel: yBound, local: domTab.local}, depth: yDepth}
+	var yPos *interval.Relation
+	if e.Pos != "" {
+		yPos = engine.Positions(roots, d0, yDepth)
+		yEnv.vars[e.Pos] = binding{tab: &table{rel: yPos, local: 1}, depth: yDepth}
+	}
+
+	// (3): join keys on each side.
+	var innerTab, outerTab *table
+	err = ev.condScope(func() error {
+		var err error
+		if innerTab, err = ev.eval(innerKey, yEnv); err != nil {
+			return err
+		}
+		outerTab, err = ev.eval(outerKey, en)
+		return err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+
+	// (4): structural sort and merge. Matches are constrained to pairs
+	// sharing the same depth-d0 ancestor environment, which is part of the
+	// join key (leading the comparator).
+	done = track(&ev.stats.Join)
+	start := ev.now()
+	outerGroups := engine.GroupByEnv(en.index, en.depth, outerTab.rel)
+	innerGroups := engine.GroupByEnv(yIndex, yDepth, innerTab.rel)
+	pairs := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism)
+
+	// (5): rebuild combined environments in document order.
+	newDepth := en.depth + domTab.local
+	yValGroups := engine.GroupByEnv(yIndex, yDepth, yBound)
+	var yPosGroups [][]interval.Tuple
+	joinedPos := &interval.Relation{}
+	if yPos != nil {
+		yPosGroups = engine.GroupByEnv(yIndex, yDepth, yPos)
+	}
+	newIndex := make(engine.Index, 0, len(pairs))
+	joined := &interval.Relation{}
+	rebase := func(dst *interval.Relation, base interval.Key, g []interval.Tuple) {
+		for _, t := range g {
+			dst.Tuples = append(dst.Tuples, interval.Tuple{
+				S: t.S,
+				L: base.Append(t.L.Suffix(yDepth)...),
+				R: base.Append(t.R.Suffix(yDepth)...),
+			})
+		}
+	}
+	for _, p := range pairs {
+		envKey := en.index[p.outer].Extend(en.depth).Append(yIndex[p.inner].Suffix(d0)...)
+		newIndex = append(newIndex, envKey)
+		base := envKey.Extend(newDepth)
+		rebase(joined, base, yValGroups[p.inner])
+		if yPosGroups != nil {
+			rebase(joinedPos, base, yPosGroups[p.inner])
+		}
+	}
+	ev.stats.MergeJoins++
+	ev.note("merge-join", start, len(newIndex))
+	done()
+
+	child := en.child(newDepth, newIndex)
+	child.vars[e.Var] = binding{tab: &table{rel: joined, local: domTab.local}, depth: newDepth}
+	if e.Pos != "" {
+		child.vars[e.Pos] = binding{tab: &table{rel: joinedPos, local: 1}, depth: newDepth}
+	}
+
+	// Residual conjuncts become an ordinary conditional.
+	var residual xq.Cond
+	for i, c := range conjuncts {
+		if i != keyIdx {
+			residual = andWith(residual, c)
+		}
+	}
+	bodyExpr := w.Body
+	if residual != nil {
+		bodyExpr = xq.Where{Cond: residual, Body: w.Body}
+	}
+	body, err := ev.eval(bodyExpr, child)
+	if err != nil {
+		return nil, false, err
+	}
+	return &table{rel: body.rel, local: domTab.local + body.local}, true, nil
+}
+
+// maxFreeDepth returns the greatest environment depth among the bindings
+// of an expression's free variables (documents are depth 0), or ok=false
+// if some variable is unbound.
+func (ev *evaluator) maxFreeDepth(e xq.Expr, en *env) (int, bool) {
+	depth := 0
+	for name := range xq.FreeVars(e) {
+		if strings.HasPrefix(name, "doc:") {
+			continue
+		}
+		b, ok := en.lookup(name)
+		if !ok {
+			return 0, false
+		}
+		if b.depth > depth {
+			depth = b.depth
+		}
+	}
+	return depth, true
+}
+
+// isInnerKey reports whether an expression can serve as the inner join
+// key: it uses the loop variable, and its remaining free variables are all
+// visible at depth d0 or above.
+func (ev *evaluator) isInnerKey(e xq.Expr, loopVar string, d0 int, en *env) bool {
+	free := xq.FreeVars(e)
+	if !free[loopVar] {
+		return false
+	}
+	for name := range free {
+		if name == loopVar || strings.HasPrefix(name, "doc:") {
+			continue
+		}
+		b, ok := en.lookup(name)
+		if !ok || b.depth > d0 {
+			return false
+		}
+	}
+	return true
+}
+
+// isOuterKey reports whether an expression can serve as the outer join
+// key: it avoids the loop variable and all its free variables are bound.
+func (ev *evaluator) isOuterKey(e xq.Expr, loopVar string, en *env) bool {
+	free := xq.FreeVars(e)
+	if free[loopVar] {
+		return false
+	}
+	for name := range free {
+		if strings.HasPrefix(name, "doc:") {
+			continue
+		}
+		if _, ok := en.lookup(name); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ancestorAt walks the environment chain to the nearest environment of
+// exactly the given depth.
+func ancestorAt(en *env, depth int) *env {
+	for cur := en; cur != nil; cur = cur.parent {
+		if cur.depth == depth {
+			return cur
+		}
+		if cur.depth < depth {
+			return nil
+		}
+	}
+	return nil
+}
+
+// envPair is one join match: positions into the outer and inner indexes.
+type envPair struct {
+	outer, inner int
+}
+
+// mergeJoinEnvs sorts both environment sequences by (ancestor prefix,
+// structural key order) and merges them, returning all matching pairs
+// ordered by (outer position, inner position) — document order of the
+// combined environments.
+func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
+	innerIndex engine.Index, innerGroups [][]interval.Tuple, d0 int, parallelism int) []envPair {
+
+	outerOrder := sortByKey(outerIndex, outerGroups, d0, parallelism)
+	innerOrder := sortByKey(innerIndex, innerGroups, d0, parallelism)
+
+	cmp := func(o, i int) int {
+		if c := outerIndex[o].ComparePrefix(innerIndex[i], d0); c != 0 {
+			return c
+		}
+		return engine.CompareForests(outerGroups[o], innerGroups[i])
+	}
+
+	var pairs []envPair
+	oi, ii := 0, 0
+	for oi < len(outerOrder) && ii < len(innerOrder) {
+		c := cmp(outerOrder[oi], innerOrder[ii])
+		switch {
+		case c < 0:
+			oi++
+		case c > 0:
+			ii++
+		default:
+			// Find the equal runs on both sides.
+			oEnd := oi + 1
+			for oEnd < len(outerOrder) && cmp(outerOrder[oEnd], innerOrder[ii]) == 0 {
+				oEnd++
+			}
+			iEnd := ii + 1
+			for iEnd < len(innerOrder) && cmp(outerOrder[oi], innerOrder[iEnd]) == 0 {
+				iEnd++
+			}
+			for _, o := range outerOrder[oi:oEnd] {
+				for _, i := range innerOrder[ii:iEnd] {
+					pairs = append(pairs, envPair{outer: o, inner: i})
+				}
+			}
+			oi, ii = oEnd, iEnd
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].outer != pairs[b].outer {
+			return pairs[a].outer < pairs[b].outer
+		}
+		return pairs[a].inner < pairs[b].inner
+	})
+	return pairs
+}
+
+// sortByKey returns the environment positions ordered by (d0-prefix of the
+// environment key, structural order of the key forest), ties broken by
+// position for determinism. With parallelism > 1 the slice is sorted in
+// concurrent chunks and merged; the comparator is pure, so the result is
+// identical to the serial sort.
+func sortByKey(index engine.Index, groups [][]interval.Tuple, d0 int, parallelism int) []int {
+	order := make([]int, len(index))
+	for i := range order {
+		order[i] = i
+	}
+	less := func(pa, pb int) bool {
+		if c := index[pa].ComparePrefix(index[pb], d0); c != 0 {
+			return c < 0
+		}
+		if c := engine.CompareForests(groups[pa], groups[pb]); c != 0 {
+			return c < 0
+		}
+		return pa < pb
+	}
+	const parallelThreshold = 2048
+	if parallelism < 2 || len(order) < parallelThreshold {
+		sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
+		return order
+	}
+	parallelSort(order, less, parallelism)
+	return order
+}
+
+// parallelSort sorts positions with a chunked parallel sort followed by
+// pairwise merges.
+func parallelSort(order []int, less func(a, b int) bool, parallelism int) {
+	chunk := (len(order) + parallelism - 1) / parallelism
+	var chunks [][]int
+	for lo := 0; lo < len(order); lo += chunk {
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		chunks = append(chunks, order[lo:hi])
+	}
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		wg.Add(1)
+		go func(c []int) {
+			defer wg.Done()
+			sort.Slice(c, func(a, b int) bool { return less(c[a], c[b]) })
+		}(c)
+	}
+	wg.Wait()
+	// Pairwise merge rounds.
+	for len(chunks) > 1 {
+		var next [][]int
+		for i := 0; i < len(chunks); i += 2 {
+			if i+1 == len(chunks) {
+				next = append(next, chunks[i])
+				break
+			}
+			next = append(next, mergeSorted(chunks[i], chunks[i+1], less))
+		}
+		chunks = next
+	}
+	copy(order, chunks[0])
+}
+
+func mergeSorted(a, b []int, less func(x, y int) bool) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dixq/internal/xq"
+)
+
+// PlanNode is one operator of the compile-time plan tree — the static
+// description of what the evaluator will execute, including the join
+// strategy chosen for each loop and the key-digit count (the paper's
+// §4.3 "number of integer-valued attributes") at every stage.
+type PlanNode struct {
+	// Op is the operator name.
+	Op string
+	// Detail carries the operator argument (label, variable, key pair).
+	Detail string
+	// Digits is the local key width of the operator's output.
+	Digits int
+	// Children are the input plans.
+	Children []*PlanNode
+}
+
+// Tree renders the plan as an indented operator tree.
+func (n *PlanNode) Tree() string {
+	var b strings.Builder
+	n.write(&b, 0)
+	return b.String()
+}
+
+func (n *PlanNode) write(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		fmt.Fprintf(b, " [%s]", n.Detail)
+	}
+	fmt.Fprintf(b, " {digits: %d}\n", n.Digits)
+	for _, c := range n.Children {
+		c.write(b, depth+1)
+	}
+}
+
+// Plan builds the static plan tree for the compiled query under the given
+// options (the join strategies match what Eval will choose, computed from
+// the same depth analysis the evaluator performs at runtime).
+func (q *Query) Plan(opts Options) *PlanNode {
+	p := &planner{opts: opts, depths: map[string]varInfo{}}
+	return p.expr(q.Expr, 0)
+}
+
+// planner mirrors the evaluator's environment-depth bookkeeping without
+// evaluating anything.
+type planner struct {
+	opts   Options
+	depths map[string]varInfo
+}
+
+type varInfo struct {
+	depth  int
+	digits int
+}
+
+func (p *planner) withDepth(name string, info varInfo, fn func() *PlanNode) *PlanNode {
+	old, had := p.depths[name]
+	p.depths[name] = info
+	out := fn()
+	if had {
+		p.depths[name] = old
+	} else {
+		delete(p.depths, name)
+	}
+	return out
+}
+
+// expr builds the plan for e at the given environment depth and returns it
+// with its local digit count filled in.
+func (p *planner) expr(e xq.Expr, depth int) *PlanNode {
+	switch e := e.(type) {
+	case xq.Var:
+		info, ok := p.depths[e.Name]
+		if !ok {
+			info = varInfo{digits: 1}
+		}
+		if ok && info.depth < depth {
+			return &PlanNode{Op: "embed-outer", Detail: fmt.Sprintf("$%s (depth %d -> %d)", e.Name, info.depth, depth), Digits: info.digits}
+		}
+		return &PlanNode{Op: "var", Detail: "$" + e.Name, Digits: info.digits}
+	case xq.Doc:
+		if depth > 0 {
+			return &PlanNode{Op: "embed-outer", Detail: fmt.Sprintf("document(%q)", e.Name), Digits: 1}
+		}
+		return &PlanNode{Op: "scan", Detail: fmt.Sprintf("document(%q)", e.Name), Digits: 1}
+	case xq.Const:
+		return &PlanNode{Op: "const", Detail: fmt.Sprintf("%d nodes", e.Value.Size()), Digits: 1}
+	case xq.Call:
+		return p.call(e, depth)
+	case xq.Let:
+		value := p.expr(e.Value, depth)
+		body := p.withDepth(e.Var, varInfo{depth: depth, digits: value.Digits}, func() *PlanNode { return p.expr(e.Body, depth) })
+		return &PlanNode{Op: "let", Detail: "$" + e.Var, Digits: body.Digits, Children: []*PlanNode{value, body}}
+	case xq.Where:
+		cond := p.cond(e.Cond, depth)
+		body := p.expr(e.Body, depth)
+		return &PlanNode{Op: "where-filter", Detail: e.Cond.String(), Digits: body.Digits,
+			Children: []*PlanNode{cond, body}}
+	case xq.For:
+		return p.forLoop(e, depth)
+	default:
+		return &PlanNode{Op: fmt.Sprintf("unknown(%T)", e)}
+	}
+}
+
+func (p *planner) forLoop(e xq.For, depth int) *PlanNode {
+	domain := p.expr(e.Domain, depth)
+	strategy := "nested-loop"
+	var keyDetail string
+	if p.opts.Mode == ModeMSJ {
+		if outer, inner, ok := p.mergeJoinKeys(e, depth); ok {
+			strategy = "merge-join"
+			keyDetail = fmt.Sprintf(" on %s = %s", outer, inner)
+		}
+	}
+	newDepth := depth + domain.Digits
+	xInfo := varInfo{depth: newDepth, digits: domain.Digits}
+	body := p.withDepth(e.Var, xInfo, func() *PlanNode {
+		if e.Pos == "" {
+			return p.expr(e.Body, newDepth)
+		}
+		return p.withDepth(e.Pos, varInfo{depth: newDepth, digits: 1}, func() *PlanNode { return p.expr(e.Body, newDepth) })
+	})
+	return &PlanNode{
+		Op:       "for-" + strategy,
+		Detail:   fmt.Sprintf("$%s%s", e.Var, keyDetail),
+		Digits:   domain.Digits + body.Digits,
+		Children: []*PlanNode{domain, body},
+	}
+}
+
+// mergeJoinKeys runs the static half of the tryMergeJoin check: the domain
+// must resolve strictly above the current depth and the condition must
+// contain a separable equality.
+func (p *planner) mergeJoinKeys(e xq.For, depth int) (outer, inner xq.Expr, ok bool) {
+	w, isWhere := e.Body.(xq.Where)
+	if !isWhere {
+		return nil, nil, false
+	}
+	d0, resolvable := p.maxDepth(e.Domain)
+	if !resolvable || d0 >= depth {
+		return nil, nil, false
+	}
+	for _, c := range flattenAnd(w.Cond) {
+		eq, isEq := c.(xq.Equal)
+		if !isEq {
+			continue
+		}
+		if p.isInner(eq.L, e.Var, d0) && p.isOuter(eq.R, e.Var) {
+			return eq.R, eq.L, true
+		}
+		if p.isInner(eq.R, e.Var, d0) && p.isOuter(eq.L, e.Var) {
+			return eq.L, eq.R, true
+		}
+	}
+	return nil, nil, false
+}
+
+func (p *planner) maxDepth(e xq.Expr) (int, bool) {
+	depth := 0
+	for name := range xq.FreeVars(e) {
+		if strings.HasPrefix(name, "doc:") {
+			continue
+		}
+		info, ok := p.depths[name]
+		if !ok {
+			return 0, false
+		}
+		if info.depth > depth {
+			depth = info.depth
+		}
+	}
+	return depth, true
+}
+
+func (p *planner) isInner(e xq.Expr, loopVar string, d0 int) bool {
+	free := xq.FreeVars(e)
+	if !free[loopVar] {
+		return false
+	}
+	for name := range free {
+		if name == loopVar || strings.HasPrefix(name, "doc:") {
+			continue
+		}
+		info, ok := p.depths[name]
+		if !ok || info.depth > d0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *planner) isOuter(e xq.Expr, loopVar string) bool {
+	free := xq.FreeVars(e)
+	if free[loopVar] {
+		return false
+	}
+	for name := range free {
+		if strings.HasPrefix(name, "doc:") {
+			continue
+		}
+		if _, ok := p.depths[name]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *planner) call(e xq.Call, depth int) *PlanNode {
+	// Report fusible chains the way the evaluator executes them.
+	if !p.opts.NoPipeline && fusibleFns[e.Fn] {
+		var ops []string
+		cur := e
+		for fusibleFns[cur.Fn] && len(cur.Args) == 1 {
+			name := cur.Fn
+			if cur.Label != "" {
+				name += "(" + cur.Label + ")"
+			}
+			ops = append(ops, name)
+			next, isCall := cur.Args[0].(xq.Call)
+			if !isCall {
+				break
+			}
+			cur = next
+		}
+		if len(ops) >= 2 {
+			input := p.expr(ops2input(e, len(ops)), depth)
+			return &PlanNode{
+				Op:       "pipeline",
+				Detail:   strings.Join(ops, " <- "),
+				Digits:   input.Digits,
+				Children: []*PlanNode{input},
+			}
+		}
+	}
+	children := make([]*PlanNode, 0, len(e.Args))
+	digits := 1
+	for _, a := range e.Args {
+		c := p.expr(a, depth)
+		children = append(children, c)
+		if c.Digits > digits {
+			digits = c.Digits
+		}
+	}
+	detail := e.Label
+	switch e.Fn {
+	case xq.FnReverse, xq.FnSort, xq.FnSubtreesDFS:
+		digits++
+	case xq.FnCount:
+		digits = 1
+	}
+	return &PlanNode{Op: e.Fn, Detail: detail, Digits: digits, Children: children}
+}
+
+// ops2input returns the expression feeding a fused chain of length n.
+func ops2input(e xq.Call, n int) xq.Expr {
+	cur := e
+	for i := 1; i < n; i++ {
+		cur = cur.Args[0].(xq.Call)
+	}
+	return cur.Args[0]
+}
+
+func (p *planner) cond(c xq.Cond, depth int) *PlanNode {
+	var kids []*PlanNode
+	var op string
+	switch c := c.(type) {
+	case xq.Equal:
+		op = "deep-compare(=)"
+		kids = []*PlanNode{p.expr(c.L, depth), p.expr(c.R, depth)}
+	case xq.Less:
+		op = "deep-compare(<)"
+		kids = []*PlanNode{p.expr(c.L, depth), p.expr(c.R, depth)}
+	case xq.Contains:
+		op = "contains"
+		kids = []*PlanNode{p.expr(c.L, depth), p.expr(c.R, depth)}
+	case xq.Empty:
+		op = "empty"
+		kids = []*PlanNode{p.expr(c.E, depth)}
+	case xq.Not:
+		op = "not"
+		kids = []*PlanNode{p.cond(c.C, depth)}
+	case xq.And:
+		op = "and"
+		kids = []*PlanNode{p.cond(c.L, depth), p.cond(c.R, depth)}
+	case xq.Or:
+		op = "or"
+		kids = []*PlanNode{p.cond(c.L, depth), p.cond(c.R, depth)}
+	default:
+		op = fmt.Sprintf("unknown(%T)", c)
+	}
+	return &PlanNode{Op: op, Children: kids}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dixq/internal/xq"
+)
+
+// HoistInvariants lifts maximal subexpressions that depend only on input
+// documents out of the expression into let bindings at the top, so that
+// path extraction over a document runs once rather than once per loop
+// iteration. Identical subexpressions share a single binding. The rewrite
+// is semantics-preserving: the hoisted expressions are pure and total.
+//
+// This is the plan behaviour the paper's Figure 10 implies: even the
+// DI-NLJ plan pays the path-extraction cost only once (a small, roughly
+// constant fraction), while the join dominates.
+func HoistInvariants(e xq.Expr) xq.Expr {
+	h := &hoister{bindings: map[string]string{}}
+	body := h.rewriteChildren(e)
+	for i := len(h.order) - 1; i >= 0; i-- {
+		body = xq.Let{Var: h.bindings[h.order[i]], Value: h.exprs[h.order[i]], Body: body}
+	}
+	return body
+}
+
+type hoister struct {
+	bindings map[string]string // expression text -> generated variable
+	exprs    map[string]xq.Expr
+	order    []string
+	n        int
+}
+
+// hoistable reports whether an expression depends only on documents.
+func hoistable(e xq.Expr) bool {
+	for name := range xq.FreeVars(e) {
+		if !strings.HasPrefix(name, "doc:") {
+			return false
+		}
+	}
+	return true
+}
+
+// worthHoisting excludes the trivial cases where a binding buys nothing.
+func worthHoisting(e xq.Expr) bool {
+	switch e.(type) {
+	case xq.Var, xq.Const:
+		return false
+	default:
+		return true
+	}
+}
+
+// rewrite replaces maximal hoistable subexpressions with fresh variables.
+// The root expression itself is never replaced (hoisting the whole query
+// would be pointless); rewriteChildren recurses past it.
+func (h *hoister) rewrite(e xq.Expr) xq.Expr {
+	if hoistable(e) && worthHoisting(e) {
+		return xq.Var{Name: h.bind(e)}
+	}
+	return h.rewriteChildren(e)
+}
+
+func (h *hoister) rewriteChildren(e xq.Expr) xq.Expr {
+	switch e := e.(type) {
+	case xq.Var, xq.Doc, xq.Const:
+		return e
+	case xq.Call:
+		args := make([]xq.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = h.rewrite(a)
+		}
+		return xq.Call{Fn: e.Fn, Label: e.Label, Args: args}
+	case xq.Let:
+		return xq.Let{Var: e.Var, Value: h.rewrite(e.Value), Body: h.rewrite(e.Body)}
+	case xq.For:
+		return xq.For{Var: e.Var, Pos: e.Pos, Domain: h.rewrite(e.Domain), Body: h.rewrite(e.Body)}
+	case xq.Where:
+		return xq.Where{Cond: h.rewriteCond(e.Cond), Body: h.rewrite(e.Body)}
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}
+
+func (h *hoister) rewriteCond(c xq.Cond) xq.Cond {
+	switch c := c.(type) {
+	case xq.Equal:
+		return xq.Equal{L: h.rewrite(c.L), R: h.rewrite(c.R)}
+	case xq.Less:
+		return xq.Less{L: h.rewrite(c.L), R: h.rewrite(c.R)}
+	case xq.Empty:
+		return xq.Empty{E: h.rewrite(c.E)}
+	case xq.Contains:
+		return xq.Contains{L: h.rewrite(c.L), R: h.rewrite(c.R)}
+	case xq.Not:
+		return xq.Not{C: h.rewriteCond(c.C)}
+	case xq.And:
+		return xq.And{L: h.rewriteCond(c.L), R: h.rewriteCond(c.R)}
+	case xq.Or:
+		return xq.Or{L: h.rewriteCond(c.L), R: h.rewriteCond(c.R)}
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+func (h *hoister) bind(e xq.Expr) string {
+	key := e.String()
+	if name, ok := h.bindings[key]; ok {
+		return name
+	}
+	h.n++
+	name := fmt.Sprintf("#hoist%d", h.n)
+	if h.exprs == nil {
+		h.exprs = map[string]xq.Expr{}
+	}
+	h.bindings[key] = name
+	h.exprs[key] = e
+	h.order = append(h.order, key)
+	return name
+}
+
+// PullUpJoinPredicates rewrites every for-loop body of the shape
+//
+//	let v1 := e1 ... let vn := en where C1 and ... and Ck return b
+//
+// by moving the conjuncts that do not reference any of the let variables in
+// front of the lets:
+//
+//	where C_movable return let v1 := ... where C_rest return b
+//
+// The rewrite is semantics-preserving (the let values are pure and total)
+// and exposes the "for x … for y … where p(x) = q(y)" shape the merge-join
+// evaluation of Section 5 recognizes — including Q9's middle loop, whose
+// join predicate sits under the let binding of the innermost loop.
+func PullUpJoinPredicates(e xq.Expr) xq.Expr {
+	switch e := e.(type) {
+	case xq.Var, xq.Doc, xq.Const:
+		return e
+	case xq.Call:
+		args := make([]xq.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = PullUpJoinPredicates(a)
+		}
+		return xq.Call{Fn: e.Fn, Label: e.Label, Args: args}
+	case xq.Let:
+		return xq.Let{Var: e.Var, Value: PullUpJoinPredicates(e.Value), Body: PullUpJoinPredicates(e.Body)}
+	case xq.For:
+		return xq.For{Var: e.Var, Pos: e.Pos, Domain: PullUpJoinPredicates(e.Domain), Body: pullUpBody(PullUpJoinPredicates(e.Body))}
+	case xq.Where:
+		body := PullUpJoinPredicates(e.Body)
+		cond := pullUpCond(e.Cond)
+		// Adjacent conditionals merge into one conjunction, exposing all
+		// conjuncts to the merge-join pattern at once.
+		if inner, ok := body.(xq.Where); ok {
+			return xq.Where{Cond: xq.And{L: cond, R: inner.Cond}, Body: inner.Body}
+		}
+		return xq.Where{Cond: cond, Body: body}
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}
+
+func pullUpCond(c xq.Cond) xq.Cond {
+	switch c := c.(type) {
+	case xq.Equal:
+		return xq.Equal{L: PullUpJoinPredicates(c.L), R: PullUpJoinPredicates(c.R)}
+	case xq.Less:
+		return xq.Less{L: PullUpJoinPredicates(c.L), R: PullUpJoinPredicates(c.R)}
+	case xq.Empty:
+		return xq.Empty{E: PullUpJoinPredicates(c.E)}
+	case xq.Contains:
+		return xq.Contains{L: PullUpJoinPredicates(c.L), R: PullUpJoinPredicates(c.R)}
+	case xq.Not:
+		return xq.Not{C: pullUpCond(c.C)}
+	case xq.And:
+		return xq.And{L: pullUpCond(c.L), R: pullUpCond(c.R)}
+	case xq.Or:
+		return xq.Or{L: pullUpCond(c.L), R: pullUpCond(c.R)}
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+// pullUpBody hoists let-independent conjuncts of a let-chain's final where
+// clause in front of the chain.
+func pullUpBody(body xq.Expr) xq.Expr {
+	var lets []xq.Let
+	cur := body
+	for {
+		l, ok := cur.(xq.Let)
+		if !ok {
+			break
+		}
+		lets = append(lets, l)
+		cur = l.Body
+	}
+	w, ok := cur.(xq.Where)
+	if !ok || len(lets) == 0 {
+		return body
+	}
+	letVars := map[string]bool{}
+	for _, l := range lets {
+		letVars[l.Var] = true
+	}
+	movable, rest := splitConjuncts(w.Cond, letVars)
+	if movable == nil {
+		return body
+	}
+	inner := w.Body
+	if rest != nil {
+		inner = xq.Where{Cond: rest, Body: inner}
+	}
+	for i := len(lets) - 1; i >= 0; i-- {
+		inner = xq.Let{Var: lets[i].Var, Value: lets[i].Value, Body: inner}
+	}
+	return xq.Where{Cond: movable, Body: inner}
+}
+
+// splitConjuncts partitions a conjunction into the parts that avoid the
+// given variables and the rest; either part may be nil.
+func splitConjuncts(c xq.Cond, avoid map[string]bool) (movable, rest xq.Cond) {
+	conjuncts := flattenAnd(c)
+	for _, conj := range conjuncts {
+		if condUsesAny(conj, avoid) {
+			rest = andWith(rest, conj)
+		} else {
+			movable = andWith(movable, conj)
+		}
+	}
+	return movable, rest
+}
+
+func flattenAnd(c xq.Cond) []xq.Cond {
+	if a, ok := c.(xq.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []xq.Cond{c}
+}
+
+func andWith(acc, c xq.Cond) xq.Cond {
+	if acc == nil {
+		return c
+	}
+	return xq.And{L: acc, R: c}
+}
+
+func condUsesAny(c xq.Cond, vars map[string]bool) bool {
+	used := map[string]bool{}
+	collectCondVars(c, used)
+	for v := range vars {
+		if used[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectCondVars(c xq.Cond, out map[string]bool) {
+	switch c := c.(type) {
+	case xq.Equal:
+		addFree(c.L, out)
+		addFree(c.R, out)
+	case xq.Less:
+		addFree(c.L, out)
+		addFree(c.R, out)
+	case xq.Empty:
+		addFree(c.E, out)
+	case xq.Contains:
+		addFree(c.L, out)
+		addFree(c.R, out)
+	case xq.Not:
+		collectCondVars(c.C, out)
+	case xq.And:
+		collectCondVars(c.L, out)
+		collectCondVars(c.R, out)
+	case xq.Or:
+		collectCondVars(c.L, out)
+		collectCondVars(c.R, out)
+	}
+}
+
+func addFree(e xq.Expr, out map[string]bool) {
+	for v := range xq.FreeVars(e) {
+		out[v] = true
+	}
+}

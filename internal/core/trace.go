@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace collects per-operator execution statistics — the engine's EXPLAIN
+// ANALYZE. Attach one via Options.Trace; it is safe for use from a single
+// evaluation at a time (the evaluator is single-threaded) and may be
+// printed afterwards.
+type Trace struct {
+	mu      sync.Mutex
+	entries map[string]*TraceEntry
+}
+
+// TraceEntry aggregates all executions of one operator kind.
+type TraceEntry struct {
+	// Op is the operator name (engine operator or plan step).
+	Op string
+	// Calls is the number of times the operator ran.
+	Calls int
+	// Rows is the total number of output tuples produced.
+	Rows int64
+	// Time is the total time spent in the operator.
+	Time time.Duration
+}
+
+// record adds one operator execution.
+func (t *Trace) record(op string, rows int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.entries == nil {
+		t.entries = map[string]*TraceEntry{}
+	}
+	e := t.entries[op]
+	if e == nil {
+		e = &TraceEntry{Op: op}
+		t.entries[op] = e
+	}
+	e.Calls++
+	e.Rows += int64(rows)
+	e.Time += d
+}
+
+// Entries returns the aggregated operator statistics, most expensive
+// first.
+func (t *Trace) Entries() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// String renders the trace as an aligned table.
+func (t *Trace) String() string {
+	entries := t.Entries()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %12s %12s\n", "operator", "calls", "rows", "time")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-22s %8d %12d %12s\n", e.Op, e.Calls, e.Rows, e.Time.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// note records an operator execution when tracing is on; start is only
+// meaningful when it is.
+func (ev *evaluator) note(op string, start time.Time, rows int) {
+	if ev.opts.Trace != nil {
+		ev.opts.Trace.record(op, rows, time.Since(start))
+	}
+}
+
+// now returns the start timestamp for note, avoiding the clock read when
+// tracing is off.
+func (ev *evaluator) now() time.Time {
+	if ev.opts.Trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

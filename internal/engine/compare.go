@@ -1,0 +1,81 @@
+package engine
+
+import "dixq/internal/interval"
+
+// CompareForests decides the structural (tree) order of two encoded forests
+// — the DeepCompare physical operator of Algorithm 5.3. Both inputs must be
+// sorted by L. The result is -1, 0 or +1 under the same total order as
+// xmltree.Forest.Compare.
+//
+// The algorithm views each encoding as its stream of open/close events (a
+// tuple opens at its L endpoint and closes at its R endpoint; the merged
+// endpoint order is recovered with a stack, in one linear pass) and
+// compares the two streams lexicographically with "close" sorting before
+// any "open": a forest that closes a node where the other opens one is the
+// structurally smaller — the paper's "missing sibling" rule. Labels break
+// ties between two opens.
+//
+// Time is linear in the smaller forest; space is bounded by forest depth.
+func CompareForests(a, b []interval.Tuple) int {
+	ia := eventIter{tuples: a}
+	ib := eventIter{tuples: b}
+	for {
+		openA, labelA, okA := ia.next()
+		openB, labelB, okB := ib.next()
+		switch {
+		case !okA && !okB:
+			return 0
+		case !okA:
+			return -1
+		case !okB:
+			return 1
+		case !openA && !openB:
+			// matching closes; continue
+		case !openA:
+			return -1 // A closes where B opens: A is a strict prefix here
+		case !openB:
+			return 1
+		default:
+			if labelA != labelB {
+				if labelA < labelB {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+}
+
+// EqualForests reports structural equality of two encoded forests.
+func EqualForests(a, b []interval.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return CompareForests(a, b) == 0
+}
+
+// eventIter yields the open/close event stream of an encoded forest sorted
+// by L. The stack holds the R endpoints of currently open nodes.
+type eventIter struct {
+	tuples []interval.Tuple
+	i      int
+	stack  []interval.Key
+}
+
+// next returns the next event: open reports the kind, label is set for
+// opens, and ok is false when the stream is exhausted.
+func (it *eventIter) next() (open bool, label string, ok bool) {
+	if n := len(it.stack); n > 0 {
+		if it.i >= len(it.tuples) || interval.Compare(it.stack[n-1], it.tuples[it.i].L) < 0 {
+			it.stack = it.stack[:n-1]
+			return false, "", true
+		}
+	}
+	if it.i < len(it.tuples) {
+		t := it.tuples[it.i]
+		it.i++
+		it.stack = append(it.stack, t.R)
+		return true, t.S, true
+	}
+	return false, "", false
+}

@@ -1,0 +1,80 @@
+// Package engine is the DI prototype's physical layer: the special-purpose
+// relational operators of Section 5 of the paper, implemented over interval
+// relations.
+//
+// The engine is operator-at-a-time: every operator consumes whole relations
+// sorted by the L key and produces a relation in the same order, so plans
+// compose as DAGs and per-operator costs are directly measurable (Figure
+// 10). All operators are linear in input plus output size unless noted; the
+// quadratic ones (EmbedOuter, SubtreesDFS) are exactly the ones the paper
+// identifies as quadratic.
+//
+// # Environments
+//
+// A sequence of environments (Definition 3.3) is represented by an index —
+// a sorted list of keys of a fixed digit count (the depth) — plus one
+// relation per variable whose tuples carry the owning environment's index
+// as the prefix of their keys. Because relations are sorted by key,
+// environment groups are contiguous and appear in index order, which is
+// what lets every operator below run as a single merge-style pass.
+package engine
+
+import (
+	"dixq/internal/interval"
+)
+
+// Index is the I relation of Definition 3.3: the sorted environment keys.
+// All keys are interpreted at a fixed digit count (the depth) carried
+// alongside by the caller.
+type Index []interval.Key
+
+// Initial returns the index of the single initial environment (depth 0).
+func Initial() Index { return Index{interval.Key{}} }
+
+// prefixOf returns the depth-digit prefix of a key as a comparable value
+// against index entries.
+func prefixCmp(k interval.Key, env interval.Key, depth int) int {
+	return k.ComparePrefix(env, depth)
+}
+
+// forEachGroup calls fn once per contiguous run of tuples sharing the same
+// depth-digit prefix. Environments with no tuples are not visited; use
+// forEachEnv when every environment must be seen.
+func forEachGroup(tuples []interval.Tuple, depth int, fn func(group []interval.Tuple)) {
+	start := 0
+	for i := 1; i <= len(tuples); i++ {
+		if i == len(tuples) || tuples[i].L.ComparePrefix(tuples[start].L, depth) != 0 {
+			fn(tuples[start:i])
+			start = i
+		}
+	}
+}
+
+// forEachEnv merges an index with a relation's tuples, calling fn once per
+// environment in index order with that environment's (possibly empty)
+// tuple group. Tuples whose prefix does not appear in the index are
+// skipped; the translation maintains the invariant that none exist.
+func forEachEnv(index Index, depth int, tuples []interval.Tuple, fn func(env interval.Key, group []interval.Tuple)) {
+	pos := 0
+	for _, env := range index {
+		for pos < len(tuples) && prefixCmp(tuples[pos].L, env, depth) < 0 {
+			pos++ // orphaned tuple (no owning environment); skip
+		}
+		start := pos
+		for pos < len(tuples) && prefixCmp(tuples[pos].L, env, depth) == 0 {
+			pos++
+		}
+		fn(env, tuples[start:pos])
+	}
+}
+
+// GroupByEnv materializes the per-environment tuple groups of a relation,
+// in index order, including empty groups. The returned slices alias the
+// relation's tuple storage.
+func GroupByEnv(index Index, depth int, rel *interval.Relation) [][]interval.Tuple {
+	out := make([][]interval.Tuple, 0, len(index))
+	forEachEnv(index, depth, rel.Tuples, func(_ interval.Key, g []interval.Tuple) {
+		out = append(out, g)
+	})
+	return out
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"strconv"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+// Roots is the roots-extraction operator of Algorithm 5.2: it keeps the
+// tuples not strictly contained in any other interval. With dynamic
+// intervals the single pass needs no environment awareness at all — tuples
+// of later environments always start after every earlier interval has
+// closed — which is the property the paper exploits. O(n) time, O(1) space.
+func Roots(rel *interval.Relation) *interval.Relation {
+	out := &interval.Relation{}
+	var max interval.Key
+	haveMax := false
+	for _, t := range rel.Tuples {
+		if !haveMax || interval.Compare(t.L, max) > 0 {
+			max = t.R
+			haveMax = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Children keeps the tuples strictly contained in some other interval —
+// the complement of Roots, encoding the concatenated child forests.
+func Children(rel *interval.Relation) *interval.Relation {
+	out := &interval.Relation{}
+	var max interval.Key
+	haveMax := false
+	for _, t := range rel.Tuples {
+		if !haveMax || interval.Compare(t.L, max) > 0 {
+			max = t.R
+			haveMax = true
+			continue
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// SelectLabel keeps the top-level trees whose root label equals label,
+// subtrees included. One pass.
+func SelectLabel(label string, rel *interval.Relation) *interval.Relation {
+	return selectRoots(rel, func(s string) bool { return s == label })
+}
+
+// SelectText keeps the top-level trees whose root is a text node under the
+// labeling convention — the text() step over a child-projected forest.
+func SelectText(rel *interval.Relation) *interval.Relation {
+	return selectRoots(rel, func(s string) bool {
+		return (&xmltree.Node{Label: s}).Kind() == xmltree.Text
+	})
+}
+
+func selectRoots(rel *interval.Relation, keep func(label string) bool) *interval.Relation {
+	out := &interval.Relation{}
+	var max interval.Key
+	haveMax := false
+	keeping := false
+	for _, t := range rel.Tuples {
+		if !haveMax || interval.Compare(t.L, max) > 0 {
+			max = t.R
+			haveMax = true
+			keeping = keep(t.S)
+		}
+		if keeping {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Data keeps the text-labeled tuples — the atomized value forest. Text
+// nodes are leaves, so the surviving intervals are pairwise disjoint and
+// the result is a valid encoding of the forest of text values.
+func Data(rel *interval.Relation) *interval.Relation {
+	out := &interval.Relation{}
+	for _, t := range rel.Tuples {
+		if (&xmltree.Node{Label: t.S}).Kind() == xmltree.Text {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Head keeps the first top-level tree of each environment's forest.
+func Head(rel *interval.Relation, depth int) *interval.Relation {
+	out := &interval.Relation{}
+	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
+		end := g[0].R
+		for _, t := range g {
+			if interval.Compare(t.L, end) > 0 {
+				break
+			}
+			out.Tuples = append(out.Tuples, t)
+		}
+	})
+	return out
+}
+
+// Tail drops the first top-level tree of each environment's forest.
+func Tail(rel *interval.Relation, depth int) *interval.Relation {
+	out := &interval.Relation{}
+	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
+		end := g[0].R
+		for _, t := range g {
+			if interval.Compare(t.L, end) > 0 {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+	})
+	return out
+}
+
+// treeRanges returns the half-open tuple ranges of the top-level trees of
+// an environment group.
+func treeRanges(g []interval.Tuple) [][2]int {
+	var ranges [][2]int
+	var max interval.Key
+	haveMax := false
+	for i, t := range g {
+		if !haveMax || interval.Compare(t.L, max) > 0 {
+			max = t.R
+			haveMax = true
+			ranges = append(ranges, [2]int{i, i})
+		}
+		ranges[len(ranges)-1][1] = i + 1
+	}
+	return ranges
+}
+
+// emitTree appends one top-level tree with a fresh position digit inserted
+// between the environment prefix and the original local part, implementing
+// the renumbering used by reverse, sort and subtrees-dfs. The output local
+// width grows by one digit.
+func emitTree(out *interval.Relation, prefix interval.Key, depth int, pos int64, tree []interval.Tuple) {
+	base := prefixKey(prefix, depth).Append(pos)
+	for _, t := range tree {
+		out.Tuples = append(out.Tuples, interval.Tuple{
+			S: t.S,
+			L: base.Append(t.L.Suffix(depth)...),
+			R: base.Append(t.R.Suffix(depth)...),
+		})
+	}
+}
+
+// Reverse reverses the top-level tree order of each environment's forest.
+// Trees are renumbered with a leading position digit (output local width =
+// input width + 1).
+func Reverse(rel *interval.Relation, depth int) *interval.Relation {
+	out := &interval.Relation{}
+	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
+		ranges := treeRanges(g)
+		prefix := g[0].L
+		for j := len(ranges) - 1; j >= 0; j-- {
+			emitTree(out, prefix, depth, int64(len(ranges)-1-j), g[ranges[j][0]:ranges[j][1]])
+		}
+	})
+	return out
+}
+
+// SortTrees orders each environment's top-level trees by structural (tree)
+// order, stably, using CompareForests — the paper's sort operator. Trees
+// are renumbered with a leading position digit. O(k log k) comparisons per
+// environment, each linear in the trees compared.
+func SortTrees(rel *interval.Relation, depth int) *interval.Relation {
+	out := &interval.Relation{}
+	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
+		ranges := treeRanges(g)
+		order := stableSortRanges(g, ranges)
+		prefix := g[0].L
+		for j, idx := range order {
+			emitTree(out, prefix, depth, int64(j), g[ranges[idx][0]:ranges[idx][1]])
+		}
+	})
+	return out
+}
+
+// stableSortRanges returns the tree indices in structural order, breaking
+// ties by original position (stability).
+func stableSortRanges(g []interval.Tuple, ranges [][2]int) []int {
+	order := make([]int, len(ranges))
+	for i := range order {
+		order[i] = i
+	}
+	// Merge sort for stability without extra comparator state.
+	var tmp = make([]int, len(order))
+	var msort func(lo, hi int)
+	msort = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		msort(lo, mid)
+		msort(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			a := g[ranges[order[i]][0]:ranges[order[i]][1]]
+			b := g[ranges[order[j]][0]:ranges[order[j]][1]]
+			if CompareForests(a, b) <= 0 {
+				tmp[k] = order[i]
+				i++
+			} else {
+				tmp[k] = order[j]
+				j++
+			}
+			k++
+		}
+		for i < mid {
+			tmp[k] = order[i]
+			i, k = i+1, k+1
+		}
+		for j < hi {
+			tmp[k] = order[j]
+			j, k = j+1, k+1
+		}
+		copy(order[lo:hi], tmp[lo:hi])
+	}
+	msort(0, len(order))
+	return order
+}
+
+// Distinct keeps the structurally distinct top-level trees of each
+// environment's forest, first occurrence preserved, original intervals
+// unchanged. Sort-based: O(k log k) tree comparisons per environment.
+func Distinct(rel *interval.Relation, depth int) *interval.Relation {
+	out := &interval.Relation{}
+	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
+		ranges := treeRanges(g)
+		order := stableSortRanges(g, ranges)
+		keep := make([]bool, len(ranges))
+		for i := 0; i < len(order); {
+			j := i + 1
+			a := g[ranges[order[i]][0]:ranges[order[i]][1]]
+			for j < len(order) {
+				b := g[ranges[order[j]][0]:ranges[order[j]][1]]
+				if CompareForests(a, b) != 0 {
+					break
+				}
+				j++
+			}
+			// order is stable, so order[i] is the earliest duplicate.
+			keep[order[i]] = true
+			i = j
+		}
+		for idx, k := range keep {
+			if k {
+				out.Tuples = append(out.Tuples, g[ranges[idx][0]:ranges[idx][1]]...)
+			}
+		}
+	})
+	return out
+}
+
+// SubtreesDFS emits, for every node of every environment's forest, the
+// subtree rooted at that node, in depth-first order, renumbered with a
+// leading position digit. Quadratic in the worst case (the paper's
+// w_subtreesdfs = w² width bound reflects the same blow-up).
+func SubtreesDFS(rel *interval.Relation, depth int) *interval.Relation {
+	out := &interval.Relation{}
+	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
+		prefix := g[0].L
+		for i, t := range g {
+			end := i + 1
+			for end < len(g) && interval.Compare(g[end].L, t.R) < 0 {
+				end++
+			}
+			emitTree(out, prefix, depth, int64(i), g[i:end])
+		}
+	})
+	return out
+}
+
+// Construct is the XNode element-constructor template (Section 4.1): for
+// every environment of the index it wraps that environment's forest under
+// a fresh root labeled label. Child tuples have their first local digit
+// shifted by +1; the new root spans them. Environments with empty forests
+// still produce a (leaf) root, which is why the operator needs the index.
+func Construct(index Index, depth int, label string, rel *interval.Relation) *interval.Relation {
+	out := &interval.Relation{}
+	forEachEnv(index, depth, rel.Tuples, func(env interval.Key, g []interval.Tuple) {
+		base := env.Extend(depth)
+		rootAt := len(out.Tuples)
+		out.Tuples = append(out.Tuples, interval.Tuple{S: label, L: base.Append(0)})
+		var maxFirst int64
+		for _, t := range g {
+			out.Tuples = append(out.Tuples, interval.Tuple{
+				S: t.S,
+				L: shiftFirstLocal(t.L, depth, 1),
+				R: shiftFirstLocal(t.R, depth, 1),
+			})
+			if d := t.R.Digit(depth) + 1; d > maxFirst {
+				maxFirst = d
+			}
+		}
+		out.Tuples[rootAt].R = base.Append(maxFirst + 1)
+	})
+	return out
+}
+
+// prefixKey returns the first depth digits of a key as a fresh key,
+// padding with zeros when the key is physically shorter.
+func prefixKey(k interval.Key, depth int) interval.Key {
+	out := make(interval.Key, depth)
+	for i := range out {
+		out[i] = k.Digit(i)
+	}
+	return out
+}
+
+// shiftFirstLocal adds delta to the digit at position depth (the first
+// local digit), materializing implicit zeros as needed.
+func shiftFirstLocal(k interval.Key, depth int, delta int64) interval.Key {
+	n := len(k)
+	if n < depth+1 {
+		n = depth + 1
+	}
+	out := make(interval.Key, n)
+	copy(out, k)
+	out[depth] += delta
+	return out
+}
+
+// Concat is the @ operator: per environment, the second forest is shifted
+// past the first by bumping its first local digit with a per-environment
+// offset computed in the same merge pass. One pass over both inputs.
+func Concat(index Index, depth int, a, b *interval.Relation) *interval.Relation {
+	out := &interval.Relation{}
+	posB := 0
+	forEachEnv(index, depth, a.Tuples, func(env interval.Key, ga []interval.Tuple) {
+		var shift int64
+		for _, t := range ga {
+			out.Tuples = append(out.Tuples, t)
+			if d := t.R.Digit(depth) + 1; d > shift {
+				shift = d
+			}
+		}
+		for posB < len(b.Tuples) && prefixCmp(b.Tuples[posB].L, env, depth) < 0 {
+			posB++
+		}
+		for posB < len(b.Tuples) && prefixCmp(b.Tuples[posB].L, env, depth) == 0 {
+			t := b.Tuples[posB]
+			if shift == 0 {
+				out.Tuples = append(out.Tuples, t)
+			} else {
+				out.Tuples = append(out.Tuples, interval.Tuple{
+					S: t.S,
+					L: shiftFirstLocal(t.L, depth, shift),
+					R: shiftFirstLocal(t.R, depth, shift),
+				})
+			}
+			posB++
+		}
+	})
+	return out
+}
+
+// Count emits, for every environment of the index, a single text tuple
+// holding the decimal number of top-level trees in that environment's
+// forest — the count() aggregate of the XMark queries.
+func Count(index Index, depth int, rel *interval.Relation) *interval.Relation {
+	out := &interval.Relation{}
+	forEachEnv(index, depth, rel.Tuples, func(env interval.Key, g []interval.Tuple) {
+		n := 0
+		var max interval.Key
+		haveMax := false
+		for _, t := range g {
+			if !haveMax || interval.Compare(t.L, max) > 0 {
+				max = t.R
+				haveMax = true
+				n++
+			}
+		}
+		base := env.Extend(depth)
+		out.Tuples = append(out.Tuples, interval.Tuple{
+			S: strconv.Itoa(n),
+			L: base.Append(0),
+			R: base.Append(1),
+		})
+	})
+	return out
+}

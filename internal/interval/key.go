@@ -1,0 +1,152 @@
+// Package interval implements the interval encoding of XML forests
+// (Definition 3.1 of the paper) and the dynamic interval machinery of
+// Definition 3.3.
+//
+// # Keys
+//
+// The paper models interval endpoints as natural numbers whose magnitude
+// grows multiplicatively with every nested for-loop (width w_for = w_e ·
+// w_e'). Section 4.3 observes that a practical implementation should
+// "allocate a sufficient number of integer-valued attributes at query
+// compilation time" instead of using unbounded integers. Key realizes that
+// remark directly: an endpoint is a vector of int64 digits compared
+// lexicographically, with missing trailing digits reading as zero. The
+// paper's arithmetic i·w + v never has to be carried out — entering an
+// iteration appends digits, and lexicographic order on the digit vectors
+// coincides with numeric order of the scalar encoding.
+//
+// An environment index (the I relation of Definition 3.3) is also a Key; a
+// tuple belongs to environment i exactly when i is a prefix of its L key.
+package interval
+
+import "strconv"
+
+// Key is an interval endpoint or environment index: a vector of digits
+// ordered lexicographically. Trailing digits that are absent compare as 0,
+// so Key{5} and Key{5, 0} are equal. Keys are treated as immutable; use
+// Append or Extend to derive new keys.
+type Key []int64
+
+// Compare lexicographically compares two keys, treating missing trailing
+// digits as zero. It returns -1, 0, or +1.
+func Compare(a, b Key) int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		da, db := a.Digit(i), b.Digit(i)
+		if da < db {
+			return -1
+		}
+		if da > db {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Digit returns the i-th digit, with absent digits reading as zero.
+func (k Key) Digit(i int) int64 {
+	if i < len(k) {
+		return k[i]
+	}
+	return 0
+}
+
+// Equal reports whether two keys are equal under the trailing-zero rule.
+func (k Key) Equal(o Key) bool { return Compare(k, o) == 0 }
+
+// Less reports whether k sorts strictly before o.
+func (k Key) Less(o Key) bool { return Compare(k, o) < 0 }
+
+// HasPrefix reports whether the first len(p) digits of k equal p. Trailing
+// zeros count: Key{5}.HasPrefix(Key{5, 0}) is true.
+func (k Key) HasPrefix(p Key) bool {
+	for i := range p {
+		if k.Digit(i) != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ComparePrefix compares the first n digits of k with the n-digit prefix p
+// (p longer than n is ignored). It is the comparator used to merge tuples
+// against an environment index.
+func (k Key) ComparePrefix(p Key, n int) int {
+	for i := 0; i < n; i++ {
+		dk, dp := k.Digit(i), p.Digit(i)
+		if dk < dp {
+			return -1
+		}
+		if dk > dp {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Append returns a new key with extra digits appended. The receiver is not
+// modified and shares no storage with the result.
+func (k Key) Append(digits ...int64) Key {
+	out := make(Key, 0, len(k)+len(digits))
+	out = append(out, k...)
+	out = append(out, digits...)
+	return out
+}
+
+// Extend returns a new key of exactly n digits: k zero-padded or truncated.
+// Truncation requires the dropped digits to be zero; it panics otherwise,
+// because dropping nonzero digits would change the key's value.
+func (k Key) Extend(n int) Key {
+	out := make(Key, n)
+	copy(out, k)
+	for i := n; i < len(k); i++ {
+		if k[i] != 0 {
+			panic("interval: Extend would drop nonzero digit")
+		}
+	}
+	return out
+}
+
+// Suffix returns the digits of k after the first n (the "local part" of a
+// tuple key relative to an n-digit environment index).
+func (k Key) Suffix(n int) Key {
+	if n >= len(k) {
+		return nil
+	}
+	return k[n:]
+}
+
+// Clone returns a copy of k with its own storage.
+func (k Key) Clone() Key {
+	if k == nil {
+		return nil
+	}
+	out := make(Key, len(k))
+	copy(out, k)
+	return out
+}
+
+// Norm returns k without trailing zero digits, the canonical representative
+// of its equivalence class.
+func (k Key) Norm() Key {
+	n := len(k)
+	for n > 0 && k[n-1] == 0 {
+		n--
+	}
+	return k[:n]
+}
+
+// String renders the key as dot-separated digits, e.g. "2.174".
+func (k Key) String() string {
+	if len(k) == 0 {
+		return "0"
+	}
+	s := strconv.FormatInt(k[0], 10)
+	for _, d := range k[1:] {
+		s += "." + strconv.FormatInt(d, 10)
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Key
+		want int
+	}{
+		{nil, nil, 0},
+		{Key{0}, nil, 0},
+		{Key{5}, Key{5, 0}, 0},
+		{Key{5}, Key{5, 0, 0}, 0},
+		{Key{5}, Key{5, 1}, -1},
+		{Key{5, 1}, Key{5}, 1},
+		{Key{1, 9}, Key{2}, -1},
+		{Key{2, 174}, Key{2, 175}, -1},
+		{Key{2, 174}, Key{24}, -1},
+		{Key{-1}, Key{0}, -1},
+	}
+	for _, tt := range tests {
+		if got := Compare(tt.a, tt.b); got != tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := Compare(tt.b, tt.a); got != -tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.b, tt.a, got, -tt.want)
+		}
+		if (Compare(tt.a, tt.b) == 0) != tt.a.Equal(tt.b) {
+			t.Errorf("Equal(%v, %v) disagrees with Compare", tt.a, tt.b)
+		}
+		if (Compare(tt.a, tt.b) < 0) != tt.a.Less(tt.b) {
+			t.Errorf("Less(%v, %v) disagrees with Compare", tt.a, tt.b)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	tests := []struct {
+		k, p Key
+		want bool
+	}{
+		{Key{2, 174}, Key{2}, true},
+		{Key{2, 174}, Key{2, 174}, true},
+		{Key{2, 174}, Key{2, 175}, false},
+		{Key{2, 174}, Key{3}, false},
+		{Key{5}, Key{5, 0}, true}, // trailing zeros count
+		{Key{5}, Key{5, 1}, false},
+		{Key{5}, nil, true},
+		{nil, Key{0, 0}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.k.HasPrefix(tt.p); got != tt.want {
+			t.Errorf("%v.HasPrefix(%v) = %v, want %v", tt.k, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestComparePrefix(t *testing.T) {
+	if got := (Key{2, 174}).ComparePrefix(Key{2, 175}, 1); got != 0 {
+		t.Errorf("ComparePrefix n=1 = %d, want 0", got)
+	}
+	if got := (Key{2, 174}).ComparePrefix(Key{2, 175}, 2); got != -1 {
+		t.Errorf("ComparePrefix n=2 = %d, want -1", got)
+	}
+	if got := (Key{3}).ComparePrefix(Key{2, 175}, 2); got != 1 {
+		t.Errorf("ComparePrefix n=2 = %d, want 1", got)
+	}
+}
+
+func TestAppendExtendSuffix(t *testing.T) {
+	k := Key{1, 2}
+	k2 := k.Append(3)
+	if !k2.Equal(Key{1, 2, 3}) || !k.Equal(Key{1, 2}) {
+		t.Errorf("Append mutated receiver or produced %v", k2)
+	}
+	if got := k.Extend(4); len(got) != 4 || !got.Equal(k) {
+		t.Errorf("Extend = %v", got)
+	}
+	if got := (Key{1, 0, 0}).Extend(1); !got.Equal(Key{1}) {
+		t.Errorf("Extend truncating zeros = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extend dropping nonzero digit should panic")
+		}
+	}()
+	_ = Key{1, 2}.Extend(1)
+}
+
+func TestSuffixNormClone(t *testing.T) {
+	k := Key{1, 2, 3}
+	if got := k.Suffix(1); !got.Equal(Key{2, 3}) {
+		t.Errorf("Suffix = %v", got)
+	}
+	if got := k.Suffix(5); got != nil {
+		t.Errorf("Suffix beyond length = %v", got)
+	}
+	if got := (Key{1, 2, 0, 0}).Norm(); len(got) != 2 {
+		t.Errorf("Norm = %v", got)
+	}
+	c := k.Clone()
+	c[0] = 9
+	if k[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if (Key)(nil).Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := (Key{2, 174}).String(); got != "2.174" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Key{}).String(); got != "0" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// TestLexOrderMatchesScalarOrder verifies the central claim behind the Key
+// representation: for digit vectors whose digits are bounded by a common
+// width w, lexicographic order equals numeric order of the scalar value
+// d0·w^(n-1) + d1·w^(n-2) + ... + dn-1, i.e. the paper's i·w + l arithmetic.
+func TestLexOrderMatchesScalarOrder(t *testing.T) {
+	const w = 7
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a, b := make(Key, n), make(Key, n)
+		var va, vb int64
+		for i := 0; i < n; i++ {
+			a[i], b[i] = int64(rng.Intn(w)), int64(rng.Intn(w))
+			va = va*w + a[i]
+			vb = vb*w + b[i]
+		}
+		lex := Compare(a, b)
+		num := 0
+		if va < vb {
+			num = -1
+		} else if va > vb {
+			num = 1
+		}
+		return lex == num
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortingKeysIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]Key, 200)
+	for i := range keys {
+		n := 1 + rng.Intn(3)
+		k := make(Key, n)
+		for j := range k {
+			k[j] = int64(rng.Intn(4))
+		}
+		keys[i] = k
+	}
+	sort.Slice(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 })
+	for i := 1; i < len(keys); i++ {
+		if Compare(keys[i-1], keys[i]) > 0 {
+			t.Fatalf("not sorted at %d: %v > %v", i, keys[i-1], keys[i])
+		}
+	}
+}

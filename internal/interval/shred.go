@@ -1,0 +1,60 @@
+package interval
+
+import (
+	"dixq/internal/xmltree"
+)
+
+// EncodeXML shreds XML text directly into its interval encoding, without
+// materializing the tree: the scanner's event stream drives the Example
+// 3.2 depth-first counter. For large documents this halves allocations
+// versus Parse followed by Encode while producing an identical relation.
+func EncodeXML(src string) (*Relation, error) {
+	// Pre-size by a rough nodes-per-byte estimate to avoid growth copies.
+	s := &shredder{rel: &Relation{Tuples: make([]Tuple, 0, len(src)/24+8)}}
+	if err := xmltree.Scan(src, false, s); err != nil {
+		return nil, err
+	}
+	return s.rel, nil
+}
+
+// shredder implements xmltree.Handler, assigning l on entry and r on exit
+// with one incrementing counter.
+type shredder struct {
+	rel     *Relation
+	counter int64
+	stack   []int // open tuple indexes
+}
+
+func (s *shredder) open(label string) int {
+	idx := len(s.rel.Tuples)
+	s.rel.Tuples = append(s.rel.Tuples, Tuple{S: label, L: Key{s.counter}})
+	s.counter++
+	return idx
+}
+
+func (s *shredder) close(idx int) {
+	s.rel.Tuples[idx].R = Key{s.counter}
+	s.counter++
+}
+
+func (s *shredder) StartElement(name string) {
+	s.stack = append(s.stack, s.open("<"+name+">"))
+}
+
+func (s *shredder) Attribute(name, value string) {
+	idx := s.open("@" + name)
+	if value != "" {
+		s.close(s.open(value))
+	}
+	s.close(idx)
+}
+
+func (s *shredder) Text(data string) {
+	s.close(s.open(data))
+}
+
+func (s *shredder) EndElement(string) {
+	idx := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	s.close(idx)
+}

@@ -1,0 +1,145 @@
+// Package minisql is a small in-memory SQL engine executing the statements
+// produced by the paper's XQuery-to-SQL translation (package sqlgen).
+//
+// It deliberately plays the role of the *untuned* relational engine of
+// Section 5: evaluation is textbook operator semantics with no indexes, no
+// join reordering and no decorrelation — FROM lists are nested loops
+// (left-to-right, with lateral visibility of earlier items, matching the
+// correlated derived tables the paper's templates use), EXISTS subqueries
+// are re-evaluated per row, and scalar aggregates rescan their input. The
+// quadratic behaviour this produces on the translation's order predicates
+// is exactly the phenomenon that motivates the special-purpose operators.
+//
+// Supported grammar (enough for every template in Section 4):
+//
+//	stmt    := [WITH name AS (select) {, name AS (select)}] select
+//	           [ORDER BY expr {, expr}]
+//	select  := SELECT exprs FROM from [WHERE cond] {UNION ALL select}
+//	         | SELECT exprs (no FROM: single-row select)
+//	exprs   := expr [AS name] {, expr [AS name]} | *
+//	from    := item {, item}; item := table [alias] | (select) alias
+//	cond    := comparisons with = <> < <= > >=, AND, OR, NOT,
+//	           [NOT] EXISTS (select), expr LIKE 'prefix%'
+//	expr    := column | alias.column | integer | 'string' | expr (+|-|*) expr
+//	         | (scalar subquery) | COUNT(*) | MIN(expr) | MAX(expr)
+//	         | CAST(expr AS VARCHAR)
+package minisql
+
+// Value is a runtime value: int64 or string (NULL does not occur in the
+// translation's schemas).
+type Value any
+
+// Statement is a parsed SQL statement.
+type Statement struct {
+	With    []CTE
+	Body    *Select
+	OrderBy []Expr
+}
+
+// CTE is one WITH binding.
+type CTE struct {
+	Name  string
+	Query *Select
+}
+
+// Select is a select body: one or more UNION ALL branches.
+type Select struct {
+	Branches []*SelectBranch
+}
+
+// SelectBranch is a single SELECT ... FROM ... WHERE ...
+type SelectBranch struct {
+	Star  bool
+	Exprs []SelectItem
+	From  []FromItem
+	Where Cond
+}
+
+// SelectItem is one output column.
+type SelectItem struct {
+	Expr Expr
+	As   string
+}
+
+// FromItem is a table reference or derived table with an alias.
+type FromItem struct {
+	Table string  // table or CTE name; empty for derived tables
+	Sub   *Select // derived table
+	Alias string
+}
+
+// Expr is a scalar expression.
+type Expr interface{ isExpr() }
+
+// ColRef references a column, optionally qualified by alias.
+type ColRef struct {
+	Alias string
+	Col   string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// BinOp is arithmetic: + - *.
+type BinOp struct {
+	Op   byte
+	L, R Expr
+}
+
+// ScalarSub is a scalar subquery; its select must produce one row/column
+// (aggregate selects always do).
+type ScalarSub struct{ Query *Select }
+
+// Agg is COUNT(*) (Arg nil) or MIN/MAX(expr), legal only as the single
+// output of an aggregate select.
+type Agg struct {
+	Fn  string // COUNT, MIN, MAX
+	Arg Expr
+}
+
+// Cast renders an expression as a string (CAST(e AS VARCHAR)).
+type Cast struct{ E Expr }
+
+func (ColRef) isExpr()    {}
+func (IntLit) isExpr()    {}
+func (StrLit) isExpr()    {}
+func (BinOp) isExpr()     {}
+func (ScalarSub) isExpr() {}
+func (Agg) isExpr()       {}
+func (Cast) isExpr()      {}
+
+// Cond is a boolean condition.
+type Cond interface{ isCond() }
+
+// Cmp compares two expressions: = <> < <= > >=.
+type Cmp struct {
+	Op   string
+	L, R Expr
+}
+
+// Logic is AND/OR.
+type Logic struct {
+	Op   string // AND, OR
+	L, R Cond
+}
+
+// NotCond negates.
+type NotCond struct{ C Cond }
+
+// Exists tests a subquery for rows.
+type Exists struct{ Query *Select }
+
+// Like matches a string against a 'prefix%' pattern.
+type Like struct {
+	E       Expr
+	Pattern string
+}
+
+func (Cmp) isCond()     {}
+func (Logic) isCond()   {}
+func (NotCond) isCond() {}
+func (Exists) isCond()  {}
+func (Like) isCond()    {}

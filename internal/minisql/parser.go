@@ -1,0 +1,523 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a SQL syntax error.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("minisql: offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a SQL statement in the supported subset.
+func Parse(src string) (*Statement, error) {
+	p := &sqlParser{lex: newLexer(src)}
+	var stmt *Statement
+	err := p.catch(func() {
+		stmt = p.parseStatement()
+		if p.lex.peek().kind != tokEOF {
+			p.fail("unexpected %q after statement", p.lex.peek().text)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * + - . =  <> <= >= < >
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tok    token
+	hasTok bool
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) peek() token {
+	if !l.hasTok {
+		l.tok = l.scan()
+		l.hasTok = true
+	}
+	return l.tok
+}
+
+func (l *lexer) next() token {
+	t := l.peek()
+	l.hasTok = false
+	return t
+}
+
+func (l *lexer) scan() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isSQLIdentStart(c):
+		for l.pos < len(l.src) && isSQLIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{kind: tokString, text: "\x00unterminated", pos: start}
+	default:
+		for _, sym := range []string{"<>", "<=", ">=", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], sym) {
+				l.pos += 2
+				return token{kind: tokSymbol, text: sym, pos: start}
+			}
+		}
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}
+	}
+}
+
+func isSQLIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isSQLIdentChar(c byte) bool {
+	return isSQLIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	lex *lexer
+}
+
+type sqlBail struct{ err error }
+
+func (p *sqlParser) catch(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(sqlBail); ok {
+				err = b.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func (p *sqlParser) fail(format string, args ...any) {
+	panic(sqlBail{&ParseError{Pos: p.lex.peek().pos, Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (p *sqlParser) keyword(words ...string) bool {
+	t := p.lex.peek()
+	if t.kind != tokIdent {
+		return false
+	}
+	up := strings.ToUpper(t.text)
+	for _, w := range words {
+		if up == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *sqlParser) eatKeyword(w string) bool {
+	if p.keyword(w) {
+		p.lex.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(w string) {
+	if !p.eatKeyword(w) {
+		p.fail("expected %s, got %q", w, p.lex.peek().text)
+	}
+}
+
+func (p *sqlParser) eatSymbol(s string) bool {
+	t := p.lex.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.lex.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectSymbol(s string) {
+	if !p.eatSymbol(s) {
+		p.fail("expected %q, got %q", s, p.lex.peek().text)
+	}
+}
+
+func (p *sqlParser) ident() string {
+	t := p.lex.peek()
+	if t.kind != tokIdent {
+		p.fail("expected identifier, got %q", t.text)
+	}
+	p.lex.next()
+	return t.text
+}
+
+var reservedWords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AS": true, "WITH": true,
+	"UNION": true, "ALL": true, "AND": true, "OR": true, "NOT": true,
+	"EXISTS": true, "ORDER": true, "BY": true, "LIKE": true, "COUNT": true,
+	"MIN": true, "MAX": true, "CAST": true, "VARCHAR": true,
+}
+
+func (p *sqlParser) parseStatement() *Statement {
+	stmt := &Statement{}
+	if p.eatKeyword("WITH") {
+		for {
+			name := p.ident()
+			p.expectKeyword("AS")
+			p.expectSymbol("(")
+			q := p.parseSelect()
+			p.expectSymbol(")")
+			stmt.With = append(stmt.With, CTE{Name: name, Query: q})
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	stmt.Body = p.parseSelect()
+	if p.eatKeyword("ORDER") {
+		p.expectKeyword("BY")
+		for {
+			stmt.OrderBy = append(stmt.OrderBy, p.parseExpr())
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	return stmt
+}
+
+func (p *sqlParser) parseSelect() *Select {
+	sel := &Select{}
+	for {
+		sel.Branches = append(sel.Branches, p.parseBranch())
+		if p.eatKeyword("UNION") {
+			p.expectKeyword("ALL")
+			// A parenthesized branch after UNION ALL is allowed.
+			if p.eatSymbol("(") {
+				sub := p.parseSelect()
+				p.expectSymbol(")")
+				sel.Branches = append(sel.Branches, sub.Branches...)
+				if p.eatKeyword("UNION") {
+					p.expectKeyword("ALL")
+					continue
+				}
+				break
+			}
+			continue
+		}
+		break
+	}
+	return sel
+}
+
+func (p *sqlParser) parseBranch() *SelectBranch {
+	// A whole branch may be parenthesized.
+	if p.eatSymbol("(") {
+		inner := p.parseSelect()
+		p.expectSymbol(")")
+		if len(inner.Branches) != 1 {
+			p.fail("nested UNION must follow UNION ALL directly")
+		}
+		return inner.Branches[0]
+	}
+	p.expectKeyword("SELECT")
+	b := &SelectBranch{}
+	if p.eatSymbol("*") {
+		b.Star = true
+	} else {
+		for {
+			item := SelectItem{Expr: p.parseExpr()}
+			if p.eatKeyword("AS") {
+				item.As = p.ident()
+			} else if t := p.lex.peek(); t.kind == tokIdent && !reservedWords[strings.ToUpper(t.text)] {
+				item.As = p.ident()
+			}
+			b.Exprs = append(b.Exprs, item)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("FROM") {
+		for {
+			b.From = append(b.From, p.parseFromItem())
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		b.Where = p.parseCond()
+	}
+	return b
+}
+
+func (p *sqlParser) parseFromItem() FromItem {
+	var item FromItem
+	if p.eatSymbol("(") {
+		item.Sub = p.parseSelect()
+		p.expectSymbol(")")
+	} else {
+		item.Table = p.ident()
+	}
+	if t := p.lex.peek(); t.kind == tokIdent && !reservedWords[strings.ToUpper(t.text)] {
+		item.Alias = p.ident()
+	}
+	if item.Sub != nil && item.Alias == "" {
+		p.fail("derived table requires an alias")
+	}
+	return item
+}
+
+// parseCond: OR-level.
+func (p *sqlParser) parseCond() Cond {
+	c := p.parseCondAnd()
+	for p.eatKeyword("OR") {
+		c = Logic{Op: "OR", L: c, R: p.parseCondAnd()}
+	}
+	return c
+}
+
+func (p *sqlParser) parseCondAnd() Cond {
+	c := p.parseCondUnary()
+	for p.eatKeyword("AND") {
+		c = Logic{Op: "AND", L: c, R: p.parseCondUnary()}
+	}
+	return c
+}
+
+func (p *sqlParser) parseCondUnary() Cond {
+	if p.eatKeyword("NOT") {
+		return NotCond{C: p.parseCondUnary()}
+	}
+	if p.keyword("EXISTS") {
+		p.lex.next()
+		p.expectSymbol("(")
+		q := p.parseSelect()
+		p.expectSymbol(")")
+		return Exists{Query: q}
+	}
+	// Parenthesized condition vs parenthesized expression: try condition
+	// first by lookahead for SELECT (scalar subquery) — otherwise attempt
+	// a full comparison.
+	if p.lex.peek().kind == tokSymbol && p.lex.peek().text == "(" {
+		// Could be "(cond)" or "(expr) op expr". Save state by re-lexing:
+		// the lexer is cheap, so snapshot positions.
+		save := *p.lex
+		p.lex.next()
+		if !p.keyword("SELECT") {
+			c, ok := p.tryParenCond()
+			if ok {
+				return c
+			}
+		}
+		*p.lex = save
+	}
+	return p.parseComparison()
+}
+
+// tryParenCond parses "...)" as a condition; returns ok=false if the
+// content turns out to be an expression (the caller then re-parses it as a
+// comparison operand).
+func (p *sqlParser) tryParenCond() (Cond, bool) {
+	save := *p.lex
+	var c Cond
+	err := p.catch(func() {
+		c = p.parseCond()
+		p.expectSymbol(")")
+	})
+	if err != nil {
+		*p.lex = save
+		return nil, false
+	}
+	// A bare comparison in parens is fine; but "(expr) op" means it was an
+	// expression grouping.
+	if t := p.lex.peek(); t.kind == tokSymbol && (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" || t.text == "<>" || t.text == "+" || t.text == "-" || t.text == "*") {
+		*p.lex = save
+		return nil, false
+	}
+	return c, true
+}
+
+func (p *sqlParser) parseComparison() Cond {
+	l := p.parseExpr()
+	if p.eatKeyword("LIKE") {
+		t := p.lex.next()
+		if t.kind != tokString {
+			p.fail("LIKE requires a string literal")
+		}
+		return Like{E: l, Pattern: t.text}
+	}
+	t := p.lex.peek()
+	if t.kind != tokSymbol {
+		p.fail("expected comparison operator, got %q", t.text)
+	}
+	var op string
+	switch t.text {
+	case "=", "<", ">", "<=", ">=", "<>":
+		op = t.text
+	case "!=":
+		op = "<>"
+	default:
+		p.fail("expected comparison operator, got %q", t.text)
+	}
+	p.lex.next()
+	r := p.parseExpr()
+	return Cmp{Op: op, L: l, R: r}
+}
+
+// parseExpr: additive level.
+func (p *sqlParser) parseExpr() Expr {
+	e := p.parseTerm()
+	for {
+		t := p.lex.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.lex.next()
+			e = BinOp{Op: t.text[0], L: e, R: p.parseTerm()}
+			continue
+		}
+		return e
+	}
+}
+
+func (p *sqlParser) parseTerm() Expr {
+	e := p.parseFactor()
+	for {
+		t := p.lex.peek()
+		if t.kind == tokSymbol && t.text == "*" {
+			p.lex.next()
+			e = BinOp{Op: '*', L: e, R: p.parseFactor()}
+			continue
+		}
+		return e
+	}
+}
+
+func (p *sqlParser) parseFactor() Expr {
+	t := p.lex.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.lex.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			p.fail("bad integer %q", t.text)
+		}
+		return IntLit{V: v}
+	case t.kind == tokString:
+		p.lex.next()
+		if strings.HasPrefix(t.text, "\x00") {
+			p.fail("unterminated string literal")
+		}
+		return StrLit{V: t.text}
+	case t.kind == tokSymbol && t.text == "-":
+		p.lex.next()
+		return BinOp{Op: '-', L: IntLit{}, R: p.parseFactor()}
+	case t.kind == tokSymbol && t.text == "(":
+		p.lex.next()
+		if p.keyword("SELECT") {
+			q := p.parseSelect()
+			p.expectSymbol(")")
+			return ScalarSub{Query: q}
+		}
+		e := p.parseExpr()
+		p.expectSymbol(")")
+		return e
+	case p.keyword("COUNT"):
+		p.lex.next()
+		p.expectSymbol("(")
+		p.expectSymbol("*")
+		p.expectSymbol(")")
+		return Agg{Fn: "COUNT"}
+	case p.keyword("MIN", "MAX"):
+		fn := strings.ToUpper(p.lex.next().text)
+		p.expectSymbol("(")
+		arg := p.parseExpr()
+		p.expectSymbol(")")
+		return Agg{Fn: fn, Arg: arg}
+	case p.keyword("CAST"):
+		p.lex.next()
+		p.expectSymbol("(")
+		e := p.parseExpr()
+		p.expectKeyword("AS")
+		p.expectKeyword("VARCHAR")
+		p.expectSymbol(")")
+		return Cast{E: e}
+	case t.kind == tokIdent && !reservedWords[strings.ToUpper(t.text)]:
+		name := p.ident()
+		if p.eatSymbol(".") {
+			return ColRef{Alias: name, Col: p.ident()}
+		}
+		return ColRef{Col: name}
+	default:
+		p.fail("unexpected token %q in expression", t.text)
+		return nil
+	}
+}

@@ -1,0 +1,217 @@
+// Package server exposes a document catalog over HTTP: load documents
+// once (XML or pre-shredded .dixq stores), then answer XQuery POSTs with
+// any of the engines. It is the thin serving layer behind cmd/dixqd.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"dixq"
+)
+
+// Config bounds query execution for every request.
+type Config struct {
+	// Timeout per query; zero means none.
+	Timeout time.Duration
+	// MaxTuples per query for the DI engines; zero means none.
+	MaxTuples int64
+}
+
+// Server answers queries against a fixed document catalog. It is safe for
+// concurrent use: the catalog is read-only after construction and the
+// engines share nothing per run.
+type Server struct {
+	cat  *dixq.Catalog
+	docs []DocInfo
+	cfg  Config
+}
+
+// DocInfo describes one loaded document.
+type DocInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Depth int    `json:"depth"`
+}
+
+// New builds a server over named documents.
+func New(docs map[string]*dixq.Document, cfg Config) *Server {
+	cat := dixq.NewCatalog()
+	s := &Server{cat: cat, cfg: cfg}
+	for name, d := range docs {
+		cat.Add(name, d)
+		s.docs = append(s.docs, DocInfo{Name: name, Nodes: d.Nodes(), Depth: d.Depth()})
+	}
+	sort.Slice(s.docs, func(i, j int) bool { return s.docs[i].Name < s.docs[j].Name })
+	return s
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is the XQuery text.
+	Query string `json:"query"`
+	// Engine selects the evaluation strategy: "di-msj" (default),
+	// "di-nlj", "interp", or "generic-sql".
+	Engine string `json:"engine,omitempty"`
+	// Indent pretty-prints the result XML.
+	Indent bool `json:"indent,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	XML       string     `json:"xml"`
+	Trees     int        `json:"trees"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Stats     *StatsJSON `json:"stats,omitempty"`
+}
+
+// StatsJSON is the Figure 10 phase breakdown for DI engine runs.
+type StatsJSON struct {
+	PathsMS        float64 `json:"paths_ms"`
+	JoinMS         float64 `json:"join_ms"`
+	ConstructionMS float64 `json:"construction_ms"`
+	MergeJoins     int     `json:"merge_joins"`
+	NestedLoops    int     `json:"nested_loops"`
+	EmbeddedTuples int64   `json:"embedded_tuples"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET  /healthz  liveness
+//	GET  /docs     the loaded documents
+//	POST /query    run a query (QueryRequest -> QueryResponse)
+//	POST /explain  describe the plan for a query
+//	POST /sql      return the SQL translation of a query
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /docs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.docs)
+	})
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /sql", s.handleSQL)
+	return mux
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, *dixq.Query, bool) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return nil, nil, false
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
+		return nil, nil, false
+	}
+	q, err := dixq.ParseQuery(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return nil, nil, false
+	}
+	return &req, q, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, q, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	res, err := q.Run(s.cat, &dixq.Options{
+		Engine:    engine,
+		Timeout:   s.cfg.Timeout,
+		MaxTuples: s.cfg.MaxTuples,
+	})
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, dixq.ErrBudgetExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	out := QueryResponse{
+		XML:       res.XML(),
+		Trees:     res.Document().Trees(),
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if req.Indent {
+		out.XML = res.Document().IndentedXML()
+	}
+	if st := res.Stats; st != nil {
+		out.Stats = &StatsJSON{
+			PathsMS:        ms(st.Paths),
+			JoinMS:         ms(st.Join),
+			ConstructionMS: ms(st.Construction),
+			MergeJoins:     st.MergeJoins,
+			NestedLoops:    st.NestedLoops,
+			EmbeddedTuples: st.EmbeddedTuples,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	_, q, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": q.Explain(), "core": q.Core()})
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	_, q, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	sql, err := q.SQL(s.cat)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if dixq.IsUnsupportedSQL(err) {
+			status = http.StatusNotImplemented
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"sql": sql})
+}
+
+func parseEngine(name string) (dixq.Engine, error) {
+	switch name {
+	case "", "di-msj":
+		return dixq.MergeJoin, nil
+	case "di-nlj":
+		return dixq.NestedLoop, nil
+	case "interp":
+		return dixq.Interpreter, nil
+	case "generic-sql":
+		return dixq.GenericSQL, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (di-msj, di-nlj, interp, generic-sql)", name)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dixq"
+)
+
+func testServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	doc, err := dixq.ParseDocument(dixq.XMarkFigure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(map[string]*dixq.Document{"auction.xml": doc}, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHealthAndDocs(t *testing.T) {
+	ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var docs []DocInfo
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].Name != "auction.xml" || docs[0].Nodes != 43 {
+		t.Fatalf("docs = %+v", docs)
+	}
+}
+
+func TestQueryAllEngines(t *testing.T) {
+	ts := testServer(t, Config{})
+	for _, engine := range []string{"", "di-msj", "di-nlj", "interp", "generic-sql"} {
+		resp, body := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8, Engine: engine})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %q: status %d: %s", engine, resp.StatusCode, body)
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.XML != `<item person="Cong Rosca">1</item>` || out.Trees != 1 {
+			t.Fatalf("engine %q: %+v", engine, out)
+		}
+		if (engine == "" || strings.HasPrefix(engine, "di-")) && out.Stats == nil {
+			t.Fatalf("engine %q: missing stats", engine)
+		}
+	}
+}
+
+func TestQueryIndent(t *testing.T) {
+	ts := testServer(t, Config{})
+	_, body := postJSON(t, ts.URL+"/query", QueryRequest{
+		Query:  `for $p in document("auction.xml")/site/people/person return <n>{$p/name/text()}</n>`,
+		Indent: true,
+	})
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.XML, "\n") || out.Trees != 2 {
+		t.Fatalf("indent = %+v", out)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t, Config{})
+	cases := []struct {
+		body   any
+		status int
+	}{
+		{QueryRequest{Query: `$$$`}, http.StatusBadRequest},
+		{QueryRequest{}, http.StatusBadRequest},
+		{QueryRequest{Query: `$x`, Engine: "bogus"}, http.StatusBadRequest},
+		{QueryRequest{Query: `document("missing")`}, http.StatusUnprocessableEntity},
+		{"not json at all", http.StatusBadRequest},
+	}
+	for _, tt := range cases {
+		resp, body := postJSON(t, ts.URL+"/query", tt.body)
+		if resp.StatusCode != tt.status {
+			t.Errorf("%+v: status %d (%s), want %d", tt.body, resp.StatusCode, body, tt.status)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryBudget(t *testing.T) {
+	doc := dixq.GenerateXMark(0.01, 1)
+	srv := New(map[string]*dixq.Document{"auction.xml": doc}, Config{MaxTuples: 10_000, Timeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8, Engine: "di-nlj"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("budget status = %d", resp.StatusCode)
+	}
+	// MSJ fits the same budget.
+	resp, _ = postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8, Engine: "di-msj"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("msj status = %d", resp.StatusCode)
+	}
+}
+
+func TestExplainAndSQL(t *testing.T) {
+	ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/explain", QueryRequest{Query: dixq.XMarkQ8})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "merge-join") {
+		t.Fatalf("explain: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/sql", QueryRequest{Query: dixq.XMarkQ8})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "WITH") {
+		t.Fatalf("sql: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/sql", QueryRequest{Query: `sort(document("auction.xml"))`})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unsupported sql status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ts := testServer(t, Config{})
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, _ := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8})
+			if resp.StatusCode != http.StatusOK {
+				done <- &json.UnsupportedValueError{}
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal("concurrent query failed")
+		}
+	}
+}

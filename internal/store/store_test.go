@@ -1,0 +1,257 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmark"
+	"dixq/internal/xmltree"
+)
+
+func roundTrip(t *testing.T, rel *interval.Relation) *interval.Relation {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func equalRel(a, b *interval.Relation) bool {
+	if len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		x, y := a.Tuples[i], b.Tuples[i]
+		if x.S != y.S || !x.L.Equal(y.L) || !x.R.Equal(y.R) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	rel := interval.Encode(xmark.Figure1Forest())
+	got := roundTrip(t, rel)
+	if !equalRel(rel, got) {
+		t.Fatal("round trip changed the relation")
+	}
+	f, err := interval.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(xmark.Figure1Forest()) {
+		t.Fatal("decoded forest differs")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := interval.Encode(xmltree.RandomForest(rng, 20))
+		return equalRel(rel, roundTrip(t, rel))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripMultiDigitKeys(t *testing.T) {
+	rel := &interval.Relation{Tuples: []interval.Tuple{
+		{S: "<a>", L: interval.Key{0, 5, 2}, R: interval.Key{0, 5, 9}},
+		{S: "txt", L: interval.Key{1}, R: interval.Key{2}},
+		{S: "", L: nil, R: interval.Key{3}}, // empty label, nil key
+	}}
+	got := roundTrip(t, rel)
+	if !equalRel(rel, got) {
+		t.Fatalf("got %v", got.Tuples)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	got := roundTrip(t, &interval.Relation{})
+	if got.Len() != 0 {
+		t.Fatalf("got %d tuples", got.Len())
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.dixq")
+	rel := interval.Encode(xmark.Generate(xmark.Config{ScaleFactor: 0.001, Seed: 4}))
+	if err := Save(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, got) {
+		t.Fatal("Save/Load mismatch")
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestSaveIntoCurrentDir(t *testing.T) {
+	// Exercise the bare-filename path (dirOf returns ".").
+	old, _ := os.Getwd()
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	rel := interval.Encode(xmltree.Forest{xmltree.NewText("x")})
+	if err := Save("plain.dixq", rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load("plain.dixq"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.dixq")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	rel := interval.Encode(xmark.Figure1Forest())
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad magic":        []byte("NOTDIXQ" + string(valid[7:])),
+		"truncated header": valid[:3],
+		"truncated labels": valid[:len(magic)+2],
+		"truncated tuples": valid[:len(valid)-4],
+		"trailing garbage": append(append([]byte{}, valid...), 0x01),
+		"xml not a store":  []byte("<site></site>"),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// Label index out of range: flip the first tuple's label index to a
+	// huge varint by rebuilding a minimal file.
+	var b bytes.Buffer
+	b.WriteString(magic)
+	b.Write([]byte{1, 1, 'x'}) // 1 label: "x"
+	b.Write([]byte{1})         // 1 tuple
+	b.Write([]byte{9})         // label index 9: out of range
+	b.Write([]byte{1, 0})      // L = [0]
+	b.Write([]byte{1, 1})      // R = [1]
+	if _, err := Read(&b); err == nil {
+		t.Error("out-of-range label index: expected error")
+	}
+}
+
+func TestWriteRejectsNegativeDigits(t *testing.T) {
+	rel := &interval.Relation{Tuples: []interval.Tuple{
+		{S: "x", L: interval.Key{-1}, R: interval.Key{2}},
+	}}
+	if err := Write(&bytes.Buffer{}, rel); err == nil {
+		t.Error("negative digit should fail")
+	}
+}
+
+func TestFormatIsCompact(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{ScaleFactor: 0.002, Seed: 7})
+	rel := interval.Encode(doc)
+	var buf bytes.Buffer
+	if err := Write(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	xmlLen := len(doc.String())
+	if buf.Len() > xmlLen {
+		t.Errorf("store %d bytes > XML %d bytes; label dictionary not effective?", buf.Len(), xmlLen)
+	}
+}
+
+// failWriter fails after n bytes, exercising Write's error propagation.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrors(t *testing.T) {
+	rel := interval.Encode(xmark.Figure1Forest())
+	// Fail at various prefixes: header, label table, tuples.
+	for _, budget := range []int{0, 3, 10, 50, 400} {
+		if err := Write(&failWriter{n: budget}, rel); err == nil {
+			// Large budgets may succeed only if the whole file fits.
+			var buf bytes.Buffer
+			_ = Write(&buf, rel)
+			if budget < buf.Len() {
+				t.Errorf("budget %d: expected write error", budget)
+			}
+		}
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	rel := interval.Encode(xmark.Figure1Forest())
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "f.dixq"), rel); err == nil {
+		t.Error("Save into missing directory should fail")
+	}
+	bad := &interval.Relation{Tuples: []interval.Tuple{{S: "x", L: interval.Key{-1}, R: interval.Key{1}}}}
+	dir := t.TempDir()
+	if err := Save(filepath.Join(dir, "bad.dixq"), bad); err == nil {
+		t.Error("Save of negative-digit relation should fail")
+	}
+	// The failed Save must not leave the target file behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("failed Save left %d entries", len(entries))
+	}
+}
+
+func TestImplausibleLengths(t *testing.T) {
+	// A huge label count must be rejected before allocation.
+	var b bytes.Buffer
+	b.WriteString(magic)
+	b.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // ~2^63
+	if _, err := Read(&b); err == nil {
+		t.Error("implausible label count accepted")
+	}
+	// Implausible key length.
+	var c bytes.Buffer
+	c.WriteString(magic)
+	c.Write([]byte{1, 1, 'x'})        // one label
+	c.Write([]byte{1})                // one tuple
+	c.Write([]byte{0})                // label 0
+	c.Write([]byte{0xff, 0xff, 0x7f}) // key length ~2M
+	if _, err := Read(&c); err == nil {
+		t.Error("implausible key length accepted")
+	}
+}

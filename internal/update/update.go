@@ -1,0 +1,222 @@
+// Package update implements document updates on interval encodings.
+//
+// The paper defers updates to dynamic labeling schemes (its citations
+// [15, 16, 27] — Chen et al., Cohen/Kaplan/Milo, Tatarinov et al.); the
+// digit-vector keys this implementation already uses for dynamic intervals
+// double as exactly such a scheme: inserting a subtree between two
+// existing keys never relabels anything — the new nodes receive keys that
+// extend the predecessor key with additional digits, which lexicographic
+// comparison orders correctly against every existing key. Deletion just
+// drops the subtree's tuples. Both operations are O(subtree + log n).
+//
+// Repeated front-of-document insertions can require a negative leading
+// digit (there is no room below key 0); such relations remain fully
+// queryable but cannot be persisted by package store until Rebuild
+// re-encodes them with the DFS counter.
+package update
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+// ErrNotFound reports that the addressed node is not in the relation.
+var ErrNotFound = errors.New("update: no node with that left endpoint")
+
+// find locates the tuple with the given L key.
+func find(rel *interval.Relation, l interval.Key) (int, error) {
+	i := sort.Search(len(rel.Tuples), func(i int) bool {
+		return interval.Compare(rel.Tuples[i].L, l) >= 0
+	})
+	if i == len(rel.Tuples) || !rel.Tuples[i].L.Equal(l) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, l)
+	}
+	return i, nil
+}
+
+// subtreeEnd returns the index just past the subtree rooted at tuple i.
+func subtreeEnd(rel *interval.Relation, i int) int {
+	end := i + 1
+	for end < len(rel.Tuples) && interval.Compare(rel.Tuples[end].L, rel.Tuples[i].R) < 0 {
+		end++
+	}
+	return end
+}
+
+// DeleteSubtree removes the subtree rooted at the node with left endpoint
+// rootL, returning a new relation. The input is not modified.
+func DeleteSubtree(rel *interval.Relation, rootL interval.Key) (*interval.Relation, error) {
+	i, err := find(rel, rootL)
+	if err != nil {
+		return nil, err
+	}
+	end := subtreeEnd(rel, i)
+	out := &interval.Relation{Tuples: make([]interval.Tuple, 0, len(rel.Tuples)-(end-i))}
+	out.Tuples = append(out.Tuples, rel.Tuples[:i]...)
+	out.Tuples = append(out.Tuples, rel.Tuples[end:]...)
+	return out, nil
+}
+
+// InsertAfter inserts the forest as the following siblings of the node
+// with left endpoint targetL, returning a new relation.
+func InsertAfter(rel *interval.Relation, targetL interval.Key, f xmltree.Forest) (*interval.Relation, error) {
+	i, err := find(rel, targetL)
+	if err != nil {
+		return nil, err
+	}
+	end := subtreeEnd(rel, i)
+	lo := rel.Tuples[i].R
+	// The smallest existing key above lo is either the next tuple's left
+	// endpoint or the nearest ancestor's right endpoint — when the target
+	// is its parent's last child, the parent closes first, and the new
+	// siblings must stay inside it.
+	var hi interval.Key
+	if end < len(rel.Tuples) {
+		hi = rel.Tuples[end].L
+	}
+	for j := i - 1; j >= 0; j-- {
+		if interval.Compare(rel.Tuples[j].R, lo) > 0 {
+			if hi == nil || interval.Compare(rel.Tuples[j].R, hi) < 0 {
+				hi = rel.Tuples[j].R
+			}
+			break
+		}
+	}
+	return spliceAt(rel, end, lo, hi, f), nil
+}
+
+// InsertBefore inserts the forest as the preceding siblings of the node
+// with left endpoint targetL.
+func InsertBefore(rel *interval.Relation, targetL interval.Key, f xmltree.Forest) (*interval.Relation, error) {
+	i, err := find(rel, targetL)
+	if err != nil {
+		return nil, err
+	}
+	lo := lowerBoundAt(rel, i)
+	return spliceAt(rel, i, lo, rel.Tuples[i].L, f), nil
+}
+
+// AppendChild inserts the forest as the last children of the node with
+// left endpoint parentL.
+func AppendChild(rel *interval.Relation, parentL interval.Key, f xmltree.Forest) (*interval.Relation, error) {
+	i, err := find(rel, parentL)
+	if err != nil {
+		return nil, err
+	}
+	end := subtreeEnd(rel, i)
+	// The predecessor of the parent's R among keys inside the subtree.
+	lo := rel.Tuples[i].L
+	for j := i + 1; j < end; j++ {
+		if interval.Compare(rel.Tuples[j].R, lo) > 0 {
+			lo = rel.Tuples[j].R
+		}
+	}
+	return spliceAt(rel, end, lo, rel.Tuples[i].R, f), nil
+}
+
+// PrependChild inserts the forest as the first children of the node with
+// left endpoint parentL.
+func PrependChild(rel *interval.Relation, parentL interval.Key, f xmltree.Forest) (*interval.Relation, error) {
+	i, err := find(rel, parentL)
+	if err != nil {
+		return nil, err
+	}
+	var hi interval.Key
+	if i+1 < len(rel.Tuples) && interval.Compare(rel.Tuples[i+1].L, rel.Tuples[i].R) < 0 {
+		hi = rel.Tuples[i+1].L // first existing child
+	} else {
+		hi = rel.Tuples[i].R // childless parent
+	}
+	return spliceAt(rel, i+1, rel.Tuples[i].L, hi, f), nil
+}
+
+// Rebuild re-encodes the relation with the dense single-digit DFS counter,
+// clearing any key growth accumulated by updates. It fails if the relation
+// is not a valid encoding.
+func Rebuild(rel *interval.Relation) (*interval.Relation, error) {
+	f, err := interval.Decode(rel)
+	if err != nil {
+		return nil, err
+	}
+	return interval.Encode(f), nil
+}
+
+// lowerBoundAt returns the largest existing key strictly below tuple idx's
+// left endpoint, or nil meaning "no lower bound". Scanning backwards, the
+// candidates are the right endpoints of nodes that close before the target
+// (preceding siblings and their ancestors, whose R values increase up the
+// chain) until the first ancestor of the target, whose left endpoint is
+// the final candidate. Worst case linear in the preceding subtree.
+func lowerBoundAt(rel *interval.Relation, idx int) interval.Key {
+	target := rel.Tuples[idx].L
+	var best interval.Key
+	for j := idx - 1; j >= 0; j-- {
+		t := rel.Tuples[j]
+		if interval.Compare(t.R, target) < 0 {
+			if best == nil || interval.Compare(t.R, best) > 0 {
+				best = t.R
+			}
+			continue
+		}
+		// t encloses the insertion point: the nearest ancestor.
+		if best == nil || interval.Compare(t.L, best) > 0 {
+			best = t.L
+		}
+		break
+	}
+	return best
+}
+
+// spliceAt inserts the forest's tuples at slice position idx with keys
+// strictly between lo and hi (nil lo = below everything, nil hi = above
+// everything).
+func spliceAt(rel *interval.Relation, idx int, lo, hi interval.Key, f xmltree.Forest) *interval.Relation {
+	prefix := prefixBetween(lo, hi)
+	enc := interval.Encode(f)
+	fresh := make([]interval.Tuple, 0, enc.Len())
+	for _, t := range enc.Tuples {
+		fresh = append(fresh, interval.Tuple{
+			S: t.S,
+			L: prefix.Append(t.L.Digit(0) + 1),
+			R: prefix.Append(t.R.Digit(0) + 1),
+		})
+	}
+	out := &interval.Relation{Tuples: make([]interval.Tuple, 0, len(rel.Tuples)+len(fresh))}
+	out.Tuples = append(out.Tuples, rel.Tuples[:idx]...)
+	out.Tuples = append(out.Tuples, fresh...)
+	out.Tuples = append(out.Tuples, rel.Tuples[idx:]...)
+	return out
+}
+
+// prefixBetween returns a key P such that P < P.Append(k) < hi for every
+// k >= 1, and P.Append(k) > lo — i.e. an unbounded supply of fresh keys in
+// the open interval (lo, hi).
+func prefixBetween(lo, hi interval.Key) interval.Key {
+	if lo == nil {
+		if hi == nil {
+			return interval.Key{-1}
+		}
+		// Below everything: step under hi's leading digit (possibly going
+		// negative — keys order fine; see the package comment on storage).
+		return interval.Key{hi.Digit(0) - 1}
+	}
+	p := lo.Norm()
+	if hi == nil || !hi.HasPrefix(p) {
+		// hi diverges above lo before p ends (or does not exist): any
+		// extension of p stays below hi.
+		return p
+	}
+	// hi = p ++ rest with rest > 0: descend through rest's leading zeros,
+	// then step just below its first nonzero digit.
+	for i := len(p); ; i++ {
+		d := hi.Digit(i)
+		if d != 0 {
+			return p.Append(d - 1)
+		}
+		p = p.Append(0)
+	}
+}

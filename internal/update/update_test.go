@@ -1,0 +1,313 @@
+package update
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+// locate finds the DFS-indexed node in a forest and returns its parent's
+// child slice (via a setter) and position — the oracle's addressing,
+// mirroring the relation's tuple order (tuples sorted by L are exactly the
+// DFS preorder).
+type location struct {
+	siblings *xmltree.Forest
+	pos      int
+}
+
+func locate(f *xmltree.Forest, dfs int) (location, bool) {
+	n := 0
+	var walk func(siblings *xmltree.Forest) (location, bool)
+	walk = func(siblings *xmltree.Forest) (location, bool) {
+		for i := range *siblings {
+			if n == dfs {
+				return location{siblings: siblings, pos: i}, true
+			}
+			n++
+			if loc, ok := walk(&(*siblings)[i].Children); ok {
+				return loc, true
+			}
+		}
+		return location{}, false
+	}
+	return walk(f)
+}
+
+// oracle applies the forest-level equivalent of each relation update.
+func oracleDelete(f xmltree.Forest, dfs int) xmltree.Forest {
+	c := f.Copy()
+	loc, _ := locate(&c, dfs)
+	*loc.siblings = append((*loc.siblings)[:loc.pos], (*loc.siblings)[loc.pos+1:]...)
+	return c
+}
+
+func oracleInsertAfter(f xmltree.Forest, dfs int, ins xmltree.Forest) xmltree.Forest {
+	c := f.Copy()
+	loc, _ := locate(&c, dfs)
+	s := *loc.siblings
+	out := make(xmltree.Forest, 0, len(s)+len(ins))
+	out = append(out, s[:loc.pos+1]...)
+	out = append(out, ins.Copy()...)
+	out = append(out, s[loc.pos+1:]...)
+	*loc.siblings = out
+	return c
+}
+
+func oracleInsertBefore(f xmltree.Forest, dfs int, ins xmltree.Forest) xmltree.Forest {
+	c := f.Copy()
+	loc, _ := locate(&c, dfs)
+	s := *loc.siblings
+	out := make(xmltree.Forest, 0, len(s)+len(ins))
+	out = append(out, s[:loc.pos]...)
+	out = append(out, ins.Copy()...)
+	out = append(out, s[loc.pos:]...)
+	*loc.siblings = out
+	return c
+}
+
+func oracleAppendChild(f xmltree.Forest, dfs int, ins xmltree.Forest) xmltree.Forest {
+	c := f.Copy()
+	loc, _ := locate(&c, dfs)
+	node := (*loc.siblings)[loc.pos]
+	node.Children = append(node.Children, ins.Copy()...)
+	return c
+}
+
+func oraclePrependChild(f xmltree.Forest, dfs int, ins xmltree.Forest) xmltree.Forest {
+	c := f.Copy()
+	loc, _ := locate(&c, dfs)
+	node := (*loc.siblings)[loc.pos]
+	node.Children = append(ins.Copy(), node.Children...)
+	return c
+}
+
+func mustDecode(t *testing.T, rel *interval.Relation) xmltree.Forest {
+	t.Helper()
+	if err := interval.Validate(rel); err != nil {
+		t.Fatalf("update produced an invalid encoding: %v", err)
+	}
+	f, err := interval.Decode(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBasicOperations(t *testing.T) {
+	f, _ := xmltree.Parse(`<a><b>x</b><c/></a>`)
+	rel := interval.Encode(f)
+	bL := rel.Tuples[1].L // <b>
+	ins := xmltree.Forest{xmltree.NewElement("n", xmltree.NewText("new"))}
+
+	after, err := InsertAfter(rel, bL, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, after).String(); got != `<a><b>x</b><n>new</n><c/></a>` {
+		t.Errorf("InsertAfter = %s", got)
+	}
+
+	before, err := InsertBefore(rel, bL, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, before).String(); got != `<a><n>new</n><b>x</b><c/></a>` {
+		t.Errorf("InsertBefore = %s", got)
+	}
+
+	app, err := AppendChild(rel, rel.Tuples[0].L, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, app).String(); got != `<a><b>x</b><c/><n>new</n></a>` {
+		t.Errorf("AppendChild = %s", got)
+	}
+
+	pre, err := PrependChild(rel, rel.Tuples[0].L, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, pre).String(); got != `<a><n>new</n><b>x</b><c/></a>` {
+		t.Errorf("PrependChild = %s", got)
+	}
+
+	del, err := DeleteSubtree(rel, bL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, del).String(); got != `<a><c/></a>` {
+		t.Errorf("DeleteSubtree = %s", got)
+	}
+}
+
+// TestLastChildInsertStaysInsideParent is the regression test for the
+// boundary case where the target is its parent's last child: the parent's
+// own right endpoint lies between the target and the next tuple, and the
+// new siblings must stay below it.
+func TestLastChildInsertStaysInsideParent(t *testing.T) {
+	f, _ := xmltree.Parse(`<a><b/></a><t/>`)
+	rel := interval.Encode(f)
+	bL := rel.Tuples[1].L
+	out, err := InsertAfter(rel, bL, xmltree.Forest{xmltree.NewElement("n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, out).String(); got != `<a><b/><n/></a><t/>` {
+		t.Errorf("got %s, want <a><b/><n/></a><t/>", got)
+	}
+	// And before a node whose preceding key is an ancestor's R.
+	tL := rel.Tuples[2].L
+	out2, err := InsertBefore(rel, tL, xmltree.Forest{xmltree.NewElement("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, out2).String(); got != `<a><b/></a><m/><t/>` {
+		t.Errorf("got %s, want <a><b/></a><m/><t/>", got)
+	}
+}
+
+func TestInsertBeforeFirstNode(t *testing.T) {
+	f, _ := xmltree.Parse(`<a/>`)
+	rel := interval.Encode(f)
+	out, err := InsertBefore(rel, rel.Tuples[0].L, xmltree.Forest{xmltree.NewElement("z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDecode(t, out).String(); got != `<z/><a/>` {
+		t.Errorf("got %s", got)
+	}
+	// Negative leading digits are legal for querying but not storable;
+	// Rebuild clears them.
+	rebuilt, err := Rebuild(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range rebuilt.Tuples {
+		if len(tp.L) != 1 || tp.L[0] < 0 {
+			t.Fatalf("Rebuild left key %s", tp.L)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	rel := interval.Encode(xmltree.Forest{xmltree.NewElement("a")})
+	missing := interval.Key{99}
+	for _, err := range []error{
+		errOf(DeleteSubtree(rel, missing)),
+		errOf(InsertAfter(rel, missing, nil)),
+		errOf(InsertBefore(rel, missing, nil)),
+		errOf(AppendChild(rel, missing, nil)),
+		errOf(PrependChild(rel, missing, nil)),
+	} {
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("err = %v, want ErrNotFound", err)
+		}
+	}
+}
+
+func errOf(_ *interval.Relation, err error) error { return err }
+
+// TestRandomUpdateSequences applies random update sequences to a relation
+// and to the decoded forest (the oracle); after every step the relation
+// must stay a valid encoding that decodes to the oracle's forest.
+func TestRandomUpdateSequences(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		forest := xmltree.RandomForest(rng, 10)
+		if len(forest) == 0 {
+			forest = xmltree.Forest{xmltree.NewElement("seed")}
+		}
+		rel := interval.Encode(forest)
+		for step := 0; step < 8; step++ {
+			if rel.Len() == 0 {
+				break
+			}
+			dfs := rng.Intn(rel.Len())
+			target := rel.Tuples[dfs].L
+			ins := xmltree.RandomForest(rng, 4)
+			var err error
+			switch rng.Intn(5) {
+			case 0:
+				forest = oracleDelete(forest, dfs)
+				rel, err = DeleteSubtree(rel, target)
+			case 1:
+				forest = oracleInsertAfter(forest, dfs, ins)
+				rel, err = InsertAfter(rel, target, ins)
+			case 2:
+				forest = oracleInsertBefore(forest, dfs, ins)
+				rel, err = InsertBefore(rel, target, ins)
+			case 3:
+				forest = oracleAppendChild(forest, dfs, ins)
+				rel, err = AppendChild(rel, target, ins)
+			default:
+				forest = oraclePrependChild(forest, dfs, ins)
+				rel, err = PrependChild(rel, target, ins)
+			}
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			if err := interval.Validate(rel); err != nil {
+				t.Logf("seed %d step %d: invalid encoding: %v", seed, step, err)
+				return false
+			}
+			got, err := interval.Decode(rel)
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			if !got.Equal(forest) {
+				t.Logf("seed %d step %d:\n got %s\nwant %s", seed, step, got.String(), forest.String())
+				return false
+			}
+		}
+		// Rebuild compacts back to single-digit keys.
+		if rel.Len() > 0 {
+			compact, err := Rebuild(rel)
+			if err != nil {
+				return false
+			}
+			got, _ := interval.Decode(compact)
+			if !got.Equal(forest) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdatedRelationIsQueryable(t *testing.T) {
+	// Updates compose with the engine: insert a person, query again.
+	f, _ := xmltree.Parse(`<site><people><person id="p0"><name>A</name></person></people></site>`)
+	rel := interval.Encode(f)
+	// people element is tuple index 1.
+	peopleL := rel.Tuples[1].L
+	newPerson, _ := xmltree.Parse(`<person id="p1"><name>B</name></person>`)
+	rel2, err := AppendChild(rel, peopleL, newPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustDecode(t, rel2)
+	names := 0
+	var walk func(xmltree.Forest)
+	walk = func(fs xmltree.Forest) {
+		for _, n := range fs {
+			if n.Label == "<name>" {
+				names++
+			}
+			walk(n.Children)
+		}
+	}
+	walk(got)
+	if names != 2 {
+		t.Fatalf("names = %d, want 2", names)
+	}
+}

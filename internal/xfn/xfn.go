@@ -1,0 +1,174 @@
+// Package xfn implements the basic operations on XML forests of Figure 2
+// of the paper, plus the count and data extensions used by the XMark
+// queries. These functions are the semantic specification: the reference
+// interpreter applies them directly, and the relational engine's operators
+// are tested against them.
+package xfn
+
+import (
+	"sort"
+	"strconv"
+
+	"dixq/internal/xmltree"
+)
+
+// Node wraps a forest under a new root with the given (already decorated)
+// label — the XNode constructor.
+func Node(label string, f xmltree.Forest) xmltree.Forest {
+	return xmltree.Forest{{Label: label, Children: f}}
+}
+
+// Concat is forest concatenation, the @ operator.
+func Concat(a, b xmltree.Forest) xmltree.Forest {
+	return a.Concat(b)
+}
+
+// Head returns the first tree of the forest, or the empty forest.
+func Head(f xmltree.Forest) xmltree.Forest {
+	if len(f) == 0 {
+		return nil
+	}
+	return f[:1]
+}
+
+// Tail returns all but the first tree of the forest.
+func Tail(f xmltree.Forest) xmltree.Forest {
+	if len(f) == 0 {
+		return nil
+	}
+	return f[1:]
+}
+
+// Reverse returns the forest with its top-level trees in reverse order.
+func Reverse(f xmltree.Forest) xmltree.Forest {
+	out := make(xmltree.Forest, len(f))
+	for i, n := range f {
+		out[len(f)-1-i] = n
+	}
+	return out
+}
+
+// Select returns the subforest of trees whose root label equals label.
+func Select(label string, f xmltree.Forest) xmltree.Forest {
+	var out xmltree.Forest
+	for _, n := range f {
+		if n.Label == label {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Distinct returns the subforest of structurally distinct trees, keeping
+// the first occurrence of each.
+func Distinct(f xmltree.Forest) xmltree.Forest {
+	var out xmltree.Forest
+	for _, n := range f {
+		dup := false
+		for _, m := range out {
+			if (xmltree.Forest{m}).Equal(xmltree.Forest{n}) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sort returns the forest with its trees ordered by structural (tree)
+// order. The sort is stable.
+func Sort(f xmltree.Forest) xmltree.Forest {
+	out := make(xmltree.Forest, len(f))
+	copy(out, f)
+	sort.SliceStable(out, func(i, j int) bool {
+		return (xmltree.Forest{out[i]}).Compare(xmltree.Forest{out[j]}) < 0
+	})
+	return out
+}
+
+// Roots returns the forest of root nodes, stripped of their subtrees.
+func Roots(f xmltree.Forest) xmltree.Forest {
+	out := make(xmltree.Forest, len(f))
+	for i, n := range f {
+		out[i] = &xmltree.Node{Label: n.Label}
+	}
+	return out
+}
+
+// Children returns the concatenation of the child forests of all roots, in
+// original order.
+func Children(f xmltree.Forest) xmltree.Forest {
+	var out xmltree.Forest
+	for _, n := range f {
+		out = append(out, n.Children...)
+	}
+	return out
+}
+
+// SubtreesDFS returns the forest of all subtrees in depth-first order:
+// every node of f contributes the subtree rooted at it.
+func SubtreesDFS(f xmltree.Forest) xmltree.Forest {
+	var out xmltree.Forest
+	var walk func(xmltree.Forest)
+	walk = func(fs xmltree.Forest) {
+		for _, n := range fs {
+			out = append(out, n)
+			walk(n.Children)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Data returns the text leaves of the forest, in document order, each
+// becoming a root — the atomization used by value comparisons.
+func Data(f xmltree.Forest) xmltree.Forest {
+	var out xmltree.Forest
+	var walk func(xmltree.Forest)
+	walk = func(fs xmltree.Forest) {
+		for _, n := range fs {
+			if n.Kind() == xmltree.Text {
+				out = append(out, n)
+			}
+			walk(n.Children)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// SelText returns the subforest of trees whose root is a text node — the
+// text() path step over an already child-projected forest.
+func SelText(f xmltree.Forest) xmltree.Forest {
+	var out xmltree.Forest
+	for _, n := range f {
+		if n.Kind() == xmltree.Text {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Count returns a single text node holding the decimal number of trees in
+// the forest.
+func Count(f xmltree.Forest) xmltree.Forest {
+	return xmltree.Forest{xmltree.NewText(strconv.Itoa(len(f)))}
+}
+
+// Equal is the structural (tree) equality test of Figure 2.
+func Equal(a, b xmltree.Forest) bool {
+	return a.Equal(b)
+}
+
+// Less is the structural (tree) ordering test of Figure 2.
+func Less(a, b xmltree.Forest) bool {
+	return a.Compare(b) < 0
+}
+
+// Empty is the emptiness test of Figure 2.
+func Empty(f xmltree.Forest) bool {
+	return len(f) == 0
+}

@@ -1,0 +1,165 @@
+package xfn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dixq/internal/xmltree"
+)
+
+func forest(nodes ...*xmltree.Node) xmltree.Forest { return nodes }
+
+func el(tag string, kids ...*xmltree.Node) *xmltree.Node {
+	return xmltree.NewElement(tag, kids...)
+}
+
+func txt(s string) *xmltree.Node { return xmltree.NewText(s) }
+
+func TestNodeAndConcat(t *testing.T) {
+	f := forest(txt("a"), txt("b"))
+	n := Node("<w>", f)
+	if len(n) != 1 || n[0].Label != "<w>" || !n[0].Children.Equal(f) {
+		t.Errorf("Node = %v", n)
+	}
+	if got := Concat(forest(txt("a")), forest(txt("b"))); got.String() != "ab" {
+		t.Errorf("Concat = %q", got.String())
+	}
+}
+
+func TestHeadTailReverse(t *testing.T) {
+	f := forest(el("a"), el("b"), el("c"))
+	if got := Head(f); got.String() != "<a/>" {
+		t.Errorf("Head = %q", got.String())
+	}
+	if got := Tail(f); got.String() != "<b/><c/>" {
+		t.Errorf("Tail = %q", got.String())
+	}
+	if got := Reverse(f); got.String() != "<c/><b/><a/>" {
+		t.Errorf("Reverse = %q", got.String())
+	}
+	if Head(nil) != nil || Tail(nil) != nil {
+		t.Error("Head/Tail of empty should be empty")
+	}
+}
+
+func TestSelectDistinctSort(t *testing.T) {
+	f := forest(el("a", txt("1")), el("b"), el("a", txt("1")), el("a", txt("0")))
+	if got := Select("<a>", f); len(got) != 3 {
+		t.Errorf("Select = %v", got)
+	}
+	if got := Distinct(f); got.String() != `<a>1</a><b/><a>0</a>` {
+		t.Errorf("Distinct = %q", got.String())
+	}
+	if got := Sort(f); got.String() != `<a>0</a><a>1</a><a>1</a><b/>` {
+		t.Errorf("Sort = %q", got.String())
+	}
+}
+
+func TestVerticalOps(t *testing.T) {
+	f := forest(el("a", el("b", txt("t")), txt("u")), el("c"))
+	if got := Roots(f); got.String() != "<a/><c/>" {
+		t.Errorf("Roots = %q", got.String())
+	}
+	if got := Children(f); got.String() != "<b>t</b>u" {
+		t.Errorf("Children = %q", got.String())
+	}
+	if got := SubtreesDFS(f); got.String() != "<a><b>t</b>u</a><b>t</b>tu<c/>" {
+		t.Errorf("SubtreesDFS = %q", got.String())
+	}
+}
+
+func TestDataSelTextCount(t *testing.T) {
+	f := forest(el("a", xmltree.NewAttribute("id", "x"), txt("t1"), el("b", txt("t2"))), txt("t3"))
+	if got := Data(f); got.String() != "xt1t2t3" {
+		t.Errorf("Data = %q", got.String())
+	}
+	if got := SelText(f); got.String() != "t3" {
+		t.Errorf("SelText = %q", got.String())
+	}
+	if got := Count(f); got.String() != "2" {
+		t.Errorf("Count = %q", got.String())
+	}
+	if got := Count(nil); got.String() != "0" {
+		t.Errorf("Count(empty) = %q", got.String())
+	}
+}
+
+func TestBooleans(t *testing.T) {
+	a := forest(el("a"))
+	b := forest(el("b"))
+	if !Equal(a, a) || Equal(a, b) {
+		t.Error("Equal wrong")
+	}
+	if !Less(a, b) || Less(b, a) || Less(a, a) {
+		t.Error("Less wrong")
+	}
+	if !Empty(nil) || Empty(a) {
+		t.Error("Empty wrong")
+	}
+}
+
+// Algebraic laws from Figure 2 semantics, property-checked.
+func TestLawsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	law := func(name string, f func(rng *rand.Rand) bool) {
+		t.Helper()
+		wrapped := func(seed int64) bool { return f(rand.New(rand.NewSource(seed))) }
+		if err := quick.Check(wrapped, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	law("head@tail = id", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		return Concat(Head(x), Tail(x)).Equal(x)
+	})
+	law("reverse.reverse = id", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		return Reverse(Reverse(x)).Equal(x)
+	})
+	law("sort idempotent", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		return Sort(Sort(x)).Equal(Sort(x))
+	})
+	law("distinct idempotent", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		return Distinct(Distinct(x)).Equal(Distinct(x))
+	})
+	law("sort output is ordered", func(rng *rand.Rand) bool {
+		s := Sort(xmltree.RandomForest(rng, 8))
+		for i := 1; i < len(s); i++ {
+			if (xmltree.Forest{s[i-1]}).Compare(xmltree.Forest{s[i]}) > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	law("roots/children partition sizes", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		return len(Roots(x))+Children(x).Size() == x.Size()
+	})
+	law("subtrees-dfs count = node count", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		return len(SubtreesDFS(x)) == x.Size()
+	})
+	law("select+node inverse", func(rng *rand.Rand) bool {
+		x := xmltree.RandomForest(rng, 8)
+		w := Node("<wrap>", x)
+		return Children(Select("<wrap>", w)).Equal(x)
+	})
+	law("concat distributes over children", func(rng *rand.Rand) bool {
+		a, b := xmltree.RandomForest(rng, 6), xmltree.RandomForest(rng, 6)
+		return Children(Concat(a, b)).Equal(Concat(Children(a), Children(b)))
+	})
+	law("equal consistent with less", func(rng *rand.Rand) bool {
+		a, b := xmltree.RandomForest(rng, 6), xmltree.RandomForest(rng, 6)
+		eq, lt, gt := Equal(a, b), Less(a, b), Less(b, a)
+		trueCount := 0
+		for _, v := range []bool{eq, lt, gt} {
+			if v {
+				trueCount++
+			}
+		}
+		return trueCount == 1
+	})
+}

@@ -1,0 +1,106 @@
+package xmark
+
+import "dixq/internal/xmltree"
+
+// DocName is the document name the benchmark queries reference.
+const DocName = "auction.xml"
+
+// Q13 is XMark query 13 ("reconstruct large portions of the document"), as
+// used in Section 6.1 of the paper.
+const Q13 = `for $i in document("auction.xml")/site/regions/australia/item
+return <item name="{$i/name/text()}">{$i/description}</item>`
+
+// Q8 is XMark query 8 ("names of persons and the number of items they
+// bought") with the paper's Section 6.2 modification that converts the
+// outer join into an inner join: persons who bought nothing are dropped,
+// minimizing result size and isolating the join cost.
+const Q8 = `for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+where not(empty($a))
+return <item person="{$p/name/text()}">{count($a)}</item>`
+
+// Q9 is XMark query 9 (persons joined with their purchased European items),
+// with the same inner-join modification as Q8. Unlike Q8, document order
+// constrains all three levels of iteration (Section 6.3).
+const Q9 = `for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          let $n := for $t2 in document("auction.xml")/site/regions/europe/item
+                    where $t/itemref/@item = $t2/@id
+                    return $t2
+          where $p/@id = $t/buyer/@person
+          return <item>{$n/name/text()}</item>
+where not(empty($a))
+return <person name="{$p/name/text()}">{$a}</person>`
+
+// The remaining XMark queries expressible in the paper's fragment (no
+// arithmetic, no full-text functions). They are not part of the paper's
+// evaluation but broaden the correctness workload.
+const (
+	// Q1 returns the name of the person with a fixed identifier.
+	Q1 = `for $b in document("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text()`
+
+	// Q2 returns the initial increases of all open auctions (the first
+	// bidder of each; auctions without bidders yield an empty element).
+	Q2 = `for $b in document("auction.xml")/site/open_auctions/open_auction
+return <increase>{$b/bidder[1]/increase/text()}</increase>`
+
+	// Q6 counts the items listed on all continents (descendant step).
+	Q6 = `count(document("auction.xml")/site/regions//item)`
+
+	// Q7 counts the pieces of prose in the database.
+	Q7 = `count((document("auction.xml")//description, document("auction.xml")//name))`
+
+	// Q14 returns the names of items whose description mentions a word
+	// (fn:contains; "gold" in the original, a generator word here).
+	Q14 = `for $i in document("auction.xml")/site//item
+where contains($i/description, "silver")
+return $i/name/text()`
+
+	// Q17 lists the persons without a homepage.
+	Q17 = `for $p in document("auction.xml")/site/people/person
+where empty($p/homepage)
+return <person name="{$p/name/text()}"/>`
+)
+
+// Figure1 is the portion of an XMark database shown in Figure 1 of the
+// paper and used in all the worked examples (Figures 4, 5 and 7).
+const Figure1 = `<site>
+ <people>
+  <person id="person0">
+   <name>Jaak Tempesti</name>
+   <emailaddress>mailto:Tempesti@labs.com</emailaddress>
+   <phone>+0 (873) 14873867</phone>
+   <homepage>http://www.labs.com/~Tempesti</homepage>
+  </person>
+  <person id="person1">
+   <name>Cong Rosca</name>
+   <emailaddress>mailto:Rosca@washington.edu</emailaddress>
+   <phone>+0 (64) 27711230</phone>
+   <homepage>http://www.washington.edu/~Rosca</homepage>
+  </person>
+ </people>
+ <closed_auctions>
+  <closed_auction>
+   <seller person="person0" />
+   <buyer person="person1" />
+   <itemref item="item1" />
+   <price>42.12</price>
+   <date>08/22/1999</date>
+   <quantity>1</quantity>
+   <type>Regular</type>
+  </closed_auction>
+ </closed_auctions>
+</site>`
+
+// Figure1Forest parses Figure1; it panics on failure (the text is a
+// compile-time constant).
+func Figure1Forest() xmltree.Forest {
+	f, err := xmltree.Parse(Figure1)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,247 @@
+// Package xmark generates XMark-like benchmark documents and carries the
+// paper's benchmark queries.
+//
+// The official XMark generator (xml-benchmark.org) is a 2001-era C binary;
+// this package substitutes a deterministic synthetic generator that
+// reproduces the structure and cardinality ratios of the subtrees the
+// paper's queries touch: /site/people/person, /site/closed_auctions/
+// closed_auction and /site/regions/*/item. At scale factor 1 XMark produces
+// 25500 persons, 9750 closed auctions, 12000 open auctions, 21750 items and
+// 1000 categories; the generator scales those counts linearly, exactly as
+// XMark's -f option does.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dixq/internal/xmltree"
+)
+
+// Config parameterizes document generation.
+type Config struct {
+	// ScaleFactor mirrors XMark's -f: 1.0 produces the full-size document
+	// (~111 MB in XMark), 0.001 the ~113 kB one used as the smallest point
+	// in the paper's experiments.
+	ScaleFactor float64
+	// Seed makes generation deterministic; the zero seed is valid.
+	Seed int64
+}
+
+// Counts returns the entity cardinalities for a scale factor, with a floor
+// of one so every subtree the queries touch is present at any scale.
+func Counts(sf float64) (persons, openAuctions, closedAuctions, items, categories int) {
+	n := func(base int) int {
+		c := int(float64(base) * sf)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	return n(25500), n(12000), n(9750), n(21750), n(1000)
+}
+
+// Regions lists the six XMark continents in generation order; item
+// identifiers are assigned sequentially in this order, so each region owns
+// a contiguous id range.
+var Regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// regionShare is the fraction of all items placed in each region, matching
+// XMark's distribution (10% australia, 27.5% europe, 46% north america...).
+var regionShare = []float64{0.025, 0.09, 0.10, 0.275, 0.46, 0.05}
+
+// Generate produces a document forest with a single <site> root.
+func Generate(cfg Config) xmltree.Forest {
+	g := &generator{rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))}
+	persons, open, closed, items, categories := Counts(cfg.ScaleFactor)
+
+	site := xmltree.NewElement("site",
+		g.regions(items),
+		g.categories(categories),
+		g.people(persons),
+		g.openAuctions(open, items, persons),
+		g.closedAuctions(closed, items, persons),
+	)
+	return xmltree.Forest{site}
+}
+
+type generator struct {
+	rng *rand.Rand
+}
+
+var firstNames = []string{
+	"Jaak", "Cong", "Mariko", "Umesh", "Dalia", "Piotr", "Ana", "Tobias",
+	"Keiko", "Ravi", "Lena", "Marcus", "Yelena", "Farid", "Greta", "Hugo",
+}
+
+var lastNames = []string{
+	"Tempesti", "Rosca", "Okabe", "Maheshwari", "Novak", "Sandoval",
+	"Berg", "Ivanov", "Costa", "Meyer", "Tanaka", "Oliveira", "Kovacs",
+	"Marchetti", "Svensson", "Dumont",
+}
+
+var words = []string{
+	"convenient", "obscure", "gilded", "preserve", "hollow", "arrow",
+	"mortal", "candle", "azure", "fortune", "hasty", "meadow", "silver",
+	"anchor", "velvet", "ember", "quarry", "lantern", "harbor", "myrtle",
+}
+
+var domains = []string{"labs.com", "washington.edu", "acm.org", "example.net"}
+
+func (g *generator) name() (first, last string) {
+	return firstNames[g.rng.Intn(len(firstNames))], lastNames[g.rng.Intn(len(lastNames))]
+}
+
+func (g *generator) sentence(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += words[g.rng.Intn(len(words))]
+	}
+	return s
+}
+
+func (g *generator) people(n int) *xmltree.Node {
+	kids := make(xmltree.Forest, 0, n)
+	for i := 0; i < n; i++ {
+		first, last := g.name()
+		person := xmltree.NewElement("person",
+			xmltree.NewAttribute("id", fmt.Sprintf("person%d", i)),
+			xmltree.NewElement("name", xmltree.NewText(first+" "+last)),
+			xmltree.NewElement("emailaddress",
+				xmltree.NewText(fmt.Sprintf("mailto:%s@%s", last, domains[g.rng.Intn(len(domains))]))),
+			xmltree.NewElement("phone",
+				xmltree.NewText(fmt.Sprintf("+%d (%d) %d", g.rng.Intn(40), g.rng.Intn(900)+100, g.rng.Int63n(90000000)+10000000))),
+		)
+		if g.rng.Intn(2) == 0 {
+			person.Children = append(person.Children,
+				xmltree.NewElement("homepage",
+					xmltree.NewText(fmt.Sprintf("http://www.%s/~%s", domains[g.rng.Intn(len(domains))], last))))
+		}
+		kids = append(kids, person)
+	}
+	return xmltree.NewElement("people", kids...)
+}
+
+func (g *generator) regions(items int) *xmltree.Node {
+	regionNodes := make(xmltree.Forest, 0, len(Regions))
+	next := 0
+	for ri, region := range Regions {
+		count := int(regionShare[ri] * float64(items))
+		if ri == len(Regions)-1 {
+			count = items - next // remainder keeps the total exact
+		}
+		if count < 1 {
+			count = 1
+		}
+		kids := make(xmltree.Forest, 0, count)
+		for i := 0; i < count; i++ {
+			kids = append(kids, g.item(next))
+			next++
+		}
+		regionNodes = append(regionNodes, xmltree.NewElement(region, kids...))
+	}
+	return xmltree.NewElement("regions", regionNodes...)
+}
+
+// ItemRegionRange reports the contiguous range [lo, hi) of item ids placed
+// in the given region at the given total item count. It lets tests compute
+// expected join results for Q9 without re-running generation.
+func ItemRegionRange(region string, items int) (lo, hi int) {
+	next := 0
+	for ri, r := range Regions {
+		count := int(regionShare[ri] * float64(items))
+		if ri == len(Regions)-1 {
+			count = items - next
+		}
+		if count < 1 {
+			count = 1
+		}
+		if r == region {
+			return next, next + count
+		}
+		next += count
+	}
+	return 0, 0
+}
+
+func (g *generator) item(id int) *xmltree.Node {
+	return xmltree.NewElement("item",
+		xmltree.NewAttribute("id", fmt.Sprintf("item%d", id)),
+		xmltree.NewElement("location", xmltree.NewText("United States")),
+		xmltree.NewElement("quantity", xmltree.NewText(fmt.Sprintf("%d", 1+g.rng.Intn(5)))),
+		xmltree.NewElement("name", xmltree.NewText(g.sentence(2))),
+		xmltree.NewElement("payment", xmltree.NewText("Creditcard")),
+		xmltree.NewElement("description",
+			xmltree.NewElement("text", xmltree.NewText(g.sentence(8+g.rng.Intn(20))))),
+		xmltree.NewElement("shipping", xmltree.NewText("Will ship internationally")),
+	)
+}
+
+func (g *generator) categories(n int) *xmltree.Node {
+	kids := make(xmltree.Forest, 0, n)
+	for i := 0; i < n; i++ {
+		kids = append(kids, xmltree.NewElement("category",
+			xmltree.NewAttribute("id", fmt.Sprintf("category%d", i)),
+			xmltree.NewElement("name", xmltree.NewText(g.sentence(1))),
+			xmltree.NewElement("description",
+				xmltree.NewElement("text", xmltree.NewText(g.sentence(6)))),
+		))
+	}
+	return xmltree.NewElement("categories", kids...)
+}
+
+func (g *generator) openAuctions(n, items, persons int) *xmltree.Node {
+	kids := make(xmltree.Forest, 0, n)
+	for i := 0; i < n; i++ {
+		auction := xmltree.NewElement("open_auction",
+			xmltree.NewAttribute("id", fmt.Sprintf("open_auction%d", i)),
+			xmltree.NewElement("initial", xmltree.NewText(g.price())),
+		)
+		// 0-4 bidders, as in XMark's bidder elements (Q2/Q3 read them).
+		for b := g.rng.Intn(5); b > 0; b-- {
+			auction.Children = append(auction.Children,
+				xmltree.NewElement("bidder",
+					xmltree.NewElement("date", xmltree.NewText(g.date())),
+					xmltree.NewElement("increase", xmltree.NewText(g.price()))))
+		}
+		auction.Children = append(auction.Children,
+			xmltree.NewElement("current", xmltree.NewText(g.price())),
+			xmltree.NewElement("itemref",
+				xmltree.NewAttribute("item", fmt.Sprintf("item%d", g.rng.Intn(items)))),
+			xmltree.NewElement("seller",
+				xmltree.NewAttribute("person", fmt.Sprintf("person%d", g.rng.Intn(persons)))),
+		)
+		kids = append(kids, auction)
+	}
+	return xmltree.NewElement("open_auctions", kids...)
+}
+
+func (g *generator) closedAuctions(n, items, persons int) *xmltree.Node {
+	kids := make(xmltree.Forest, 0, n)
+	for i := 0; i < n; i++ {
+		kids = append(kids, xmltree.NewElement("closed_auction",
+			xmltree.NewElement("seller",
+				xmltree.NewAttribute("person", fmt.Sprintf("person%d", g.rng.Intn(persons)))),
+			xmltree.NewElement("buyer",
+				xmltree.NewAttribute("person", fmt.Sprintf("person%d", g.rng.Intn(persons)))),
+			xmltree.NewElement("itemref",
+				xmltree.NewAttribute("item", fmt.Sprintf("item%d", g.rng.Intn(items)))),
+			xmltree.NewElement("price", xmltree.NewText(g.price())),
+			xmltree.NewElement("date", xmltree.NewText(g.date())),
+			xmltree.NewElement("quantity", xmltree.NewText(fmt.Sprintf("%d", 1+g.rng.Intn(3)))),
+			xmltree.NewElement("type", xmltree.NewText("Regular")),
+		))
+	}
+	return xmltree.NewElement("closed_auctions", kids...)
+}
+
+func (g *generator) price() string {
+	return fmt.Sprintf("%d.%02d", 1+g.rng.Intn(300), g.rng.Intn(100))
+}
+
+func (g *generator) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(4))
+}

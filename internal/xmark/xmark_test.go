@@ -1,0 +1,171 @@
+package xmark
+
+import (
+	"fmt"
+	"testing"
+
+	"dixq/internal/xmltree"
+	"dixq/internal/xq"
+)
+
+func TestCounts(t *testing.T) {
+	p, o, c, i, cat := Counts(1)
+	if p != 25500 || o != 12000 || c != 9750 || i != 21750 || cat != 1000 {
+		t.Errorf("Counts(1) = %d %d %d %d %d", p, o, c, i, cat)
+	}
+	p, _, _, _, _ = Counts(0.0001)
+	if p != 2 {
+		t.Errorf("Counts(0.0001) persons = %d, want 2", p)
+	}
+	p, o, c, i, cat = Counts(0)
+	if p != 1 || o != 1 || c != 1 || i != 1 || cat != 1 {
+		t.Errorf("Counts(0) should floor at 1, got %d %d %d %d %d", p, o, c, i, cat)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	doc := Generate(Config{ScaleFactor: 0.002, Seed: 42})
+	if len(doc) != 1 || doc[0].Label != "<site>" {
+		t.Fatalf("root = %v", doc)
+	}
+	byLabel := map[string]*xmltree.Node{}
+	for _, c := range doc[0].Children {
+		byLabel[c.Label] = c
+	}
+	persons, open, closed, items, cats := Counts(0.002)
+	if got := len(byLabel["<people>"].Children); got != persons {
+		t.Errorf("persons = %d, want %d", got, persons)
+	}
+	if got := len(byLabel["<open_auctions>"].Children); got != open {
+		t.Errorf("open auctions = %d, want %d", got, open)
+	}
+	if got := len(byLabel["<closed_auctions>"].Children); got != closed {
+		t.Errorf("closed auctions = %d, want %d", got, closed)
+	}
+	if got := len(byLabel["<categories>"].Children); got != cats {
+		t.Errorf("categories = %d, want %d", got, cats)
+	}
+	regions := byLabel["<regions>"]
+	if len(regions.Children) != len(Regions) {
+		t.Fatalf("regions = %d, want %d", len(regions.Children), len(Regions))
+	}
+	total := 0
+	for _, r := range regions.Children {
+		total += len(r.Children)
+	}
+	if total < items {
+		t.Errorf("total items = %d, want >= %d", total, items)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{ScaleFactor: 0.001, Seed: 7})
+	b := Generate(Config{ScaleFactor: 0.001, Seed: 7})
+	if !a.Equal(b) {
+		t.Error("same seed produced different documents")
+	}
+	c := Generate(Config{ScaleFactor: 0.001, Seed: 8})
+	if a.Equal(c) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestGeneratePersonShape(t *testing.T) {
+	doc := Generate(Config{ScaleFactor: 0.001, Seed: 1})
+	people := doc[0].Children.Concat(nil)
+	var person *xmltree.Node
+	for _, c := range doc[0].Children {
+		if c.Label == "<people>" {
+			person = c.Children[0]
+		}
+	}
+	if person == nil {
+		t.Fatalf("no people in %v", people)
+	}
+	if person.Children[0].Label != "@id" || person.Children[0].Children.TextValue() != "person0" {
+		t.Errorf("first person id = %v", person.Children[0])
+	}
+	labels := map[string]bool{}
+	for _, c := range person.Children {
+		labels[c.Label] = true
+	}
+	for _, want := range []string{"@id", "<name>", "<emailaddress>", "<phone>"} {
+		if !labels[want] {
+			t.Errorf("person missing %s", want)
+		}
+	}
+}
+
+func TestItemRegionRange(t *testing.T) {
+	_, _, _, items, _ := Counts(0.01)
+	covered := 0
+	var prevHi int
+	for _, r := range Regions {
+		lo, hi := ItemRegionRange(r, items)
+		if lo != prevHi {
+			t.Errorf("region %s starts at %d, want %d", r, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Errorf("region %s empty: [%d, %d)", r, lo, hi)
+		}
+		covered += hi - lo
+		prevHi = hi
+	}
+	if covered != items {
+		t.Errorf("regions cover %d items, want %d", covered, items)
+	}
+
+	// The ranges must agree with the generated document.
+	doc := Generate(Config{ScaleFactor: 0.01, Seed: 3})
+	for _, c := range doc[0].Children {
+		if c.Label != "<regions>" {
+			continue
+		}
+		for _, region := range c.Children {
+			lo, hi := ItemRegionRange(region.Name(), items)
+			if got := len(region.Children); got != hi-lo {
+				t.Errorf("region %s has %d items, range says %d", region.Name(), got, hi-lo)
+			}
+			first := region.Children[0].Children[0].Children.TextValue()
+			if want := fmt.Sprintf("item%d", lo); first != want {
+				t.Errorf("region %s first id = %s, want %s", region.Name(), first, want)
+			}
+		}
+	}
+}
+
+func TestGenerateSerializesAndReparses(t *testing.T) {
+	doc := Generate(Config{ScaleFactor: 0.0005, Seed: 11})
+	text := doc.String()
+	back, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !back.Equal(doc) {
+		t.Error("serialize/parse round trip changed the document")
+	}
+}
+
+func TestFigure1Forest(t *testing.T) {
+	f := Figure1Forest()
+	if f.Size() != 43 {
+		t.Errorf("Figure1 size = %d, want 43", f.Size())
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	for name, q := range map[string]string{"Q8": Q8, "Q9": Q9, "Q13": Q13} {
+		if _, err := xq.Parse(q); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+}
+
+func TestScaleGrowsLinearly(t *testing.T) {
+	small := Generate(Config{ScaleFactor: 0.001, Seed: 5}).Size()
+	large := Generate(Config{ScaleFactor: 0.004, Seed: 5}).Size()
+	ratio := float64(large) / float64(small)
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("size ratio = %.2f, want ~4 (sizes %d, %d)", ratio, small, large)
+	}
+}

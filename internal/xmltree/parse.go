@@ -1,0 +1,316 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error in an XML input, with a byte offset
+// and 1-based line/column of the offending position.
+type ParseError struct {
+	Offset int
+	Line   int
+	Col    int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses an XML document (or document fragment) into a Forest. The
+// parser is hand written and intentionally small: it supports elements,
+// attributes, character data, entity references (the five predefined ones
+// plus decimal/hex character references), CDATA sections, comments, and
+// processing instructions / XML declarations (both skipped). DOCTYPE
+// declarations without an internal subset are skipped as well.
+//
+// Whitespace-only text between elements is dropped (the usual convention for
+// data-oriented XML and the one the paper's Figure 1/Figure 4 example uses);
+// all other character data is preserved verbatim. Use ParseKeepSpace to
+// retain whitespace-only text nodes.
+func Parse(input string) (Forest, error) {
+	return parse(input, false)
+}
+
+// ParseKeepSpace is Parse but retains whitespace-only text nodes.
+func ParseKeepSpace(input string) (Forest, error) {
+	return parse(input, true)
+}
+
+func parse(input string, keepSpace bool) (Forest, error) {
+	b := &forestBuilder{}
+	if err := Scan(input, keepSpace, b); err != nil {
+		return nil, err
+	}
+	return b.out, nil
+}
+
+type parser struct {
+	src       string
+	pos       int
+	keepSpace bool
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < p.pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Offset: p.pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// forestBuilder is the Handler that materializes the event stream as a
+// Forest — the tree-building half of Parse.
+type forestBuilder struct {
+	out   Forest
+	stack []*Node
+}
+
+func (b *forestBuilder) attach(n *Node) {
+	if len(b.stack) == 0 {
+		b.out = append(b.out, n)
+		return
+	}
+	top := b.stack[len(b.stack)-1]
+	top.Children = append(top.Children, n)
+}
+
+func (b *forestBuilder) StartElement(name string) {
+	n := &Node{Label: "<" + name + ">"}
+	b.attach(n)
+	b.stack = append(b.stack, n)
+}
+
+func (b *forestBuilder) Attribute(name, value string) { b.attach(NewAttribute(name, value)) }
+
+func (b *forestBuilder) Text(data string) { b.attach(NewText(data)) }
+
+func (b *forestBuilder) EndElement(string) { b.stack = b.stack[:len(b.stack)-1] }
+
+func (p *parser) parseEndTag(name string) error {
+	if !strings.HasPrefix(p.src[p.pos:], "</") {
+		return p.errorf("missing closing tag </%s>", name)
+	}
+	p.pos += 2
+	got, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	if got != name {
+		return p.errorf("mismatched closing tag </%s>, expected </%s>", got, name)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+		return p.errorf("malformed closing tag </%s>", name)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c >= 0x80:
+		return true
+	case c == ':':
+		return true
+	case first:
+		return false
+	case c >= '0' && c <= '9', c == '-', c == '.':
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *parser) parseAttrValue() (string, error) {
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errorf("expected quoted attribute value")
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case quote:
+			p.pos++
+			return b.String(), nil
+		case '<':
+			return "", p.errorf("'<' not allowed in attribute value")
+		case '&':
+			r, err := p.parseEntity()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", p.errorf("unterminated attribute value")
+}
+
+func (p *parser) parseText() (string, error) {
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '<':
+			return b.String(), nil
+		case '&':
+			r, err := p.parseEntity()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return b.String(), nil
+}
+
+func (p *parser) parseEntity() (string, error) {
+	end := strings.IndexByte(p.src[p.pos:], ';')
+	if end < 0 || end > 12 {
+		return "", p.errorf("malformed entity reference")
+	}
+	ent := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	switch ent {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if strings.HasPrefix(ent, "#") {
+		num := ent[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num = num[1:]
+			base = 16
+		}
+		var r rune
+		for _, d := range num {
+			var v rune
+			switch {
+			case d >= '0' && d <= '9':
+				v = d - '0'
+			case base == 16 && d >= 'a' && d <= 'f':
+				v = d - 'a' + 10
+			case base == 16 && d >= 'A' && d <= 'F':
+				v = d - 'A' + 10
+			default:
+				return "", p.errorf("malformed character reference &%s;", ent)
+			}
+			r = r*rune(base) + v
+		}
+		if num == "" || r > 0x10FFFF {
+			return "", p.errorf("malformed character reference &%s;", ent)
+		}
+		return string(r), nil
+	}
+	return "", p.errorf("unknown entity &%s;", ent)
+}
+
+func (p *parser) parseCDATA() (string, error) {
+	p.pos += len("<![CDATA[")
+	end := strings.Index(p.src[p.pos:], "]]>")
+	if end < 0 {
+		return "", p.errorf("unterminated CDATA section")
+	}
+	text := p.src[p.pos : p.pos+end]
+	p.pos += end + 3
+	return text, nil
+}
+
+func (p *parser) skipComment() error {
+	p.pos += len("<!--")
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		return p.errorf("unterminated comment")
+	}
+	p.pos += end + 3
+	return nil
+}
+
+func (p *parser) skipPI() error {
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return p.errorf("unterminated processing instruction")
+	}
+	p.pos += end + 2
+	return nil
+}
+
+func (p *parser) skipDoctype() error {
+	depth := 0
+	for ; p.pos < len(p.src); p.pos++ {
+		switch p.src[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		}
+	}
+	return p.errorf("unterminated DOCTYPE declaration")
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && isSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+// skipMisc skips trailing whitespace, comments and PIs after the document.
+func (p *parser) skipMisc() {
+	for {
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			if p.skipComment() != nil {
+				return
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			if p.skipPI() != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

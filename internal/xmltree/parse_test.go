@@ -1,0 +1,263 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure1 is the XMark fragment used as the running example in the paper.
+const figure1 = `<site>
+ <people>
+  <person id="person0">
+   <name>Jaak Tempesti</name>
+   <emailaddress>mailto:Tempesti@labs.com</emailaddress>
+   <phone>+0 (873) 14873867</phone>
+   <homepage>http://www.labs.com/~Tempesti</homepage>
+  </person>
+  <person id="person1">
+   <name>Cong Rosca</name>
+   <emailaddress>mailto:Rosca@washington.edu</emailaddress>
+   <phone>+0 (64) 27711230</phone>
+   <homepage>http://www.washington.edu/~Rosca</homepage>
+  </person>
+ </people>
+ <closed_auctions>
+  <closed_auction>
+   <seller person="person0" />
+   <buyer person="person1" />
+   <itemref item="item1" />
+   <price>42.12</price>
+   <date>08/22/1999</date>
+   <quantity>1</quantity>
+   <type>Regular</type>
+  </closed_auction>
+ </closed_auctions>
+</site>`
+
+// Figure1 parses the paper's running-example document; test helper.
+func mustParse(t *testing.T, src string) Forest {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseFigure1(t *testing.T) {
+	f := mustParse(t, figure1)
+	if len(f) != 1 || f[0].Label != "<site>" {
+		t.Fatalf("root = %v", f)
+	}
+	// The paper's Figure 4 encoding assigns the document 43 nodes
+	// (width 86 with a DFS counter): verify the node count.
+	if got := f.Size(); got != 43 {
+		t.Errorf("Size = %d, want 43", got)
+	}
+	people := f[0].Children[0]
+	if people.Label != "<people>" || len(people.Children) != 2 {
+		t.Fatalf("people = %v", people)
+	}
+	p0 := people.Children[0]
+	if p0.Children[0].Label != "@id" || p0.Children[0].Children.TextValue() != "person0" {
+		t.Errorf("person0 id attribute = %v", p0.Children[0])
+	}
+	if p0.Children[1].Label != "<name>" || p0.Children[1].Children.TextValue() != "Jaak Tempesti" {
+		t.Errorf("person0 name = %v", p0.Children[1])
+	}
+	seller := f[0].Children[1].Children[0].Children[0]
+	if seller.Label != "<seller>" || seller.Children[0].Label != "@person" {
+		t.Errorf("seller = %v", seller)
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // canonical serialization
+	}{
+		{`<a/>`, `<a/>`},
+		{`<a></a>`, `<a/>`},
+		{`<a>text</a>`, `<a>text</a>`},
+		{`<a x="1" y="2"/>`, `<a x="1" y="2"/>`},
+		{`<a>one<b/>two</a>`, `<a>one<b/>two</a>`},
+		{`<?xml version="1.0"?><a/>`, `<a/>`},
+		{`<!-- c --><a><!-- d --></a><!-- e -->`, `<a/>`},
+		{`<a>&lt;&gt;&amp;&apos;&quot;</a>`, `<a>&lt;&gt;&amp;'"</a>`},
+		{`<a>&#65;&#x42;</a>`, `<a>AB</a>`},
+		{`<a><![CDATA[<raw>&stuff]]></a>`, `<a>&lt;raw&gt;&amp;stuff</a>`},
+		{`<a b='single'/>`, `<a b="single"/>`},
+		{`<!DOCTYPE site SYSTEM "x.dtd"><a/>`, `<a/>`},
+		{`<a
+			b = "spaced"
+		/>`, `<a b="spaced"/>`},
+		{`plain text`, `plain text`},
+		{`<a/><b/>`, `<a/><b/>`}, // forests with several roots are fine
+	}
+	for _, tt := range tests {
+		f, err := Parse(tt.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.src, err)
+			continue
+		}
+		if got := f.String(); got != tt.want {
+			t.Errorf("Parse(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseKeepSpace(t *testing.T) {
+	f, err := ParseKeepSpace("<a> <b/> </a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f[0].Children) != 3 {
+		t.Fatalf("children = %v", f[0].Children)
+	}
+	f2 := mustParse(t, "<a> <b/> </a>")
+	if len(f2[0].Children) != 1 {
+		t.Fatalf("whitespace not dropped: %v", f2[0].Children)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<a>`,
+		`<a></b>`,
+		`</a>`,
+		`<a x=1/>`,
+		`<a x="1" x="2"/>`,
+		`<a x="unterminated/>`,
+		`<a><b></a></b>`,
+		`<a>&unknown;</a>`,
+		`<a>&#xZZ;</a>`,
+		`<a>&noend`,
+		`<a b="<"/>`,
+		`<!ELEMENT a (b)><a/>`,
+		`<a/><a`,
+		`<a/>trailing<b`,
+		`<![CDATA[unterminated`,
+		`<!-- unterminated`,
+		`<?pi unterminated`,
+		`<!DOCTYPE unterminated [`,
+		`< a/>`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("<a>\n  <b></c>\n</a>")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("Line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "mismatched") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	f := Forest{NewElement("a", NewAttribute("x", `a<&">`), NewText(`a<&>b`))}
+	got := f.String()
+	want := `<a x="a&lt;&amp;&quot;>">a&lt;&amp;&gt;b</a>`
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeAttributeOutOfTag(t *testing.T) {
+	// An attribute node appearing after a non-attribute child cannot go in
+	// the start tag; it is rendered in place.
+	f := Forest{NewElement("a", NewText("t"), NewAttribute("x", "1"))}
+	got := f.String()
+	if got != `<a>tx="1"</a>` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	f := mustParse(t, `<a><b>text</b><c/></a>`)
+	got := f.Indent()
+	want := "<a>\n  <b>text</b>\n  <c/>\n</a>\n"
+	if got != want {
+		t.Errorf("Indent = %q, want %q", got, want)
+	}
+}
+
+// TestRoundTripQuick checks Parse(String(f)) == f for random forests whose
+// text content is representable (no attribute nodes in illegal positions,
+// no whitespace-only or adjacent text nodes).
+func TestRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		forest := sanitizeForRoundTrip(RandomForest(rng, 12))
+		parsed, err := Parse(forest.String())
+		if err != nil {
+			t.Logf("seed %d: parse error %v on %q", seed, err, forest.String())
+			return false
+		}
+		if !parsed.Equal(forest) {
+			t.Logf("seed %d: %q -> %q", seed, forest.String(), parsed.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeForRoundTrip rewrites a random forest into one whose serialized
+// form parses back to the identical forest: attributes only as leading
+// element children with a single text child, no empty or whitespace-only
+// text, no adjacent text nodes, elements at top level only.
+func sanitizeForRoundTrip(f Forest) Forest {
+	var out Forest
+	for _, n := range f {
+		if n.Kind() == Element {
+			out = append(out, sanitizeElement(n))
+		}
+	}
+	if len(out) == 0 {
+		out = Forest{NewElement("empty")}
+	}
+	return out
+}
+
+func sanitizeElement(n *Node) *Node {
+	e := &Node{Label: n.Label}
+	attrSeen := map[string]bool{}
+	inAttrs := true
+	lastText := false
+	for _, c := range n.Children {
+		switch c.Kind() {
+		case Attribute:
+			if inAttrs && !attrSeen[c.Name()] {
+				attrSeen[c.Name()] = true
+				e.Children = append(e.Children, NewAttribute(c.Name(), c.Children.TextValue()))
+			}
+		case Element:
+			inAttrs = false
+			lastText = false
+			e.Children = append(e.Children, sanitizeElement(c))
+		case Text:
+			if strings.TrimSpace(c.Label) == "" || lastText {
+				continue
+			}
+			inAttrs = false
+			lastText = true
+			e.Children = append(e.Children, NewText(strings.TrimSpace(c.Label)))
+		}
+	}
+	return e
+}

@@ -1,0 +1,47 @@
+package xmltree
+
+import "math/rand"
+
+// RandomForest returns a pseudo-random forest with at most maxNodes nodes,
+// drawn from a small label alphabet so that collisions (equal subtrees,
+// shared labels) are common. It is used by property-based tests throughout
+// the module; the generator lives here so every package can reuse it.
+func RandomForest(rng *rand.Rand, maxNodes int) Forest {
+	if maxNodes <= 0 {
+		return nil
+	}
+	budget := 1 + rng.Intn(maxNodes)
+	f, _ := randomForest(rng, budget, 0)
+	return f
+}
+
+var randomTags = []string{"a", "b", "c", "item", "name"}
+
+var randomTexts = []string{"x", "y", "42", "person0", ""}
+
+func randomForest(rng *rand.Rand, budget, depth int) (Forest, int) {
+	var f Forest
+	for budget > 0 {
+		if depth > 0 && rng.Intn(3) == 0 {
+			break // end this child list early
+		}
+		switch rng.Intn(4) {
+		case 0: // text node
+			f = append(f, NewText(randomTexts[rng.Intn(len(randomTexts))]))
+			budget--
+		case 1: // attribute node
+			f = append(f, NewAttribute(randomTags[rng.Intn(len(randomTags))], randomTexts[rng.Intn(len(randomTexts))]))
+			budget -= 2
+		default: // element with children
+			budget--
+			var kids Forest
+			if depth < 4 && budget > 0 {
+				spend := rng.Intn(budget + 1)
+				kids, _ = randomForest(rng, spend, depth+1)
+				budget -= kids.Size()
+			}
+			f = append(f, &Node{Label: "<" + randomTags[rng.Intn(len(randomTags))] + ">", Children: kids})
+		}
+	}
+	return f, budget
+}

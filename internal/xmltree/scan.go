@@ -1,0 +1,153 @@
+package xmltree
+
+// Handler receives the event stream of an XML document — the SAX-style
+// face of the parser. Parse is a Handler that builds a Forest; package
+// interval's EncodeXML is one that shreds straight into interval tuples
+// without materializing the tree.
+type Handler interface {
+	// StartElement opens an element with the given tag.
+	StartElement(name string)
+	// Attribute reports one attribute of the most recently opened element;
+	// all attribute events precede the element's content events.
+	Attribute(name, value string)
+	// Text reports character data.
+	Text(data string)
+	// EndElement closes the most recently opened element.
+	EndElement(name string)
+}
+
+// Scan parses XML text and streams its events to the handler. It accepts
+// exactly the inputs Parse accepts, with the same whitespace policy:
+// whitespace-only character data between elements is dropped unless
+// keepSpace is set (CDATA sections are always reported verbatim).
+func Scan(src string, keepSpace bool, h Handler) error {
+	p := &parser{src: src, keepSpace: keepSpace}
+	if err := p.scanContent(h, true); err != nil {
+		return err
+	}
+	p.skipMisc()
+	if p.pos < len(p.src) {
+		return p.errorf("unexpected content after document end")
+	}
+	return nil
+}
+
+// scanContent streams a sequence of elements and text up to a closing tag
+// (or end of input when top is set).
+func (p *parser) scanContent(h Handler, top bool) error {
+	for p.pos < len(p.src) {
+		if p.src[p.pos] == '<' {
+			switch {
+			case hasPrefixAt(p.src, p.pos, "</"):
+				if top {
+					return p.errorf("unexpected closing tag at top level")
+				}
+				return nil
+			case hasPrefixAt(p.src, p.pos, "<!--"):
+				if err := p.skipComment(); err != nil {
+					return err
+				}
+			case hasPrefixAt(p.src, p.pos, "<![CDATA["):
+				text, err := p.parseCDATA()
+				if err != nil {
+					return err
+				}
+				h.Text(text)
+			case hasPrefixAt(p.src, p.pos, "<?"):
+				if err := p.skipPI(); err != nil {
+					return err
+				}
+			case hasPrefixAt(p.src, p.pos, "<!DOCTYPE"):
+				if err := p.skipDoctype(); err != nil {
+					return err
+				}
+			case hasPrefixAt(p.src, p.pos, "<!"):
+				return p.errorf("unsupported markup declaration")
+			default:
+				if err := p.scanElement(h); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		text, err := p.parseText()
+		if err != nil {
+			return err
+		}
+		if text != "" && (p.keepSpace || !allSpace(text)) {
+			h.Text(text)
+		}
+	}
+	if !top {
+		return p.errorf("unexpected end of input inside an element")
+	}
+	return nil
+}
+
+func (p *parser) scanElement(h Handler) error {
+	p.pos++ // consume '<'
+	name, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	h.StartElement(name)
+	seen := map[string]bool{}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return p.errorf("unterminated start tag <%s>", name)
+		}
+		switch p.src[p.pos] {
+		case '>':
+			p.pos++
+			if err := p.scanContent(h, false); err != nil {
+				return err
+			}
+			if err := p.parseEndTag(name); err != nil {
+				return err
+			}
+			h.EndElement(name)
+			return nil
+		case '/':
+			if !hasPrefixAt(p.src, p.pos, "/>") {
+				return p.errorf("expected '/>' in tag <%s>", name)
+			}
+			p.pos += 2
+			h.EndElement(name)
+			return nil
+		default:
+			attrName, err := p.parseName()
+			if err != nil {
+				return err
+			}
+			if seen[attrName] {
+				return p.errorf("duplicate attribute %q in <%s>", attrName, name)
+			}
+			seen[attrName] = true
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+				return p.errorf("expected '=' after attribute %q", attrName)
+			}
+			p.pos++
+			p.skipSpace()
+			val, err := p.parseAttrValue()
+			if err != nil {
+				return err
+			}
+			h.Attribute(attrName, val)
+		}
+	}
+}
+
+func hasPrefixAt(s string, pos int, prefix string) bool {
+	return len(s)-pos >= len(prefix) && s[pos:pos+len(prefix)] == prefix
+}
+
+func allSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isSpace(s[i]) {
+			return false
+		}
+	}
+	return true
+}

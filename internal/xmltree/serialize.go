@@ -1,0 +1,124 @@
+package xmltree
+
+import "strings"
+
+// String renders the forest as XML text. Attribute nodes that appear as the
+// leading children of an element are rendered inside its start tag;
+// attribute nodes in any other position (legal in the paper's model, e.g.
+// produced by queries) are rendered as name="value" tokens in place.
+func (f Forest) String() string {
+	var b strings.Builder
+	f.write(&b, false)
+	return b.String()
+}
+
+// Indent renders the forest as indented XML text, one node per line, for
+// human consumption.
+func (f Forest) Indent() string {
+	var b strings.Builder
+	writeIndent(&b, f, 0)
+	return b.String()
+}
+
+// String renders the single-node tree rooted at n as XML text.
+func (n *Node) String() string {
+	return Forest{n}.String()
+}
+
+func (f Forest) write(b *strings.Builder, inTag bool) {
+	for i, n := range f {
+		if i > 0 && inTag {
+			b.WriteByte(' ')
+		}
+		n.write(b)
+	}
+}
+
+func (n *Node) write(b *strings.Builder) {
+	switch n.Kind() {
+	case Element:
+		name := n.Name()
+		b.WriteByte('<')
+		b.WriteString(name)
+		rest := n.Children
+		for len(rest) > 0 && rest[0].Kind() == Attribute {
+			b.WriteByte(' ')
+			writeAttr(b, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		rest.write(b, false)
+		b.WriteString("</")
+		b.WriteString(name)
+		b.WriteByte('>')
+	case Attribute:
+		writeAttr(b, n)
+	case Text:
+		b.WriteString(escapeText(n.Label))
+	}
+}
+
+func writeAttr(b *strings.Builder, n *Node) {
+	b.WriteString(n.Name())
+	b.WriteString(`="`)
+	b.WriteString(escapeAttr(n.Children.TextValue()))
+	b.WriteByte('"')
+}
+
+func writeIndent(b *strings.Builder, f Forest, depth int) {
+	for _, n := range f {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		switch n.Kind() {
+		case Element:
+			name := n.Name()
+			b.WriteByte('<')
+			b.WriteString(name)
+			rest := n.Children
+			for len(rest) > 0 && rest[0].Kind() == Attribute {
+				b.WriteByte(' ')
+				writeAttr(b, rest[0])
+				rest = rest[1:]
+			}
+			if len(rest) == 0 {
+				b.WriteString("/>\n")
+				continue
+			}
+			if len(rest) == 1 && rest[0].Kind() == Text {
+				b.WriteByte('>')
+				b.WriteString(escapeText(rest[0].Label))
+				b.WriteString("</")
+				b.WriteString(name)
+				b.WriteString(">\n")
+				continue
+			}
+			b.WriteString(">\n")
+			writeIndent(b, rest, depth+1)
+			for i := 0; i < depth; i++ {
+				b.WriteString("  ")
+			}
+			b.WriteString("</")
+			b.WriteString(name)
+			b.WriteString(">\n")
+		case Attribute:
+			writeAttr(b, n)
+			b.WriteByte('\n')
+		case Text:
+			b.WriteString(escapeText(n.Label))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

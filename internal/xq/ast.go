@@ -1,0 +1,410 @@
+// Package xq defines the query language of the paper and its parser.
+//
+// The surface syntax is the XQuery fragment used throughout the paper:
+// arbitrarily nested FLWR expressions, XPath child/attribute/text/descendant
+// steps with predicates, element and attribute constructors with embedded
+// expressions, and the built-in functions of Figure 2. The parser desugars
+// everything into the minimal core language of Definition 2.2:
+//
+//	e ::= x | XFn(e1, ..., ek) | let x = e in e' |
+//	      where φ return e | for x ∈ e do e'
+//
+// with boolean conditions φ built from equal, less, empty, and, or, not.
+// All evaluators (the reference interpreter, the dynamic interval plans and
+// the SQL generator) consume this core form only.
+package xq
+
+import (
+	"fmt"
+	"strings"
+
+	"dixq/internal/xmltree"
+)
+
+// Expr is a core expression denoting an XML forest.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Cond is a core boolean condition (the φ of "where φ return e").
+type Cond interface {
+	fmt.Stringer
+	isCond()
+}
+
+// Var references a variable bound by for, let, or the initial environment.
+type Var struct {
+	Name string
+}
+
+// Doc references an input document by the name given to document(...).
+// It behaves as a free variable supplied by the query catalog.
+type Doc struct {
+	Name string
+}
+
+// Const denotes a fixed forest (literal text and fully literal XML
+// fragments in constructors).
+type Const struct {
+	Value xmltree.Forest
+}
+
+// Call applies one of the XFn operators of Figure 2 (plus the count and
+// data extensions) to argument expressions. Fn is one of the Fn* constants;
+// Label carries the string argument of the node and select operators.
+type Call struct {
+	Fn    string
+	Label string
+	Args  []Expr
+}
+
+// Let binds Var to Value inside Body ("let x = e in e'").
+type Let struct {
+	Var   string
+	Value Expr
+	Body  Expr
+}
+
+// For iterates Var over the trees of Domain, concatenating the Body results
+// ("for x ∈ e do e'"). Pos, when non-empty, names a second variable bound
+// to the 1-based iteration position as a text node (XQuery's "at $i").
+type For struct {
+	Var    string
+	Pos    string
+	Domain Expr
+	Body   Expr
+}
+
+// Where evaluates Body when Cond holds and yields the empty forest
+// otherwise ("where φ return e").
+type Where struct {
+	Cond Cond
+	Body Expr
+}
+
+// XFn operator names usable in Call.Fn.
+const (
+	FnNode        = "node"         // XNode: wrap forest under a new root labeled Label
+	FnConcat      = "concat"       // @ : forest concatenation (binary)
+	FnHead        = "head"         // first tree of the forest
+	FnTail        = "tail"         // all but the first tree
+	FnReverse     = "reverse"      // top-level trees in reverse order
+	FnSelect      = "select"       // trees whose root label equals Label
+	FnDistinct    = "distinct"     // structurally distinct trees, first kept
+	FnSort        = "sort"         // trees ordered by structural (tree) order
+	FnRoots       = "roots"        // root nodes without their subtrees
+	FnChildren    = "children"     // concatenation of the roots' child forests
+	FnSubtreesDFS = "subtrees-dfs" // every subtree, in DFS order
+	FnData        = "data"         // text leaves of the forest, as roots
+	FnSelText     = "seltext"      // trees whose root is a text node
+	FnCount       = "count"        // single text node holding the number of trees
+)
+
+// Condition forms.
+
+// Equal is structural (deep) equality of two forests.
+type Equal struct{ L, R Expr }
+
+// Less is strict structural (tree) order between two forests.
+type Less struct{ L, R Expr }
+
+// Empty tests a forest for emptiness.
+type Empty struct{ E Expr }
+
+// Contains tests whether the string value of L contains the string value
+// of R as a substring (the fn:contains of XQuery, used by XMark Q14).
+type Contains struct{ L, R Expr }
+
+// Not negates a condition.
+type Not struct{ C Cond }
+
+// And is conjunction.
+type And struct{ L, R Cond }
+
+// Or is disjunction.
+type Or struct{ L, R Cond }
+
+func (Var) isExpr()   {}
+func (Doc) isExpr()   {}
+func (Const) isExpr() {}
+func (Call) isExpr()  {}
+func (Let) isExpr()   {}
+func (For) isExpr()   {}
+func (Where) isExpr() {}
+
+func (Equal) isCond()    {}
+func (Less) isCond()     {}
+func (Empty) isCond()    {}
+func (Contains) isCond() {}
+func (Not) isCond()      {}
+func (And) isCond()      {}
+func (Or) isCond()       {}
+
+func (e Var) String() string { return "$" + e.Name }
+
+func (e Doc) String() string { return fmt.Sprintf("document(%q)", e.Name) }
+
+func (e Const) String() string {
+	if len(e.Value) == 0 {
+		return "()"
+	}
+	return fmt.Sprintf("const(%s)", e.Value.String())
+}
+
+func (e Call) String() string {
+	var b strings.Builder
+	b.WriteString(e.Fn)
+	b.WriteByte('(')
+	if e.Fn == FnNode || e.Fn == FnSelect {
+		fmt.Fprintf(&b, "%q", e.Label)
+		if len(e.Args) > 0 {
+			b.WriteString(", ")
+		}
+	}
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (e Let) String() string {
+	return fmt.Sprintf("let $%s := %s return %s", e.Var, e.Value, e.Body)
+}
+
+func (e For) String() string {
+	if e.Pos != "" {
+		return fmt.Sprintf("for $%s at $%s in %s return %s", e.Var, e.Pos, e.Domain, e.Body)
+	}
+	return fmt.Sprintf("for $%s in %s return %s", e.Var, e.Domain, e.Body)
+}
+
+func (e Where) String() string {
+	return fmt.Sprintf("where %s return %s", e.Cond, e.Body)
+}
+
+func (c Equal) String() string    { return fmt.Sprintf("(%s = %s)", c.L, c.R) }
+func (c Less) String() string     { return fmt.Sprintf("(%s < %s)", c.L, c.R) }
+func (c Empty) String() string    { return fmt.Sprintf("empty(%s)", c.E) }
+func (c Contains) String() string { return fmt.Sprintf("contains(%s, %s)", c.L, c.R) }
+func (c Not) String() string      { return fmt.Sprintf("not(%s)", c.C) }
+func (c And) String() string      { return fmt.Sprintf("(%s and %s)", c.L, c.R) }
+func (c Or) String() string       { return fmt.Sprintf("(%s or %s)", c.L, c.R) }
+
+// FreeVars returns the set of variable and document names free in e.
+// Document names are prefixed with "doc:" to keep the namespaces apart.
+func FreeVars(e Expr) map[string]bool {
+	out := map[string]bool{}
+	collectFree(e, map[string]bool{}, out)
+	return out
+}
+
+func collectFree(e Expr, bound, out map[string]bool) {
+	switch e := e.(type) {
+	case Var:
+		if !bound[e.Name] {
+			out[e.Name] = true
+		}
+	case Doc:
+		out["doc:"+e.Name] = true
+	case Const:
+	case Call:
+		for _, a := range e.Args {
+			collectFree(a, bound, out)
+		}
+	case Let:
+		collectFree(e.Value, bound, out)
+		collectFreeUnder(e.Body, e.Var, bound, out)
+	case For:
+		collectFree(e.Domain, bound, out)
+		if e.Pos == "" {
+			collectFreeUnder(e.Body, e.Var, bound, out)
+		} else {
+			collectFreeUnder2(e.Body, e.Var, e.Pos, bound, out)
+		}
+	case Where:
+		collectFreeCond(e.Cond, bound, out)
+		collectFree(e.Body, bound, out)
+	default:
+		panic(fmt.Sprintf("xq: unknown expression %T", e))
+	}
+}
+
+func collectFreeUnder(e Expr, v string, bound, out map[string]bool) {
+	if bound[v] {
+		collectFree(e, bound, out)
+		return
+	}
+	bound[v] = true
+	collectFree(e, bound, out)
+	delete(bound, v)
+}
+
+func collectFreeUnder2(e Expr, v1, v2 string, bound, out map[string]bool) {
+	if bound[v2] || v1 == v2 {
+		collectFreeUnder(e, v1, bound, out)
+		return
+	}
+	bound[v2] = true
+	collectFreeUnder(e, v1, bound, out)
+	delete(bound, v2)
+}
+
+func collectFreeCond(c Cond, bound, out map[string]bool) {
+	switch c := c.(type) {
+	case Equal:
+		collectFree(c.L, bound, out)
+		collectFree(c.R, bound, out)
+	case Less:
+		collectFree(c.L, bound, out)
+		collectFree(c.R, bound, out)
+	case Empty:
+		collectFree(c.E, bound, out)
+	case Contains:
+		collectFree(c.L, bound, out)
+		collectFree(c.R, bound, out)
+	case Not:
+		collectFreeCond(c.C, bound, out)
+	case And:
+		collectFreeCond(c.L, bound, out)
+		collectFreeCond(c.R, bound, out)
+	case Or:
+		collectFreeCond(c.L, bound, out)
+		collectFreeCond(c.R, bound, out)
+	default:
+		panic(fmt.Sprintf("xq: unknown condition %T", c))
+	}
+}
+
+// Documents returns the names of all documents referenced by e, in first-
+// occurrence order.
+func Documents(e Expr) []string {
+	var names []string
+	seen := map[string]bool{}
+	var walkExpr func(Expr)
+	var walkCond func(Cond)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case Doc:
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				names = append(names, e.Name)
+			}
+		case Call:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case Let:
+			walkExpr(e.Value)
+			walkExpr(e.Body)
+		case For:
+			walkExpr(e.Domain)
+			walkExpr(e.Body)
+		case Where:
+			walkCond(e.Cond)
+			walkExpr(e.Body)
+		}
+	}
+	walkCond = func(c Cond) {
+		switch c := c.(type) {
+		case Equal:
+			walkExpr(c.L)
+			walkExpr(c.R)
+		case Less:
+			walkExpr(c.L)
+			walkExpr(c.R)
+		case Empty:
+			walkExpr(c.E)
+		case Contains:
+			walkExpr(c.L)
+			walkExpr(c.R)
+		case Not:
+			walkCond(c.C)
+		case And:
+			walkCond(c.L)
+			walkCond(c.R)
+		case Or:
+			walkCond(c.L)
+			walkCond(c.R)
+		}
+	}
+	walkExpr(e)
+	return names
+}
+
+// substVars renames free variables per the mapping, leaving bound
+// occurrences (and shadowed scopes) untouched. Used by function inlining.
+func substVars(e Expr, rename map[string]string) Expr {
+	if len(rename) == 0 {
+		return e
+	}
+	switch e := e.(type) {
+	case Var:
+		if to, ok := rename[e.Name]; ok {
+			return Var{Name: to}
+		}
+		return e
+	case Doc, Const:
+		return e
+	case Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = substVars(a, rename)
+		}
+		return Call{Fn: e.Fn, Label: e.Label, Args: args}
+	case Let:
+		value := substVars(e.Value, rename)
+		return Let{Var: e.Var, Value: value, Body: substVars(e.Body, without(rename, e.Var))}
+	case For:
+		domain := substVars(e.Domain, rename)
+		inner := without(rename, e.Var)
+		if e.Pos != "" {
+			inner = without(inner, e.Pos)
+		}
+		return For{Var: e.Var, Pos: e.Pos, Domain: domain, Body: substVars(e.Body, inner)}
+	case Where:
+		return Where{Cond: substCond(e.Cond, rename), Body: substVars(e.Body, rename)}
+	default:
+		panic(fmt.Sprintf("xq: unknown expression %T", e))
+	}
+}
+
+func substCond(c Cond, rename map[string]string) Cond {
+	switch c := c.(type) {
+	case Equal:
+		return Equal{L: substVars(c.L, rename), R: substVars(c.R, rename)}
+	case Less:
+		return Less{L: substVars(c.L, rename), R: substVars(c.R, rename)}
+	case Empty:
+		return Empty{E: substVars(c.E, rename)}
+	case Contains:
+		return Contains{L: substVars(c.L, rename), R: substVars(c.R, rename)}
+	case Not:
+		return Not{C: substCond(c.C, rename)}
+	case And:
+		return And{L: substCond(c.L, rename), R: substCond(c.R, rename)}
+	case Or:
+		return Or{L: substCond(c.L, rename), R: substCond(c.R, rename)}
+	default:
+		panic(fmt.Sprintf("xq: unknown condition %T", c))
+	}
+}
+
+// without returns the mapping minus one key, sharing storage when the key
+// is absent.
+func without(rename map[string]string, key string) map[string]string {
+	if _, ok := rename[key]; !ok {
+		return rename
+	}
+	out := make(map[string]string, len(rename))
+	for k, v := range rename {
+		if k != key {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package xq
+
+import "testing"
+
+// FuzzParseQuery exercises the query parser: no panics, and everything it
+// accepts must render to a core form that is itself structurally walkable
+// (FreeVars/Documents must not panic either).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`$v`,
+		`document("d")/site/people/person/name/text()`,
+		`for $x in $d, $y in $x where $x = $y or not(empty($y)) return ($x, $y)`,
+		`let $a := for $t in $d where $t/buyer/@person = $p/@id return $t return count($a)`,
+		`<item person="{$p/name/text()}">{count($a)}</item>`,
+		`if (some $x in $d satisfies $x = "1") then "y" else "n"`,
+		`for $x in $d order by $x/k descending return $x`,
+		`$d/item[price = "42"][2]`,
+		`(: comment :) sort(distinct($v))`,
+		`for $x in`,
+		`<a>{{}}</a>`,
+		`deep-equal($a, $b)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = e.String()
+		_ = FreeVars(e)
+		_ = Documents(e)
+	})
+}

@@ -1,0 +1,102 @@
+package xq
+
+import (
+	"math/rand"
+
+	"dixq/internal/xmltree"
+)
+
+// RandomExpr generates a pseudo-random, well-formed core expression that
+// references only the document names given and is closed (no free
+// variables). It is used by differential tests that run the same random
+// query through every evaluator (interpreter, DI plans, generated SQL) and
+// compare the outputs. maxDepth bounds AST nesting.
+func RandomExpr(rng *rand.Rand, docs []string, maxDepth int) Expr {
+	g := &exprGen{rng: rng, docs: docs}
+	return g.expr(maxDepth, nil)
+}
+
+type exprGen struct {
+	rng  *rand.Rand
+	docs []string
+	n    int
+}
+
+func (g *exprGen) freshVar() string {
+	g.n++
+	return "v" + string(rune('0'+g.n%10)) + string(rune('a'+g.n/10%26))
+}
+
+// leaf produces a variable, document, or small constant.
+func (g *exprGen) leaf(vars []string) Expr {
+	choices := 1 + len(g.docs) + len(vars)
+	k := g.rng.Intn(choices)
+	switch {
+	case k == 0:
+		rng := rand.New(rand.NewSource(g.rng.Int63()))
+		return Const{Value: xmltree.RandomForest(rng, 4)}
+	case k <= len(g.docs):
+		return Doc{Name: g.docs[k-1]}
+	default:
+		return Var{Name: vars[k-1-len(g.docs)]}
+	}
+}
+
+func (g *exprGen) expr(depth int, vars []string) Expr {
+	if depth <= 0 {
+		return g.leaf(vars)
+	}
+	switch g.rng.Intn(10) {
+	case 0: // let
+		v := g.freshVar()
+		return Let{Var: v, Value: g.expr(depth-1, vars), Body: g.expr(depth-1, append(vars, v))}
+	case 1, 2: // for
+		v := g.freshVar()
+		return For{Var: v, Domain: g.expr(depth-1, vars), Body: g.expr(depth-1, append(vars, v))}
+	case 3: // where
+		return Where{Cond: g.cond(depth-1, vars), Body: g.expr(depth-1, vars)}
+	default:
+		return g.call(depth, vars)
+	}
+}
+
+func (g *exprGen) call(depth int, vars []string) Expr {
+	unary := []string{
+		FnHead, FnTail, FnReverse, FnDistinct, FnSort, FnRoots, FnChildren,
+		FnData, FnSelText, FnCount, FnSubtreesDFS,
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return Call{Fn: FnNode, Label: "<wrap>", Args: []Expr{g.expr(depth-1, vars)}}
+	case 1:
+		return Call{Fn: FnConcat, Args: []Expr{g.expr(depth-1, vars), g.expr(depth-1, vars)}}
+	case 2:
+		labels := []string{"<a>", "<b>", "<item>", "@id", "x"}
+		return Call{Fn: FnSelect, Label: labels[g.rng.Intn(len(labels))], Args: []Expr{g.expr(depth-1, vars)}}
+	default:
+		fn := unary[g.rng.Intn(len(unary))]
+		return Call{Fn: fn, Args: []Expr{g.expr(depth-1, vars)}}
+	}
+}
+
+func (g *exprGen) cond(depth int, vars []string) Cond {
+	if depth <= 0 {
+		return Empty{E: g.leaf(vars)}
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return Equal{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
+	case 6:
+		return Contains{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
+	case 1:
+		return Less{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
+	case 2:
+		return Not{C: g.cond(depth-1, vars)}
+	case 3:
+		return And{L: g.cond(depth-1, vars), R: g.cond(depth-1, vars)}
+	case 4:
+		return Or{L: g.cond(depth-1, vars), R: g.cond(depth-1, vars)}
+	default:
+		return Empty{E: g.expr(depth-1, vars)}
+	}
+}
