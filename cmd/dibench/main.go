@@ -29,7 +29,16 @@ func main() {
 	systemsFlag := flag.String("systems", "", "comma-separated systems (default: all)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-run budget; exceeding runs report DNF")
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-run materialization budget for DI plans (0 = unlimited)")
+	benchJSON := flag.String("benchjson", "", "write before/after key-layout micro-benchmarks (Q8/Q9/Q13) to this JSON file and exit")
+	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := bench.WriteBenchJSON(*benchJSON, *benchScale, os.Stderr); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	scales := bench.DefaultScales
 	if *scalesFlag != "" {

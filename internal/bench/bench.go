@@ -69,6 +69,9 @@ type Config struct {
 	Timeout time.Duration
 	// MaxTuples bounds materialization in DI plans; zero means none.
 	MaxTuples int64
+	// LegacyKeys runs the DI systems on the per-key-allocation layout
+	// instead of the flat shared-buffer layout (before/after comparisons).
+	LegacyKeys bool
 }
 
 // Workload is a prepared query over a prepared document.
@@ -112,10 +115,11 @@ func (w *Workload) Run(sys System, cfg Config) Outcome {
 		}
 		stats := &core.Stats{}
 		forest, err = w.compiled.EvalForest(w.enc, core.Options{
-			Mode:      mode,
-			Stats:     stats,
-			Timeout:   cfg.Timeout,
-			MaxTuples: cfg.MaxTuples,
+			Mode:       mode,
+			Stats:      stats,
+			Timeout:    cfg.Timeout,
+			MaxTuples:  cfg.MaxTuples,
+			LegacyKeys: cfg.LegacyKeys,
 		})
 		out.Stats = stats
 	case SysSQL:

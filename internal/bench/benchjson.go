@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"dixq/internal/core"
+	"dixq/internal/xmark"
+)
+
+// Measurement is one (query, layout) micro-benchmark result, in the units
+// go test -bench reports.
+type Measurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// Comparison is the before/after pair for one query: before is the legacy
+// per-key-allocation layout, after the flat shared-buffer layout.
+type Comparison struct {
+	Query  string      `json:"query"`
+	Before Measurement `json:"before_legacy"`
+	After  Measurement `json:"after_flat"`
+	// AllocsRatio is before/after allocations (higher = bigger win).
+	AllocsRatio float64 `json:"allocs_ratio"`
+	// NsRatio is after/before time (at or below 1 = no regression).
+	NsRatio float64 `json:"ns_ratio"`
+}
+
+// BenchReport is the schema of BENCH_PR1.json.
+type BenchReport struct {
+	ScaleFactor float64      `json:"scale_factor"`
+	Mode        string       `json:"mode"`
+	Results     []Comparison `json:"results"`
+}
+
+// WriteBenchJSON micro-benchmarks XMark Q8, Q9 and Q13 on the DI-MSJ path
+// under both key layouts and writes the before/after report to path.
+// Progress lines go to log.
+func WriteBenchJSON(path string, sf float64, log io.Writer) error {
+	doc := xmark.Generate(xmark.Config{ScaleFactor: sf, Seed: 1})
+	report := BenchReport{ScaleFactor: sf, Mode: core.ModeMSJ.String()}
+	queries := []struct{ name, text string }{
+		{"Q8", xmark.Q8},
+		{"Q9", xmark.Q9},
+		{"Q13", xmark.Q13},
+	}
+	for _, q := range queries {
+		w, err := NewWorkload(q.text, doc)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", q.name, err)
+		}
+		measure := func(legacy bool) Measurement {
+			opts := core.Options{Mode: core.ModeMSJ, LegacyKeys: legacy}
+			// Best of three rounds: ns/op is scheduler-noisy at the
+			// millisecond scale, allocs/op is deterministic.
+			var best Measurement
+			for round := 0; round < 3; round++ {
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := w.compiled.Eval(w.enc, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				m := Measurement{
+					NsPerOp:     r.NsPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+				}
+				if round == 0 || m.NsPerOp < best.NsPerOp {
+					best = m
+				}
+			}
+			return best
+		}
+		c := Comparison{Query: q.name, Before: measure(true), After: measure(false)}
+		if c.After.AllocsPerOp > 0 {
+			c.AllocsRatio = float64(c.Before.AllocsPerOp) / float64(c.After.AllocsPerOp)
+		}
+		if c.Before.NsPerOp > 0 {
+			c.NsRatio = float64(c.After.NsPerOp) / float64(c.Before.NsPerOp)
+		}
+		fmt.Fprintf(log, "%s: legacy %d allocs/op %d ns/op | flat %d allocs/op %d ns/op | allocs ratio %.2fx, ns ratio %.2f\n",
+			q.name, c.Before.AllocsPerOp, c.Before.NsPerOp,
+			c.After.AllocsPerOp, c.After.NsPerOp, c.AllocsRatio, c.NsRatio)
+		report.Results = append(report.Results, c)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -72,9 +72,13 @@ type Options struct {
 	// (calls, output rows, time) — the engine's EXPLAIN ANALYZE.
 	Trace *Trace
 	// Parallelism bounds the goroutines used by the structural sorts
-	// inside merge joins; values < 2 keep evaluation single-threaded
-	// (the default). Results are identical at any setting.
+	// (merge joins, sort(), distinct()); values < 2 keep evaluation
+	// single-threaded (the default). Results are identical at any setting.
 	Parallelism int
+	// LegacyKeys selects the per-key-allocation operator implementations
+	// instead of the flat shared-buffer layout. Output is identical; the
+	// switch exists for differential testing and before/after benchmarks.
+	LegacyKeys bool
 }
 
 // Stats is the per-phase cost breakdown reported in Figure 10 of the

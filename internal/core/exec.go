@@ -58,10 +58,55 @@ type evaluator struct {
 	opts   Options
 	stats  *Stats
 	budget *engine.Budget
+	// ops is the physical key layout in effect: the flat builder-backed
+	// operators by default, the per-key-allocation twins under
+	// Options.LegacyKeys.
+	ops *opset
 	// inCond marks evaluation happening on behalf of a condition or join
 	// key; all such work is attributed to the Join phase (Figure 10 counts
 	// predicate evaluation as part of the join).
 	inCond bool
+}
+
+// opset is the dispatch table for the operators that construct new keys,
+// in both physical layouts. Operators that only select or share tuples
+// have a single implementation and are called directly.
+type opset struct {
+	embedOuter  func(engine.Index, int, int, *interval.Relation, *engine.Budget) (*interval.Relation, error)
+	bindVar     func(domain, roots *interval.Relation, depth, newDepth int) *interval.Relation
+	positions   func(roots *interval.Relation, oldDepth, newDepth int) *interval.Relation
+	construct   func(engine.Index, int, string, *interval.Relation) *interval.Relation
+	concat      func(engine.Index, int, *interval.Relation, *interval.Relation) *interval.Relation
+	count       func(engine.Index, int, *interval.Relation) *interval.Relation
+	reverse     func(*interval.Relation, int) *interval.Relation
+	sortTrees   func(rel *interval.Relation, depth, parallelism int) *interval.Relation
+	subtreesDFS func(*interval.Relation, int) *interval.Relation
+}
+
+var flatOps = opset{
+	embedOuter:  engine.EmbedOuter,
+	bindVar:     engine.BindVar,
+	positions:   engine.Positions,
+	construct:   engine.Construct,
+	concat:      engine.Concat,
+	count:       engine.Count,
+	reverse:     engine.Reverse,
+	sortTrees:   engine.SortTreesP,
+	subtreesDFS: engine.SubtreesDFS,
+}
+
+var legacyOps = opset{
+	embedOuter: engine.EmbedOuterLegacy,
+	bindVar:    engine.BindVarLegacy,
+	positions:  engine.PositionsLegacy,
+	construct:  engine.ConstructLegacy,
+	concat:     engine.ConcatLegacy,
+	count:      engine.CountLegacy,
+	reverse:    engine.ReverseLegacy,
+	sortTrees: func(rel *interval.Relation, depth, _ int) *interval.Relation {
+		return engine.SortTreesLegacy(rel, depth)
+	},
+	subtreesDFS: engine.SubtreesDFSLegacy,
 }
 
 // phaseDur returns the duration to charge: the given phase normally, the
@@ -84,7 +129,10 @@ func (ev *evaluator) condScope(fn func() error) error {
 }
 
 func newEvaluator(cat Catalog, opts Options) *evaluator {
-	ev := &evaluator{docs: cat, opts: opts, stats: opts.Stats}
+	ev := &evaluator{docs: cat, opts: opts, stats: opts.Stats, ops: &flatOps}
+	if opts.LegacyKeys {
+		ev.ops = &legacyOps
+	}
 	if ev.stats == nil {
 		ev.stats = &Stats{}
 	}
@@ -134,7 +182,7 @@ func (ev *evaluator) eval(e xq.Expr, en *env) (*table, error) {
 		// clause can have emptied it.
 		defer track(ev.phaseDur(&ev.stats.Construction))()
 		rel := interval.Encode(e.Value)
-		out, err := engine.EmbedOuter(en.index, 0, en.depth, rel, ev.budget)
+		out, err := ev.ops.embedOuter(en.index, 0, en.depth, rel, ev.budget)
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +225,7 @@ func (ev *evaluator) evalVar(name string, en *env) (*table, error) {
 	}
 	defer track(&ev.stats.Join)()
 	start := ev.now()
-	rel, err := engine.EmbedOuter(en.index, b.depth, en.depth, b.tab.rel, ev.budget)
+	rel, err := ev.ops.embedOuter(en.index, b.depth, en.depth, b.tab.rel, ev.budget)
 	if err != nil {
 		return nil, err
 	}
@@ -284,15 +332,15 @@ func (ev *evaluator) applyOp(e xq.Call, args []*table, en *env) (*table, error) 
 	switch e.Fn {
 	case xq.FnNode:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := engine.Construct(en.index, en.depth, e.Label, args[0].rel)
+		rel := ev.ops.construct(en.index, en.depth, e.Label, args[0].rel)
 		return &table{rel: rel, local: max(1, args[0].local)}, nil
 	case xq.FnConcat:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := engine.Concat(en.index, en.depth, args[0].rel, args[1].rel)
+		rel := ev.ops.concat(en.index, en.depth, args[0].rel, args[1].rel)
 		return &table{rel: rel, local: max(args[0].local, args[1].local)}, nil
 	case xq.FnCount:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := engine.Count(en.index, en.depth, args[0].rel)
+		rel := ev.ops.count(en.index, en.depth, args[0].rel)
 		return &table{rel: rel, local: 1}, nil
 	case xq.FnHead:
 		defer track(ev.phaseDur(&ev.stats.Paths))()
@@ -302,13 +350,13 @@ func (ev *evaluator) applyOp(e xq.Call, args []*table, en *env) (*table, error) 
 		return &table{rel: engine.Tail(args[0].rel, en.depth), local: args[0].local}, nil
 	case xq.FnReverse:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
-		return &table{rel: engine.Reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
+		return &table{rel: ev.ops.reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
 	case xq.FnSort:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
-		return &table{rel: engine.SortTrees(args[0].rel, en.depth), local: args[0].local + 1}, nil
+		return &table{rel: ev.ops.sortTrees(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local + 1}, nil
 	case xq.FnDistinct:
 		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.Distinct(args[0].rel, en.depth), local: args[0].local}, nil
+		return &table{rel: engine.DistinctP(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local}, nil
 	case xq.FnSelect:
 		defer track(ev.phaseDur(&ev.stats.Paths))()
 		return &table{rel: engine.SelectLabel(e.Label, args[0].rel), local: args[0].local}, nil
@@ -326,7 +374,7 @@ func (ev *evaluator) applyOp(e xq.Call, args []*table, en *env) (*table, error) 
 		return &table{rel: engine.Children(args[0].rel), local: args[0].local}, nil
 	case xq.FnSubtreesDFS:
 		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.SubtreesDFS(args[0].rel, en.depth), local: args[0].local + 1}, nil
+		return &table{rel: ev.ops.subtreesDFS(args[0].rel, en.depth), local: args[0].local + 1}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown function %q", e.Fn)
 	}
@@ -479,11 +527,11 @@ func (ev *evaluator) evalFor(e xq.For, en *env) (*table, error) {
 	roots := engine.Roots(dom.rel)
 	index := engine.EnterIndex(roots)
 	newDepth := en.depth + dom.local
-	bound := engine.BindVar(dom.rel, roots, en.depth, newDepth)
+	bound := ev.ops.bindVar(dom.rel, roots, en.depth, newDepth)
 	child := en.child(newDepth, index)
 	child.vars[e.Var] = binding{tab: &table{rel: bound, local: dom.local}, depth: newDepth}
 	if e.Pos != "" {
-		pos := engine.Positions(roots, en.depth, newDepth)
+		pos := ev.ops.positions(roots, en.depth, newDepth)
 		child.vars[e.Pos] = binding{tab: &table{rel: pos, local: 1}, depth: newDepth}
 	}
 	ev.note("for-enter", start, len(index))
@@ -495,11 +543,4 @@ func (ev *evaluator) evalFor(e xq.For, en *env) (*table, error) {
 	// Exiting the loop costs nothing: the environment digits become part
 	// of the local position (the paper's width adjustment w_e · w_e').
 	return &table{rel: body.rel, local: dom.local + body.local}, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmark"
+	"dixq/internal/xmltree"
+	"dixq/internal/xq"
+)
+
+// sameTuples asserts two result relations are identical including the
+// physical digit count of every key.
+func sameTuples(t *testing.T, what string, got, want *interval.Relation) {
+	t.Helper()
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("%s: %d tuples, want %d", what, len(got.Tuples), len(want.Tuples))
+	}
+	for i := range want.Tuples {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if g.S != w.S || !slices.Equal(g.L, w.L) || !slices.Equal(g.R, w.R) {
+			t.Fatalf("%s: tuple %d is %s, want %s", what, i, g, w)
+		}
+	}
+}
+
+// TestFlatMatchesLegacyKeys runs random queries end to end under both
+// physical key layouts; the result relations must be digit-for-digit
+// identical in both plan modes.
+func TestFlatMatchesLegacyKeys(t *testing.T) {
+	const trials = 250
+	rng := rand.New(rand.NewSource(43))
+	docNames := []string{"d1", "d2"}
+	for trial := 0; trial < trials; trial++ {
+		docs := map[string]xmltree.Forest{}
+		for _, n := range docNames {
+			docs[n] = xmltree.RandomForest(rng, 10)
+		}
+		cat := EncodeCatalog(docs)
+		e := xq.RandomExpr(rng, docNames, 4)
+		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
+			q := Compile(e, Options{})
+			flat, err := q.Eval(cat, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("trial %d (%s, flat): %v on %s", trial, mode, err, e)
+			}
+			legacy, err := q.Eval(cat, Options{Mode: mode, LegacyKeys: true})
+			if err != nil {
+				t.Fatalf("trial %d (%s, legacy): %v on %s", trial, mode, err, e)
+			}
+			sameTuples(t, mode.String(), flat, legacy)
+		}
+	}
+}
+
+// TestParallelismExercisesParallelSorts lowers the parallel-sort threshold
+// so Parallelism > 1 actually fans out goroutines on test-sized inputs
+// (this is the run that must stay clean under -race), and checks results
+// against the serial evaluation.
+func TestParallelismExercisesParallelSorts(t *testing.T) {
+	old := interval.ParallelSortThreshold
+	interval.ParallelSortThreshold = 4
+	defer func() { interval.ParallelSortThreshold = old }()
+	cat, _ := generatedCatalog(0.005, 11)
+	for _, query := range []string{
+		xmark.Q8,
+		xmark.Q9,
+		`for $x in document("auction.xml")/site/people/person return sort($x/*)`,
+		`distinct(document("auction.xml")/site/regions/*/item/name)`,
+	} {
+		q := Compile(xq.MustParse(query), Options{})
+		serial, err := q.Eval(cat, Options{Mode: ModeMSJ})
+		if err != nil {
+			t.Fatalf("serial: %v on %s", err, query)
+		}
+		parallel, err := q.Eval(cat, Options{Mode: ModeMSJ, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("parallel: %v on %s", err, query)
+		}
+		sameTuples(t, query, parallel, serial)
+	}
+}
+
+// BenchmarkMSJ measures the merge-join evaluation of XMark Q8 in both key
+// layouts; the flat layout should cut allocations per run.
+func BenchmarkMSJ(b *testing.B) {
+	cat, _ := generatedCatalog(0.01, 7)
+	q := Compile(xq.MustParse(xmark.Q8), Options{})
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"flat", Options{Mode: ModeMSJ}},
+		{"legacy", Options{Mode: ModeMSJ, LegacyKeys: true}},
+		{"flat-parallel", Options{Mode: ModeMSJ, Parallelism: 8}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(cat, bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"strings"
-	"sync"
 
 	"dixq/internal/engine"
 	"dixq/internal/interval"
@@ -75,13 +74,13 @@ func (ev *evaluator) tryMergeJoin(e xq.For, en *env) (*table, bool, error) {
 	roots := engine.Roots(domTab.rel)
 	yIndex := engine.EnterIndex(roots)
 	yDepth := d0 + domTab.local
-	yBound := engine.BindVar(domTab.rel, roots, d0, yDepth)
+	yBound := ev.ops.bindVar(domTab.rel, roots, d0, yDepth)
 	done()
 	yEnv := anc.child(yDepth, yIndex)
 	yEnv.vars[e.Var] = binding{tab: &table{rel: yBound, local: domTab.local}, depth: yDepth}
 	var yPos *interval.Relation
 	if e.Pos != "" {
-		yPos = engine.Positions(roots, d0, yDepth)
+		yPos = ev.ops.positions(roots, d0, yDepth)
 		yEnv.vars[e.Pos] = binding{tab: &table{rel: yPos, local: 1}, depth: yDepth}
 	}
 
@@ -108,33 +107,68 @@ func (ev *evaluator) tryMergeJoin(e xq.For, en *env) (*table, bool, error) {
 	innerGroups := engine.GroupByEnv(yIndex, yDepth, innerTab.rel)
 	pairs := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism)
 
-	// (5): rebuild combined environments in document order.
+	// (5): rebuild combined environments in document order. The flat path
+	// writes every rebuilt key into shared fixed-stride buffers (one builder
+	// per output relation, one arena for the index keys); the legacy path
+	// keeps the original one-allocation-per-key construction.
 	newDepth := en.depth + domTab.local
 	yValGroups := engine.GroupByEnv(yIndex, yDepth, yBound)
 	var yPosGroups [][]interval.Tuple
-	joinedPos := &interval.Relation{}
 	if yPos != nil {
 		yPosGroups = engine.GroupByEnv(yIndex, yDepth, yPos)
 	}
 	newIndex := make(engine.Index, 0, len(pairs))
-	joined := &interval.Relation{}
-	rebase := func(dst *interval.Relation, base interval.Key, g []interval.Tuple) {
-		for _, t := range g {
-			dst.Tuples = append(dst.Tuples, interval.Tuple{
-				S: t.S,
-				L: base.Append(t.L.Suffix(yDepth)...),
-				R: base.Append(t.R.Suffix(yDepth)...),
-			})
+	var joined, joinedPos *interval.Relation
+	if ev.opts.LegacyKeys {
+		joined = &interval.Relation{}
+		joinedPos = &interval.Relation{}
+		rebase := func(dst *interval.Relation, base interval.Key, g []interval.Tuple) {
+			for _, t := range g {
+				dst.Tuples = append(dst.Tuples, interval.Tuple{
+					S: t.S,
+					L: base.Append(t.L.Suffix(yDepth)...),
+					R: base.Append(t.R.Suffix(yDepth)...),
+				})
+			}
 		}
-	}
-	for _, p := range pairs {
-		envKey := en.index[p.outer].Extend(en.depth).Append(yIndex[p.inner].Suffix(d0)...)
-		newIndex = append(newIndex, envKey)
-		base := envKey.Extend(newDepth)
-		rebase(joined, base, yValGroups[p.inner])
-		if yPosGroups != nil {
-			rebase(joinedPos, base, yPosGroups[p.inner])
+		for _, p := range pairs {
+			envKey := en.index[p.outer].Extend(en.depth).Append(yIndex[p.inner].Suffix(d0)...)
+			newIndex = append(newIndex, envKey)
+			base := envKey.Extend(newDepth)
+			rebase(joined, base, yValGroups[p.inner])
+			if yPosGroups != nil {
+				rebase(joinedPos, base, yPosGroups[p.inner])
+			}
 		}
+	} else {
+		lw := 0
+		for _, t := range yBound.Tuples {
+			if n := len(t.L) - yDepth; n > lw {
+				lw = n
+			}
+			if n := len(t.R) - yDepth; n > lw {
+				lw = n
+			}
+		}
+		valB := interval.NewBuilder(newDepth+lw, len(yBound.Tuples))
+		posBld := interval.NewBuilder(newDepth+1, 0)
+		var arena interval.KeyArena
+		for _, p := range pairs {
+			envKey := arena.Rebase(en.index[p.outer], en.depth, yIndex[p.inner], d0)
+			newIndex = append(newIndex, envKey)
+			valB.SetBase(envKey, newDepth)
+			for _, t := range yValGroups[p.inner] {
+				valB.Rebase(t.S, t.L, t.R, yDepth)
+			}
+			if yPosGroups != nil {
+				posBld.SetBase(envKey, newDepth)
+				for _, t := range yPosGroups[p.inner] {
+					posBld.Rebase(t.S, t.L, t.R, yDepth)
+				}
+			}
+		}
+		joined = valB.Relation()
+		joinedPos = posBld.Relation()
 	}
 	ev.stats.MergeJoins++
 	ev.note("merge-join", start, len(newIndex))
@@ -285,92 +319,25 @@ func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 			oi, ii = oEnd, iEnd
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].outer != pairs[b].outer {
-			return pairs[a].outer < pairs[b].outer
+	slices.SortFunc(pairs, func(a, b envPair) int {
+		if a.outer != b.outer {
+			return a.outer - b.outer
 		}
-		return pairs[a].inner < pairs[b].inner
+		return a.inner - b.inner
 	})
 	return pairs
 }
 
 // sortByKey returns the environment positions ordered by (d0-prefix of the
 // environment key, structural order of the key forest), ties broken by
-// position for determinism. With parallelism > 1 the slice is sorted in
-// concurrent chunks and merged; the comparator is pure, so the result is
-// identical to the serial sort.
+// position for determinism, through the shared interval.SortPerm kernel
+// (chunked parallel sort + pairwise merges when parallelism > 1; the
+// comparator is pure, so the result is identical to the serial sort).
 func sortByKey(index engine.Index, groups [][]interval.Tuple, d0 int, parallelism int) []int {
-	order := make([]int, len(index))
-	for i := range order {
-		order[i] = i
-	}
-	less := func(pa, pb int) bool {
-		if c := index[pa].ComparePrefix(index[pb], d0); c != 0 {
-			return c < 0
+	return interval.SortPerm(len(index), parallelism, func(a, b int) int {
+		if c := index[a].ComparePrefix(index[b], d0); c != 0 {
+			return c
 		}
-		if c := engine.CompareForests(groups[pa], groups[pb]); c != 0 {
-			return c < 0
-		}
-		return pa < pb
-	}
-	const parallelThreshold = 2048
-	if parallelism < 2 || len(order) < parallelThreshold {
-		sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
-		return order
-	}
-	parallelSort(order, less, parallelism)
-	return order
-}
-
-// parallelSort sorts positions with a chunked parallel sort followed by
-// pairwise merges.
-func parallelSort(order []int, less func(a, b int) bool, parallelism int) {
-	chunk := (len(order) + parallelism - 1) / parallelism
-	var chunks [][]int
-	for lo := 0; lo < len(order); lo += chunk {
-		hi := lo + chunk
-		if hi > len(order) {
-			hi = len(order)
-		}
-		chunks = append(chunks, order[lo:hi])
-	}
-	var wg sync.WaitGroup
-	for _, c := range chunks {
-		wg.Add(1)
-		go func(c []int) {
-			defer wg.Done()
-			sort.Slice(c, func(a, b int) bool { return less(c[a], c[b]) })
-		}(c)
-	}
-	wg.Wait()
-	// Pairwise merge rounds.
-	for len(chunks) > 1 {
-		var next [][]int
-		for i := 0; i < len(chunks); i += 2 {
-			if i+1 == len(chunks) {
-				next = append(next, chunks[i])
-				break
-			}
-			next = append(next, mergeSorted(chunks[i], chunks[i+1], less))
-		}
-		chunks = next
-	}
-	copy(order, chunks[0])
-}
-
-func mergeSorted(a, b []int, less func(x, y int) bool) []int {
-	out := make([]int, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if less(b[j], a[i]) {
-			out = append(out, b[j])
-			j++
-		} else {
-			out = append(out, a[i])
-			i++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+		return engine.CompareForests(groups[a], groups[b])
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dixq/internal/interp"
+	"dixq/internal/interval"
 	"dixq/internal/xmark"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
@@ -277,29 +278,16 @@ func TestParallelSortMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestMergeSortedHelper(t *testing.T) {
-	less := func(a, b int) bool { return a < b }
-	got := mergeSorted([]int{1, 4, 6}, []int{2, 3, 7, 9}, less)
-	want := []int{1, 2, 3, 4, 6, 7, 9}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("mergeSorted = %v", got)
-		}
+func TestSortByKeyParallelOddChunks(t *testing.T) {
+	// Odd chunk counts exercise the carry branch of the merge rounds of
+	// the shared sort kernel the merge join now runs on.
+	vals := make([]int, 5000)
+	for i := range vals {
+		vals[i] = (i * 7919) % 5003
 	}
-	if out := mergeSorted(nil, []int{1}, less); len(out) != 1 {
-		t.Fatal("empty side")
-	}
-}
-
-func TestParallelSortOddChunks(t *testing.T) {
-	// Odd chunk counts exercise the carry branch of the merge rounds.
-	order := make([]int, 5000)
-	for i := range order {
-		order[i] = (i * 7919) % 5003
-	}
-	parallelSort(order, func(a, b int) bool { return a < b }, 3)
+	order := interval.SortPerm(len(vals), 3, func(a, b int) int { return vals[a] - vals[b] })
 	for i := 1; i < len(order); i++ {
-		if order[i-1] > order[i] {
+		if vals[order[i-1]] > vals[order[i]] {
 			t.Fatalf("not sorted at %d", i)
 		}
 	}

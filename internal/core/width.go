@@ -120,12 +120,12 @@ func (a *widthAnalyzer) call(e xq.Call) (WidthAnalysis, error) {
 	case xq.FnNode: // w + 2
 		return WidthAnalysis{
 			Width:  new(big.Int).Add(args[0].Width, two),
-			Digits: maxInt(1, args[0].Digits),
+			Digits: max(1, args[0].Digits),
 		}, nil
 	case xq.FnConcat: // w1 + w2
 		return WidthAnalysis{
 			Width:  new(big.Int).Add(args[0].Width, args[1].Width),
-			Digits: maxInt(args[0].Digits, args[1].Digits),
+			Digits: max(args[0].Digits, args[1].Digits),
 		}, nil
 	case xq.FnHead, xq.FnTail, xq.FnReverse, xq.FnDistinct, xq.FnSelect,
 		xq.FnRoots, xq.FnChildren, xq.FnData, xq.FnSelText, xq.FnSort:
@@ -184,13 +184,6 @@ func (a *widthAnalyzer) cond(c xq.Cond) error {
 	default:
 		return fmt.Errorf("core: unknown condition %T", c)
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Explain renders a human-readable account of a compiled query: the

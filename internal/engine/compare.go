@@ -17,8 +17,12 @@ import "dixq/internal/interval"
 //
 // Time is linear in the smaller forest; space is bounded by forest depth.
 func CompareForests(a, b []interval.Tuple) int {
-	ia := eventIter{tuples: a}
-	ib := eventIter{tuples: b}
+	// Stack-backed iterator stacks: forests deeper than 16 spill to the
+	// heap, everything else makes DeepCompare allocation-free — it is the
+	// inner loop of every structural sort.
+	var sa, sb [16]interval.Key
+	ia := eventIter{tuples: a, stack: sa[:0]}
+	ib := eventIter{tuples: b, stack: sb[:0]}
 	for {
 		openA, labelA, okA := ia.next()
 		openB, labelB, okB := ib.next()

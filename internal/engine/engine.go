@@ -68,6 +68,30 @@ func forEachEnv(index Index, depth int, tuples []interval.Tuple, fn func(env int
 	}
 }
 
+// forEachEnv2 is forEachEnv over two relations in lockstep: fn sees both
+// environments' (possibly empty) groups in one merge pass, saving the two
+// [][]Tuple materializations GroupByEnv would make.
+func forEachEnv2(index Index, depth int, a, b []interval.Tuple, fn func(env interval.Key, ga, gb []interval.Tuple)) {
+	posA, posB := 0, 0
+	for _, env := range index {
+		for posA < len(a) && prefixCmp(a[posA].L, env, depth) < 0 {
+			posA++
+		}
+		startA := posA
+		for posA < len(a) && prefixCmp(a[posA].L, env, depth) == 0 {
+			posA++
+		}
+		for posB < len(b) && prefixCmp(b[posB].L, env, depth) < 0 {
+			posB++
+		}
+		startB := posB
+		for posB < len(b) && prefixCmp(b[posB].L, env, depth) == 0 {
+			posB++
+		}
+		fn(env, a[startA:posA], b[startB:posB])
+	}
+}
+
 // GroupByEnv materializes the per-environment tuple groups of a relation,
 // in index order, including empty groups. The returned slices alias the
 // relation's tuple storage.

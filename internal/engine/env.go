@@ -65,7 +65,7 @@ func EnterIndex(domainRoots *interval.Relation) Index {
 // within its source environment (positions restart when the oldDepth
 // prefix changes). One pass over the domain roots.
 func Positions(domainRoots *interval.Relation, oldDepth, newDepth int) *interval.Relation {
-	out := &interval.Relation{Tuples: make([]interval.Tuple, 0, len(domainRoots.Tuples))}
+	b := interval.NewBuilder(newDepth+1, len(domainRoots.Tuples))
 	n := 0
 	var prev interval.Key
 	for i, r := range domainRoots.Tuples {
@@ -74,14 +74,10 @@ func Positions(domainRoots *interval.Relation, oldDepth, newDepth int) *interval
 		}
 		n++
 		prev = r.L
-		base := r.L.Extend(newDepth)
-		out.Tuples = append(out.Tuples, interval.Tuple{
-			S: strconv.Itoa(n),
-			L: base.Append(0),
-			R: base.Append(1),
-		})
+		b.SetBase(r.L, newDepth)
+		b.Emit(strconv.Itoa(n), 0, 1)
 	}
-	return out
+	return b.Relation()
 }
 
 // BindVar computes T'_x, the table binding the loop variable to one tree
@@ -90,24 +86,20 @@ func Positions(domainRoots *interval.Relation, oldDepth, newDepth int) *interval
 // local coordinates (the paper's l−i·w_e term). depth is the old
 // environment depth; newDepth = depth + k is the new one. One merge pass.
 func BindVar(domain, domainRoots *interval.Relation, depth, newDepth int) *interval.Relation {
-	out := &interval.Relation{Tuples: make([]interval.Tuple, 0, len(domain.Tuples))}
+	b := interval.NewBuilder(newDepth+localWidth(domain.Tuples, depth), len(domain.Tuples))
 	pos := 0
 	for _, r := range domainRoots.Tuples {
-		base := r.L.Extend(newDepth)
+		b.SetBase(r.L, newDepth)
 		for pos < len(domain.Tuples) && interval.Compare(domain.Tuples[pos].L, r.L) < 0 {
 			pos++
 		}
 		for pos < len(domain.Tuples) && interval.Compare(domain.Tuples[pos].L, r.R) < 0 {
 			t := domain.Tuples[pos]
-			out.Tuples = append(out.Tuples, interval.Tuple{
-				S: t.S,
-				L: base.Append(t.L.Suffix(depth)...),
-				R: base.Append(t.R.Suffix(depth)...),
-			})
+			b.Rebase(t.S, t.L, t.R, depth)
 			pos++
 		}
 	}
-	return out
+	return b.Relation()
 }
 
 // EmbedOuter computes T'_e_j: it re-embeds an outer-environment table into
@@ -116,7 +108,7 @@ func BindVar(domain, domainRoots *interval.Relation, depth, newDepth int) *inter
 // the literal translation — output size |newIndex per old env| × |group|,
 // the quadratic heart of DI-NLJ plans. A nil budget means unlimited.
 func EmbedOuter(newIndex Index, oldDepth, newDepth int, rel *interval.Relation, budget *Budget) (*interval.Relation, error) {
-	out := &interval.Relation{}
+	b := interval.NewBuilder(newDepth+localWidth(rel.Tuples, oldDepth), len(rel.Tuples))
 	pos := 0
 	var group []interval.Tuple
 	var groupEnv interval.Key
@@ -138,16 +130,12 @@ func EmbedOuter(newIndex Index, oldDepth, newDepth int, rel *interval.Relation, 
 		if !budget.charge(int64(len(group))) {
 			return nil, ErrBudgetExceeded
 		}
-		base := env.Extend(newDepth)
+		b.SetBase(env, newDepth)
 		for _, t := range group {
-			out.Tuples = append(out.Tuples, interval.Tuple{
-				S: t.S,
-				L: base.Append(t.L.Suffix(oldDepth)...),
-				R: base.Append(t.R.Suffix(oldDepth)...),
-			})
+			b.Rebase(t.S, t.L, t.R, oldDepth)
 		}
 	}
-	return out, nil
+	return b.Relation(), nil
 }
 
 // FilterIndex keeps the index entries whose aligned keep flag is true —
@@ -192,12 +180,10 @@ func EmptyPerEnv(index Index, depth int, rel *interval.Relation) []bool {
 // every environment of the index: the concatenated text content of a's
 // forest must contain b's as a substring. One merge pass per table.
 func ContainsPerEnv(index Index, depth int, a, b *interval.Relation) []bool {
-	ga := GroupByEnv(index, depth, a)
-	gb := GroupByEnv(index, depth, b)
-	out := make([]bool, len(index))
-	for i := range index {
-		out[i] = strings.Contains(textOf(ga[i]), textOf(gb[i]))
-	}
+	out := make([]bool, 0, len(index))
+	forEachEnv2(index, depth, a.Tuples, b.Tuples, func(_ interval.Key, ga, gb []interval.Tuple) {
+		out = append(out, strings.Contains(textOf(ga), textOf(gb)))
+	})
 	return out
 }
 
@@ -217,11 +203,9 @@ func textOf(g []interval.Tuple) string {
 // every environment of the index, returning -1/0/+1 per environment. It is
 // the per-environment application of the DeepCompare operator.
 func ComparePerEnv(index Index, depth int, a, b *interval.Relation) []int {
-	ga := GroupByEnv(index, depth, a)
-	gb := GroupByEnv(index, depth, b)
-	out := make([]int, len(index))
-	for i := range index {
-		out[i] = CompareForests(ga[i], gb[i])
-	}
+	out := make([]int, 0, len(index))
+	forEachEnv2(index, depth, a.Tuples, b.Tuples, func(_ interval.Key, ga, gb []interval.Tuple) {
+		out = append(out, CompareForests(ga, gb))
+	})
 	return out
 }

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+// sameRelation asserts two relations are identical tuple-for-tuple,
+// including the physical digit count of every key — the flat layout must
+// be indistinguishable from the per-key layout even under reflection-level
+// scrutiny (String(), len()), not merely comparison-equal.
+func sameRelation(t *testing.T, what string, got, want *interval.Relation) {
+	t.Helper()
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("%s: %d tuples, want %d", what, len(got.Tuples), len(want.Tuples))
+	}
+	for i := range want.Tuples {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if g.S != w.S || !slices.Equal(g.L, w.L) || !slices.Equal(g.R, w.R) {
+			t.Fatalf("%s: tuple %d is %s (digits %d/%d), want %s (digits %d/%d)",
+				what, i, g, len(g.L), len(g.R), w, len(w.L), len(w.R))
+		}
+	}
+}
+
+// TestFlatOpsMatchLegacyOps is the differential property test of the flat
+// key layout: every key-constructing operator must produce exactly the
+// relation its legacy (per-key-allocation) twin produces, on random
+// forests, at environment depths 0 through 2.
+func TestFlatOpsMatchLegacyOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(20030610))
+	for trial := 0; trial < 200; trial++ {
+		rel := interval.Encode(xmltree.RandomForest(rng, 14))
+		rel2 := interval.Encode(xmltree.RandomForest(rng, 8))
+
+		// Depth 0: the whole document is one environment.
+		index0 := Index{interval.Key{}}
+		checkOps(t, index0, 0, rel, rel2)
+
+		// Depth 1: one environment per top-level tree (a for-loop entry).
+		roots := Roots(rel)
+		index1 := EnterIndex(roots)
+		bound := BindVar(rel, roots, 0, 1)
+		sameRelation(t, "BindVar", bound, BindVarLegacy(rel, roots, 0, 1))
+		sameRelation(t, "Positions", Positions(roots, 0, 1), PositionsLegacy(roots, 0, 1))
+		emb, err := EmbedOuter(index1, 0, 1, rel2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		embL, err := EmbedOuterLegacy(index1, 0, 1, rel2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRelation(t, "EmbedOuter", emb, embL)
+		checkOps(t, index1, 1, bound, emb)
+
+		// Depth 2: a nested for-loop over the depth-1 bindings.
+		roots2 := Roots(bound)
+		if len(roots2.Tuples) == 0 {
+			continue
+		}
+		index2 := EnterIndex(roots2)
+		bound2 := BindVar(bound, roots2, 1, 2)
+		sameRelation(t, "BindVar/2", bound2, BindVarLegacy(bound, roots2, 1, 2))
+		sameRelation(t, "Positions/2", Positions(roots2, 1, 2), PositionsLegacy(roots2, 1, 2))
+		emb2, err := EmbedOuter(index2, 1, 2, bound, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emb2L, err := EmbedOuterLegacy(index2, 1, 2, bound, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRelation(t, "EmbedOuter/2", emb2, emb2L)
+		checkOps(t, index2, 2, bound2, emb2)
+	}
+}
+
+// checkOps compares every unary/binary key-constructing operator across
+// layouts for one environment setting. a and b are relations whose tuples
+// carry depth-digit environment prefixes from index.
+func checkOps(t *testing.T, index Index, depth int, a, b *interval.Relation) {
+	t.Helper()
+	sameRelation(t, "Reverse", Reverse(a, depth), ReverseLegacy(a, depth))
+	sameRelation(t, "SortTrees", SortTrees(a, depth), SortTreesLegacy(a, depth))
+	sameRelation(t, "SortTreesP", SortTreesP(a, depth, 4), SortTreesLegacy(a, depth))
+	sameRelation(t, "SubtreesDFS", SubtreesDFS(a, depth), SubtreesDFSLegacy(a, depth))
+	sameRelation(t, "Construct", Construct(index, depth, "el", a), ConstructLegacy(index, depth, "el", a))
+	sameRelation(t, "Concat", Concat(index, depth, a, b), ConcatLegacy(index, depth, a, b))
+	sameRelation(t, "Concat/rev", Concat(index, depth, b, a), ConcatLegacy(index, depth, b, a))
+	sameRelation(t, "Count", Count(index, depth, a), CountLegacy(index, depth, a))
+}

@@ -7,6 +7,15 @@ import (
 	"dixq/internal/xmltree"
 )
 
+// The operators in this file that derive new keys (Reverse, SortTrees,
+// SubtreesDFS, Construct, Concat, Count) build their output through
+// interval.Builder: all digits of the derived relation go into one shared
+// fixed-stride buffer instead of one heap allocation per key. The stride
+// is the bound on output key length — environment depth plus the input's
+// physical local width, the quantity the compile-time width inference of
+// Section 4.3 tracks symbolically. See legacy.go for the per-key reference
+// implementations.
+
 // Roots is the roots-extraction operator of Algorithm 5.2: it keeps the
 // tuples not strictly contained in any other interval. With dynamic
 // intervals the single pass needs no environment awareness at all — tuples
@@ -134,18 +143,31 @@ func treeRanges(g []interval.Tuple) [][2]int {
 	return ranges
 }
 
+// localWidth returns the largest physical key length beyond depth — the
+// data-level counterpart of the local width the compile-time analysis
+// bounds, and the quantity that fixes a builder's stride.
+func localWidth(tuples []interval.Tuple, depth int) int {
+	w := 0
+	for _, t := range tuples {
+		if n := len(t.L) - depth; n > w {
+			w = n
+		}
+		if n := len(t.R) - depth; n > w {
+			w = n
+		}
+	}
+	return w
+}
+
 // emitTree appends one top-level tree with a fresh position digit inserted
 // between the environment prefix and the original local part, implementing
 // the renumbering used by reverse, sort and subtrees-dfs. The output local
 // width grows by one digit.
-func emitTree(out *interval.Relation, prefix interval.Key, depth int, pos int64, tree []interval.Tuple) {
-	base := prefixKey(prefix, depth).Append(pos)
+func emitTree(b *interval.Builder, prefix interval.Key, depth int, pos int64, tree []interval.Tuple) {
+	b.SetBase(prefix, depth)
+	b.PushBaseDigit(pos)
 	for _, t := range tree {
-		out.Tuples = append(out.Tuples, interval.Tuple{
-			S: t.S,
-			L: base.Append(t.L.Suffix(depth)...),
-			R: base.Append(t.R.Suffix(depth)...),
-		})
+		b.Rebase(t.S, t.L, t.R, depth)
 	}
 }
 
@@ -153,15 +175,15 @@ func emitTree(out *interval.Relation, prefix interval.Key, depth int, pos int64,
 // Trees are renumbered with a leading position digit (output local width =
 // input width + 1).
 func Reverse(rel *interval.Relation, depth int) *interval.Relation {
-	out := &interval.Relation{}
+	b := interval.NewBuilder(depth+1+localWidth(rel.Tuples, depth), len(rel.Tuples))
 	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
 		ranges := treeRanges(g)
 		prefix := g[0].L
 		for j := len(ranges) - 1; j >= 0; j-- {
-			emitTree(out, prefix, depth, int64(len(ranges)-1-j), g[ranges[j][0]:ranges[j][1]])
+			emitTree(b, prefix, depth, int64(len(ranges)-1-j), g[ranges[j][0]:ranges[j][1]])
 		}
 	})
-	return out
+	return b.Relation()
 }
 
 // SortTrees orders each environment's top-level trees by structural (tree)
@@ -169,70 +191,47 @@ func Reverse(rel *interval.Relation, depth int) *interval.Relation {
 // are renumbered with a leading position digit. O(k log k) comparisons per
 // environment, each linear in the trees compared.
 func SortTrees(rel *interval.Relation, depth int) *interval.Relation {
-	out := &interval.Relation{}
+	return SortTreesP(rel, depth, 1)
+}
+
+// SortTreesP is SortTrees with the structural sort running on up to
+// parallelism goroutines for large environments. Output is identical at
+// any setting.
+func SortTreesP(rel *interval.Relation, depth, parallelism int) *interval.Relation {
+	b := interval.NewBuilder(depth+1+localWidth(rel.Tuples, depth), len(rel.Tuples))
 	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
 		ranges := treeRanges(g)
-		order := stableSortRanges(g, ranges)
+		order := stableSortRanges(g, ranges, parallelism)
 		prefix := g[0].L
 		for j, idx := range order {
-			emitTree(out, prefix, depth, int64(j), g[ranges[idx][0]:ranges[idx][1]])
+			emitTree(b, prefix, depth, int64(j), g[ranges[idx][0]:ranges[idx][1]])
 		}
 	})
-	return out
+	return b.Relation()
 }
 
 // stableSortRanges returns the tree indices in structural order, breaking
-// ties by original position (stability).
-func stableSortRanges(g []interval.Tuple, ranges [][2]int) []int {
-	order := make([]int, len(ranges))
-	for i := range order {
-		order[i] = i
-	}
-	// Merge sort for stability without extra comparator state.
-	var tmp = make([]int, len(order))
-	var msort func(lo, hi int)
-	msort = func(lo, hi int) {
-		if hi-lo < 2 {
-			return
-		}
-		mid := (lo + hi) / 2
-		msort(lo, mid)
-		msort(mid, hi)
-		i, j, k := lo, mid, lo
-		for i < mid && j < hi {
-			a := g[ranges[order[i]][0]:ranges[order[i]][1]]
-			b := g[ranges[order[j]][0]:ranges[order[j]][1]]
-			if CompareForests(a, b) <= 0 {
-				tmp[k] = order[i]
-				i++
-			} else {
-				tmp[k] = order[j]
-				j++
-			}
-			k++
-		}
-		for i < mid {
-			tmp[k] = order[i]
-			i, k = i+1, k+1
-		}
-		for j < hi {
-			tmp[k] = order[j]
-			j, k = j+1, k+1
-		}
-		copy(order[lo:hi], tmp[lo:hi])
-	}
-	msort(0, len(order))
-	return order
+// ties by original position (stability) — an index-permutation sort shared
+// with every other structural sort in the engine.
+func stableSortRanges(g []interval.Tuple, ranges [][2]int, parallelism int) []int {
+	return interval.SortPerm(len(ranges), parallelism, func(a, b int) int {
+		return CompareForests(g[ranges[a][0]:ranges[a][1]], g[ranges[b][0]:ranges[b][1]])
+	})
 }
 
 // Distinct keeps the structurally distinct top-level trees of each
 // environment's forest, first occurrence preserved, original intervals
 // unchanged. Sort-based: O(k log k) tree comparisons per environment.
 func Distinct(rel *interval.Relation, depth int) *interval.Relation {
+	return DistinctP(rel, depth, 1)
+}
+
+// DistinctP is Distinct with a parallel structural sort (see SortTreesP).
+func DistinctP(rel *interval.Relation, depth, parallelism int) *interval.Relation {
 	out := &interval.Relation{}
 	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
 		ranges := treeRanges(g)
-		order := stableSortRanges(g, ranges)
+		order := stableSortRanges(g, ranges, parallelism)
 		keep := make([]bool, len(ranges))
 		for i := 0; i < len(order); {
 			j := i + 1
@@ -262,7 +261,7 @@ func Distinct(rel *interval.Relation, depth int) *interval.Relation {
 // leading position digit. Quadratic in the worst case (the paper's
 // w_subtreesdfs = w² width bound reflects the same blow-up).
 func SubtreesDFS(rel *interval.Relation, depth int) *interval.Relation {
-	out := &interval.Relation{}
+	b := interval.NewBuilder(depth+1+localWidth(rel.Tuples, depth), len(rel.Tuples))
 	forEachGroup(rel.Tuples, depth, func(g []interval.Tuple) {
 		prefix := g[0].L
 		for i, t := range g {
@@ -270,10 +269,10 @@ func SubtreesDFS(rel *interval.Relation, depth int) *interval.Relation {
 			for end < len(g) && interval.Compare(g[end].L, t.R) < 0 {
 				end++
 			}
-			emitTree(out, prefix, depth, int64(i), g[i:end])
+			emitTree(b, prefix, depth, int64(i), g[i:end])
 		}
 	})
-	return out
+	return b.Relation()
 }
 
 // Construct is the XNode element-constructor template (Section 4.1): for
@@ -282,60 +281,40 @@ func SubtreesDFS(rel *interval.Relation, depth int) *interval.Relation {
 // shifted by +1; the new root spans them. Environments with empty forests
 // still produce a (leaf) root, which is why the operator needs the index.
 func Construct(index Index, depth int, label string, rel *interval.Relation) *interval.Relation {
-	out := &interval.Relation{}
+	stride := depth + 1
+	if w := localWidth(rel.Tuples, depth); depth+w > stride {
+		stride = depth + w
+	}
+	b := interval.NewBuilder(stride, len(rel.Tuples)+len(index))
 	forEachEnv(index, depth, rel.Tuples, func(env interval.Key, g []interval.Tuple) {
-		base := env.Extend(depth)
-		rootAt := len(out.Tuples)
-		out.Tuples = append(out.Tuples, interval.Tuple{S: label, L: base.Append(0)})
+		b.SetBase(env, depth)
+		root := b.Emit(label, 0, 0)
 		var maxFirst int64
 		for _, t := range g {
-			out.Tuples = append(out.Tuples, interval.Tuple{
-				S: t.S,
-				L: shiftFirstLocal(t.L, depth, 1),
-				R: shiftFirstLocal(t.R, depth, 1),
-			})
+			b.RebaseShift(t.S, t.L, t.R, depth, 1)
 			if d := t.R.Digit(depth) + 1; d > maxFirst {
 				maxFirst = d
 			}
 		}
-		out.Tuples[rootAt].R = base.Append(maxFirst + 1)
+		b.SetRTail(root, maxFirst+1)
 	})
-	return out
-}
-
-// prefixKey returns the first depth digits of a key as a fresh key,
-// padding with zeros when the key is physically shorter.
-func prefixKey(k interval.Key, depth int) interval.Key {
-	out := make(interval.Key, depth)
-	for i := range out {
-		out[i] = k.Digit(i)
-	}
-	return out
-}
-
-// shiftFirstLocal adds delta to the digit at position depth (the first
-// local digit), materializing implicit zeros as needed.
-func shiftFirstLocal(k interval.Key, depth int, delta int64) interval.Key {
-	n := len(k)
-	if n < depth+1 {
-		n = depth + 1
-	}
-	out := make(interval.Key, n)
-	copy(out, k)
-	out[depth] += delta
-	return out
+	return b.Relation()
 }
 
 // Concat is the @ operator: per environment, the second forest is shifted
 // past the first by bumping its first local digit with a per-environment
 // offset computed in the same merge pass. One pass over both inputs.
 func Concat(index Index, depth int, a, b *interval.Relation) *interval.Relation {
-	out := &interval.Relation{}
+	stride := depth + 1
+	if w := localWidth(b.Tuples, depth); depth+w > stride {
+		stride = depth + w
+	}
+	out := interval.NewBuilder(stride, len(a.Tuples)+len(b.Tuples))
 	posB := 0
 	forEachEnv(index, depth, a.Tuples, func(env interval.Key, ga []interval.Tuple) {
 		var shift int64
 		for _, t := range ga {
-			out.Tuples = append(out.Tuples, t)
+			out.Add(t)
 			if d := t.R.Digit(depth) + 1; d > shift {
 				shift = d
 			}
@@ -343,28 +322,27 @@ func Concat(index Index, depth int, a, b *interval.Relation) *interval.Relation 
 		for posB < len(b.Tuples) && prefixCmp(b.Tuples[posB].L, env, depth) < 0 {
 			posB++
 		}
+		if shift != 0 {
+			out.SetBase(env, depth)
+		}
 		for posB < len(b.Tuples) && prefixCmp(b.Tuples[posB].L, env, depth) == 0 {
 			t := b.Tuples[posB]
 			if shift == 0 {
-				out.Tuples = append(out.Tuples, t)
+				out.Add(t)
 			} else {
-				out.Tuples = append(out.Tuples, interval.Tuple{
-					S: t.S,
-					L: shiftFirstLocal(t.L, depth, shift),
-					R: shiftFirstLocal(t.R, depth, shift),
-				})
+				out.RebaseShift(t.S, t.L, t.R, depth, shift)
 			}
 			posB++
 		}
 	})
-	return out
+	return out.Relation()
 }
 
 // Count emits, for every environment of the index, a single text tuple
 // holding the decimal number of top-level trees in that environment's
 // forest — the count() aggregate of the XMark queries.
 func Count(index Index, depth int, rel *interval.Relation) *interval.Relation {
-	out := &interval.Relation{}
+	b := interval.NewBuilder(depth+1, len(index))
 	forEachEnv(index, depth, rel.Tuples, func(env interval.Key, g []interval.Tuple) {
 		n := 0
 		var max interval.Key
@@ -376,12 +354,8 @@ func Count(index Index, depth int, rel *interval.Relation) *interval.Relation {
 				n++
 			}
 		}
-		base := env.Extend(depth)
-		out.Tuples = append(out.Tuples, interval.Tuple{
-			S: strconv.Itoa(n),
-			L: base.Append(0),
-			R: base.Append(1),
-		})
+		b.SetBase(env, depth)
+		b.Emit(strconv.Itoa(n), 0, 1)
 	})
-	return out
+	return b.Relation()
 }

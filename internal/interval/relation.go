@@ -2,7 +2,7 @@ package interval
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"dixq/internal/xmltree"
@@ -31,17 +31,28 @@ func (r *Relation) Len() int { return len(r.Tuples) }
 
 // Sort sorts the tuples by L key. Operators that construct output in
 // document order need not call it.
-func (r *Relation) Sort() {
-	sort.Slice(r.Tuples, func(i, j int) bool {
-		return Compare(r.Tuples[i].L, r.Tuples[j].L) < 0
+func (r *Relation) Sort() { r.SortP(1) }
+
+// SortP sorts the tuples by L key, using up to parallelism goroutines on
+// large inputs (see SortPerm). The result is identical at any setting.
+func (r *Relation) SortP(parallelism int) {
+	if parallelism < 2 || len(r.Tuples) < ParallelSortThreshold {
+		slices.SortFunc(r.Tuples, func(a, b Tuple) int { return Compare(a.L, b.L) })
+		return
+	}
+	order := SortPerm(len(r.Tuples), parallelism, func(i, j int) int {
+		return Compare(r.Tuples[i].L, r.Tuples[j].L)
 	})
+	out := make([]Tuple, len(r.Tuples))
+	for i, p := range order {
+		out[i] = r.Tuples[p]
+	}
+	r.Tuples = out
 }
 
 // IsSorted reports whether the tuples are in L order.
 func (r *Relation) IsSorted() bool {
-	return sort.SliceIsSorted(r.Tuples, func(i, j int) bool {
-		return Compare(r.Tuples[i].L, r.Tuples[j].L) < 0
-	})
+	return slices.IsSortedFunc(r.Tuples, func(a, b Tuple) int { return Compare(a.L, b.L) })
 }
 
 // Clone returns a relation with a copied tuple slice (keys are shared;

@@ -1,0 +1,92 @@
+package interval
+
+import (
+	"slices"
+	"sync"
+)
+
+// ParallelSortThreshold is the minimum input length for which SortPerm
+// splits work across goroutines; below it the parallel setup costs more
+// than it saves. It is a variable so tests and benchmarks can force the
+// parallel path on small inputs.
+var ParallelSortThreshold = 2048
+
+// SortPerm returns a permutation of [0, n) ordering positions by cmp,
+// stably: positions comparing equal keep their original relative order.
+// With parallelism > 1 and n at or above ParallelSortThreshold the
+// positions are sorted in concurrent chunks and pairwise-merged; cmp must
+// then be safe for concurrent calls (pure comparators over shared
+// read-only data are). The result is identical at any parallelism.
+//
+// This is the engine's one structural-sort kernel: Relation.SortP, the
+// flat columnar sort, SortTrees/Distinct tree ordering and the MSJ sort
+// phase all go through it.
+func SortPerm(n, parallelism int, cmp func(a, b int) int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Index order breaks ties, which both makes the sort stable and keeps
+	// the chunk merges deterministic.
+	c := func(a, b int) int {
+		if v := cmp(a, b); v != 0 {
+			return v
+		}
+		return a - b
+	}
+	if parallelism < 2 || n < ParallelSortThreshold {
+		slices.SortFunc(order, c)
+		return order
+	}
+	parallelSortPerm(order, c, parallelism)
+	return order
+}
+
+// parallelSortPerm sorts positions with concurrently sorted chunks
+// followed by pairwise merge rounds.
+func parallelSortPerm(order []int, cmp func(a, b int) int, parallelism int) {
+	chunk := (len(order) + parallelism - 1) / parallelism
+	var chunks [][]int
+	for lo := 0; lo < len(order); lo += chunk {
+		hi := min(lo+chunk, len(order))
+		chunks = append(chunks, order[lo:hi])
+	}
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		wg.Add(1)
+		go func(c []int) {
+			defer wg.Done()
+			slices.SortFunc(c, cmp)
+		}(c)
+	}
+	wg.Wait()
+	for len(chunks) > 1 {
+		var next [][]int
+		for i := 0; i < len(chunks); i += 2 {
+			if i+1 == len(chunks) {
+				next = append(next, chunks[i])
+				break
+			}
+			next = append(next, mergePerm(chunks[i], chunks[i+1], cmp))
+		}
+		chunks = next
+	}
+	copy(order, chunks[0])
+}
+
+func mergePerm(a, b []int, cmp func(x, y int) int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(b[j], a[i]) < 0 {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -43,6 +43,27 @@ func (s *Scan) Next() (interval.Tuple, bool) {
 	return t, true
 }
 
+// FlatScan iterates a columnar relation (interval.Flat) directly: each
+// tuple is a zero-copy view into the shared digit buffer, so a fused chain
+// over flat storage allocates nothing per row.
+type FlatScan struct {
+	f   *interval.Flat
+	pos int
+}
+
+// NewFlatScan returns an iterator over a flat relation's rows.
+func NewFlatScan(f *interval.Flat) *FlatScan { return &FlatScan{f: f} }
+
+// Next implements Iterator.
+func (s *FlatScan) Next() (interval.Tuple, bool) {
+	if s.pos >= s.f.Len() {
+		return interval.Tuple{}, false
+	}
+	t := s.f.Tuple(s.pos)
+	s.pos++
+	return t, true
+}
+
 // Materialize drains an iterator into a relation.
 func Materialize(it Iterator) *interval.Relation {
 	out := &interval.Relation{}
@@ -193,9 +214,17 @@ func (h *headTail) Next() (interval.Tuple, bool) {
 			return interval.Tuple{}, false
 		}
 		if !h.havePrefix || t.L.ComparePrefix(h.prefix, h.depth) != 0 {
-			// New environment: its first tuple is the first root.
+			// New environment: its first tuple is the first root. The
+			// prefix buffer is reused across environments (only the depth
+			// digits matter for the group test).
 			h.havePrefix = true
-			h.prefix = t.L.Clone()
+			if cap(h.prefix) < h.depth {
+				h.prefix = make(interval.Key, h.depth)
+			}
+			h.prefix = h.prefix[:h.depth]
+			for i := range h.prefix {
+				h.prefix[i] = t.L.Digit(i)
+			}
 			h.end = t.R
 			h.done = false
 			if h.head {

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"dixq"
+)
+
+// planCache is an LRU of compiled query plans keyed by (query text,
+// engine). Parsing and rewriting a query is pure, and a compiled
+// dixq.Query is immutable and safe for concurrent reuse (every Run builds
+// a fresh evaluator), so one cached plan can serve many requests. A nil
+// *planCache is a valid disabled cache.
+type planCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type planEntry struct {
+	key string
+	q   *dixq.Query
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// planKey builds the cache key for a request.
+func planKey(query, engine string) string { return query + "\x00" + engine }
+
+// get returns the cached plan for key and promotes it to most-recent.
+func (c *planCache) get(key string) (*dixq.Query, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*planEntry).q, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a plan, evicting the least recently used entry past capacity.
+func (c *planCache) put(key string, q *dixq.Query) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planEntry).q = q
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, q: q})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*planEntry).key)
+	}
+}
+
+// counts returns the cumulative hit/miss counters.
+func (c *planCache) counts() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -20,15 +20,23 @@ type Config struct {
 	Timeout time.Duration
 	// MaxTuples per query for the DI engines; zero means none.
 	MaxTuples int64
+	// PlanCacheSize caps the LRU cache of compiled query plans, keyed by
+	// (query text, engine). 0 means the default of 128; negative disables
+	// caching.
+	PlanCacheSize int
 }
 
+// defaultPlanCacheSize is the plan-cache capacity when Config leaves it 0.
+const defaultPlanCacheSize = 128
+
 // Server answers queries against a fixed document catalog. It is safe for
-// concurrent use: the catalog is read-only after construction and the
-// engines share nothing per run.
+// concurrent use: the catalog is read-only after construction, the engines
+// share nothing per run, and the plan cache is internally locked.
 type Server struct {
-	cat  *dixq.Catalog
-	docs []DocInfo
-	cfg  Config
+	cat   *dixq.Catalog
+	docs  []DocInfo
+	cfg   Config
+	plans *planCache
 }
 
 // DocInfo describes one loaded document.
@@ -41,7 +49,11 @@ type DocInfo struct {
 // New builds a server over named documents.
 func New(docs map[string]*dixq.Document, cfg Config) *Server {
 	cat := dixq.NewCatalog()
-	s := &Server{cat: cat, cfg: cfg}
+	size := cfg.PlanCacheSize
+	if size == 0 {
+		size = defaultPlanCacheSize
+	}
+	s := &Server{cat: cat, cfg: cfg, plans: newPlanCache(size)}
 	for name, d := range docs {
 		cat.Add(name, d)
 		s.docs = append(s.docs, DocInfo{Name: name, Nodes: d.Nodes(), Depth: d.Depth()})
@@ -69,7 +81,8 @@ type QueryResponse struct {
 	Stats     *StatsJSON `json:"stats,omitempty"`
 }
 
-// StatsJSON is the Figure 10 phase breakdown for DI engine runs.
+// StatsJSON is the Figure 10 phase breakdown for DI engine runs, plus the
+// server's cumulative plan-cache counters.
 type StatsJSON struct {
 	PathsMS        float64 `json:"paths_ms"`
 	JoinMS         float64 `json:"join_ms"`
@@ -77,6 +90,8 @@ type StatsJSON struct {
 	MergeJoins     int     `json:"merge_joins"`
 	NestedLoops    int     `json:"nested_loops"`
 	EmbeddedTuples int64   `json:"embedded_tuples"`
+	PlanCacheHits  uint64  `json:"plan_cache_hits"`
+	PlanCacheMiss  uint64  `json:"plan_cache_misses"`
 }
 
 type errorResponse struct {
@@ -116,11 +131,16 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
 		return nil, nil, false
 	}
+	key := planKey(req.Query, req.Engine)
+	if q, ok := s.plans.get(key); ok {
+		return &req, q, true
+	}
 	q, err := dixq.ParseQuery(req.Query)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return nil, nil, false
 	}
+	s.plans.put(key, q)
 	return &req, q, true
 }
 
@@ -156,6 +176,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.XML = res.Document().IndentedXML()
 	}
 	if st := res.Stats; st != nil {
+		hits, misses := s.plans.counts()
 		out.Stats = &StatsJSON{
 			PathsMS:        ms(st.Paths),
 			JoinMS:         ms(st.Join),
@@ -163,6 +184,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			MergeJoins:     st.MergeJoins,
 			NestedLoops:    st.NestedLoops,
 			EmbeddedTuples: st.EmbeddedTuples,
+			PlanCacheHits:  hits,
+			PlanCacheMiss:  misses,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -179,3 +179,71 @@ func TestConcurrentQueries(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanCache(t *testing.T) {
+	ts := testServer(t, Config{})
+	query := `for $x in document("auction.xml")/site/regions return count($x/*)`
+	var last StatsJSON
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/query", QueryRequest{Query: query})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Stats == nil {
+			t.Fatal("missing stats")
+		}
+		last = *out.Stats
+	}
+	if last.PlanCacheMiss != 1 || last.PlanCacheHits != 2 {
+		t.Fatalf("want 1 miss / 2 hits, got %d / %d", last.PlanCacheMiss, last.PlanCacheHits)
+	}
+	// A different engine is a different cache key.
+	resp, body := postJSON(t, ts.URL+"/query", QueryRequest{Query: query, Engine: "di-nlj"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.PlanCacheMiss != 2 {
+		t.Fatalf("want 2 misses after engine change, got %d", out.Stats.PlanCacheMiss)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	q := &dixq.Query{}
+	c.put("a", q)
+	c.put("b", q)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted early")
+	}
+	c.put("c", q) // evicts b (least recently used after a's promotion)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived past capacity")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a lost")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	hits, misses := c.counts()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("counts = %d/%d", hits, misses)
+	}
+	// Disabled cache: all operations are no-ops.
+	var off *planCache
+	off.put("x", q)
+	if _, ok := off.get("x"); ok {
+		t.Fatal("disabled cache returned a plan")
+	}
+}

@@ -150,6 +150,9 @@ func Read(r io.Reader) (*interval.Relation, error) {
 
 type decoder struct {
 	br *bufio.Reader
+	// arena backs all decoded keys, replacing two heap allocations per
+	// tuple with shared chunks.
+	arena interval.KeyArena
 }
 
 func (d *decoder) uvarint() (uint64, error) {
@@ -174,7 +177,7 @@ func (d *decoder) key() (interval.Key, error) {
 	if n > 1<<16 {
 		return nil, fmt.Errorf("store: implausible key length %d", n)
 	}
-	k := make(interval.Key, n)
+	k := d.arena.Alloc(int(n))
 	for i := range k {
 		v, err := binary.ReadUvarint(d.br)
 		if err != nil {
@@ -223,11 +226,4 @@ func dirOf(path string) string {
 		}
 	}
 	return "."
-}
-
-func min(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }
