@@ -247,10 +247,10 @@ func BenchmarkParse(b *testing.B) {
 // BenchmarkSQLGeneration measures translation (not execution) of Q8 to
 // its single SQL statement.
 func BenchmarkSQLGeneration(b *testing.B) {
-	e := xq.MustParse(xmark.Q8)
+	p := sqlgen.Plan(xq.MustParse(xmark.Q8))
 	widths := map[string]int64{xmark.DocName: 1 << 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := sqlgen.Generate(e, widths); err != nil {
+		if _, err := sqlgen.Generate(p, widths); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"dixq/internal/engine"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
+	"dixq/internal/plan"
 	"dixq/internal/sqlgen"
 	"dixq/internal/store"
 	"dixq/internal/xmark"
@@ -184,6 +185,16 @@ type Options struct {
 	// Trace, when non-nil, collects per-operator statistics (DI engines
 	// only).
 	Trace *Trace
+	// Parallelism bounds the goroutines used by the structural sorts (DI
+	// engines); values < 2 keep evaluation single-threaded.
+	Parallelism int
+	// LegacyKeys selects the per-key-allocation operator implementations
+	// instead of the flat shared-buffer layout (DI engines; output is
+	// identical — the switch exists for differential benchmarking).
+	LegacyKeys bool
+	// NoPipeline disables streaming fusion of path-operator chains, forcing
+	// every operator to materialize its output (DI engines).
+	NoPipeline bool
 }
 
 // ErrBudgetExceeded reports that a run hit Options.Timeout or MaxTuples.
@@ -240,6 +251,61 @@ func (q *Query) Core() string { return q.expr.String() }
 // strategy available for each loop.
 func (q *Query) Explain() string { return q.q.Explain() }
 
+// OperatorStat is one plan operator's execution actuals from an
+// ExplainAnalyze run: invocation count, output rows, exclusive wall time
+// and allocated bytes. The exclusive times of all operators sum to the
+// run's total evaluation time.
+type OperatorStat = plan.OperatorStat
+
+// ExplainAnalyze executes the query with per-plan-node instrumentation
+// (DI engines only) and returns the plan rendering annotated with each
+// operator's actuals, plus the flattened per-operator statistics in plan
+// preorder.
+func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorStat, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode := core.ModeMSJ
+	switch opts.Engine {
+	case MergeJoin:
+	case NestedLoop:
+		mode = core.ModeNLJ
+	default:
+		return "", nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
+	}
+	copts := core.Options{
+		Mode:        mode,
+		Timeout:     opts.Timeout,
+		MaxTuples:   opts.MaxTuples,
+		Trace:       opts.Trace,
+		Parallelism: opts.Parallelism,
+		LegacyKeys:  opts.LegacyKeys,
+		NoPipeline:  opts.NoPipeline,
+	}
+	text, rs, err := q.q.ExplainAnalyze(cat.enc, copts)
+	if err != nil {
+		return "", nil, err
+	}
+	return text, plan.Operators(q.q.Plan(copts), rs), nil
+}
+
+// PlanText renders the physical plan the query executes under the given
+// options, without running it.
+func (q *Query) PlanText(opts *Options) (string, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode := core.ModeMSJ
+	switch opts.Engine {
+	case MergeJoin:
+	case NestedLoop:
+		mode = core.ModeNLJ
+	default:
+		return "", fmt.Errorf("dixq: plans exist for the DI engines only, got %s", opts.Engine)
+	}
+	return q.q.Plan(core.Options{Mode: mode, NoPipeline: opts.NoPipeline}).Tree(), nil
+}
+
 // Documents lists the document names the query references.
 func (q *Query) Documents() []string { return xq.Documents(q.expr) }
 
@@ -278,7 +344,7 @@ func (q *Query) sqlStatement(cat *Catalog) (*sqlgen.Statement, error) {
 	for name, d := range cat.docs {
 		widths[name] = int64(2 * d.forest.Size())
 	}
-	return sqlgen.Generate(q.expr, widths)
+	return sqlgen.Generate(sqlgen.Plan(q.expr), widths)
 }
 
 // Run evaluates the query against the catalog.
@@ -295,11 +361,14 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 		}
 		stats := &core.Stats{}
 		f, err := q.q.EvalForest(cat.enc, core.Options{
-			Mode:      mode,
-			Stats:     stats,
-			Timeout:   opts.Timeout,
-			MaxTuples: opts.MaxTuples,
-			Trace:     opts.Trace,
+			Mode:        mode,
+			Stats:       stats,
+			Timeout:     opts.Timeout,
+			MaxTuples:   opts.MaxTuples,
+			Trace:       opts.Trace,
+			Parallelism: opts.Parallelism,
+			LegacyKeys:  opts.LegacyKeys,
+			NoPipeline:  opts.NoPipeline,
 		})
 		if err != nil {
 			return nil, err

@@ -142,7 +142,7 @@ func (w *Workload) Run(sys System, cfg Config) Outcome {
 
 func (w *Workload) runSQL(cfg Config) (xmltree.Forest, error) {
 	docs := map[string]xmltree.Forest{xmark.DocName: w.Doc}
-	stmt, err := sqlgen.Generate(w.Query, sqlgen.DocWidths(docs))
+	stmt, err := sqlgen.Generate(sqlgen.Plan(w.Query), sqlgen.DocWidths(docs))
 	if err != nil {
 		return nil, err
 	}

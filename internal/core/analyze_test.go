@@ -1,0 +1,161 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dixq/internal/xmark"
+	"dixq/internal/xq"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden analyze-plan files")
+
+// scrubStats masks the run-dependent actuals (wall time, allocated bytes)
+// in an analyze rendering; calls and rows are deterministic for a fixed
+// document, so they stay and are locked by the goldens.
+var scrubStats = regexp.MustCompile(`time=[^ )]+ allocs=-?\d+`)
+
+func scrubAnalyze(s string) string {
+	return scrubStats.ReplaceAllString(s, "time=_ allocs=_")
+}
+
+// TestAnalyzeGoldenPlans locks the analyze-mode plan renderings for the
+// paper's three benchmark queries under both join modes: the plan shape,
+// the static annotations, and the per-operator calls/rows actuals. A
+// diff here means the compiler, the executor's dispatch, or the
+// instrumentation changed — regenerate with `go test -run Golden -update`
+// and review the diff consciously.
+func TestAnalyzeGoldenPlans(t *testing.T) {
+	cat, _ := generatedCatalog(0.0005, 20030609)
+	queries := []struct {
+		name  string
+		query string
+	}{
+		{"q8", xmark.Q8},
+		{"q9", xmark.Q9},
+		{"q13", xmark.Q13},
+	}
+	modes := []struct {
+		name string
+		mode Mode
+	}{
+		{"msj", ModeMSJ},
+		{"nlj", ModeNLJ},
+	}
+	for _, qq := range queries {
+		for _, mm := range modes {
+			t.Run(qq.name+"-"+mm.name, func(t *testing.T) {
+				q := Compile(xq.MustParse(qq.query), Options{})
+				text, rs, err := q.ExplainAnalyze(cat, Options{Mode: mm.mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rs.Total() <= 0 {
+					t.Error("analyze run recorded no time at all")
+				}
+				got := scrubAnalyze(text)
+				path := filepath.Join("testdata", "analyze_"+qq.name+"_"+mm.name+".golden")
+				if *updateGolden {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("analyze plan drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+						path, got, want)
+				}
+			})
+		}
+	}
+}
+
+// materializedPathOps are the trace names of path operators that ran in
+// materializing (non-streamed) form; streamed chains report under
+// "pipeline[N ops]" instead.
+var materializedPathOps = map[string]bool{
+	"roots": true, "select": true, "seltext": true, "children": true,
+	"data": true, "head": true, "tail": true,
+}
+
+// TestQ13StreamsAllPathChains asserts the streaming satellite end to end
+// on Q13 (the path-extraction-heavy benchmark query): with pipelining on,
+// every path operator — including single-step chains — runs streamed, so
+// the trace has no materializing path-op entries and strictly fewer
+// materialized intermediate rows than the NoPipeline ablation.
+func TestQ13StreamsAllPathChains(t *testing.T) {
+	cat, _ := generatedCatalog(0.002, 30)
+	q := Compile(xq.MustParse(xmark.Q13), Options{})
+
+	fused := &Trace{}
+	if _, err := q.Eval(cat, Options{Trace: fused}); err != nil {
+		t.Fatal(err)
+	}
+	var fusedRows int64
+	sawPipeline := false
+	for _, e := range fused.Entries() {
+		if materializedPathOps[e.Op] {
+			t.Errorf("fused run materialized path operator %q (%d rows)", e.Op, e.Rows)
+		}
+		if strings.HasPrefix(e.Op, "pipeline[") {
+			sawPipeline = true
+			fusedRows += e.Rows
+		}
+	}
+	if !sawPipeline {
+		t.Fatal("fused run has no pipeline entries")
+	}
+
+	ablated := &Trace{}
+	if _, err := q.Eval(cat, Options{NoPipeline: true, Trace: ablated}); err != nil {
+		t.Fatal(err)
+	}
+	var ablatedRows int64
+	for _, e := range ablated.Entries() {
+		if strings.HasPrefix(e.Op, "pipeline[") {
+			t.Errorf("NoPipeline run streamed: %q", e.Op)
+		}
+		if materializedPathOps[e.Op] {
+			ablatedRows += e.Rows
+		}
+	}
+	if ablatedRows == 0 {
+		t.Fatal("NoPipeline run materialized no path rows; trace broken")
+	}
+	if fusedRows >= ablatedRows {
+		t.Errorf("fusion materialized %d rows, ablation %d; want strictly fewer",
+			fusedRows, ablatedRows)
+	}
+}
+
+// TestSingleStepChainStreams pins the length-1 case directly: a lone path
+// step (no adjacent path operator to fuse with) still executes as a
+// one-operator pipeline rather than falling back to materialization.
+func TestSingleStepChainStreams(t *testing.T) {
+	cat, _ := generatedCatalog(0.0005, 20030609)
+	trace := &Trace{}
+	q := Compile(xq.MustParse(`count(children(document("auction.xml")))`), Options{NoRewrites: true})
+	if _, err := q.Eval(cat, Options{Trace: trace, NoRewrites: true}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range trace.Entries() {
+		if e.Op == "pipeline[1 ops]" {
+			found = true
+		}
+		if e.Op == "children" {
+			t.Error("single-step chain materialized instead of streaming")
+		}
+	}
+	if !found {
+		t.Error("no pipeline[1 ops] entry for a lone path step")
+	}
+}

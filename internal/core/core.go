@@ -21,9 +21,11 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dixq/internal/interval"
+	"dixq/internal/plan"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
@@ -79,6 +81,11 @@ type Options struct {
 	// instead of the flat shared-buffer layout. Output is identical; the
 	// switch exists for differential testing and before/after benchmarks.
 	LegacyKeys bool
+	// Analyze, when non-nil, collects per-plan-node actuals (calls, rows,
+	// exclusive wall time, allocated bytes) during evaluation — the input
+	// of the analyze form of Explain. The caller passes an empty RunStats;
+	// Eval sizes it to the executed plan.
+	Analyze *plan.RunStats
 }
 
 // Stats is the per-phase cost breakdown reported in Figure 10 of the
@@ -124,6 +131,36 @@ type Query struct {
 	Expr xq.Expr
 	// Original is the expression as parsed, before rewrites.
 	Original xq.Expr
+
+	// plans memoizes the physical plans per variant; compiled plans are
+	// immutable, so concurrent evaluations share them.
+	mu    sync.Mutex
+	plans map[planVariant]*plan.Node
+}
+
+// planVariant keys the memoized plans: the join mode changes loop
+// strategies, and pipelining changes the Streamable marking.
+type planVariant struct {
+	mode       Mode
+	noPipeline bool
+}
+
+// Plan returns the physical plan the query executes under the given
+// options — the same tree Eval runs, so Explain cannot diverge from the
+// execution. The returned plan is immutable and shared.
+func (q *Query) Plan(opts Options) *plan.Node {
+	key := planVariant{mode: opts.Mode, noPipeline: opts.NoPipeline}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if p, ok := q.plans[key]; ok {
+		return p
+	}
+	p := buildPlan(q.Expr, opts)
+	if q.plans == nil {
+		q.plans = map[planVariant]*plan.Node{}
+	}
+	q.plans[key] = p
+	return p
 }
 
 // Compile prepares a core expression for evaluation, applying the
@@ -137,14 +174,34 @@ func Compile(e xq.Expr, opts Options) *Query {
 	return q
 }
 
-// Eval runs the query against a catalog and returns the result encoding.
+// Eval compiles the query to its physical plan (memoized per variant)
+// and executes it against a catalog, returning the result encoding.
 func (q *Query) Eval(cat Catalog, opts Options) (*interval.Relation, error) {
+	p := q.Plan(opts)
 	ev := newEvaluator(cat, opts)
-	tab, err := ev.eval(q.Expr, ev.rootEnv())
+	if opts.Analyze != nil {
+		if need := plan.MaxID(p) + 1; len(opts.Analyze.Nodes) < need {
+			opts.Analyze.Nodes = make([]plan.NodeStats, need)
+		}
+		ev.an = newAnalyzer(opts.Analyze)
+	}
+	tab, err := ev.exec(p, ev.rootEnv())
 	if err != nil {
 		return nil, err
 	}
 	return tab.rel, nil
+}
+
+// ExplainAnalyze executes the query and renders the executed plan
+// annotated with per-operator actuals, returning the rendering and the
+// raw stats (exclusive times, so their sum is the execution total).
+func (q *Query) ExplainAnalyze(cat Catalog, opts Options) (string, *plan.RunStats, error) {
+	rs := &plan.RunStats{}
+	opts.Analyze = rs
+	if _, err := q.Eval(cat, opts); err != nil {
+		return "", nil, err
+	}
+	return q.Plan(opts).TreeWithStats(rs), rs, nil
 }
 
 // EvalForest runs the query and decodes the result into a forest.

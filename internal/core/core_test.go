@@ -459,7 +459,7 @@ func TestPlanTree(t *testing.T) {
 	if !strings.Contains(msj, "for-merge-join") {
 		t.Errorf("MSJ plan missing merge join:\n%s", msj)
 	}
-	if !strings.Contains(msj, "pipeline") || !strings.Contains(msj, `scan [document("auction.xml")]`) {
+	if !strings.Contains(msj, "[stream]") || !strings.Contains(msj, `scan [document("auction.xml")]`) {
 		t.Errorf("plan tree:\n%s", msj)
 	}
 	nlj := q.Plan(Options{Mode: ModeNLJ}).Tree()
@@ -478,9 +478,10 @@ func TestPlanTree(t *testing.T) {
 	if !strings.Contains(msj, "{digits:") {
 		t.Errorf("missing digit annotations:\n%s", msj)
 	}
-	// Without pipelining, path chains expand to individual operators.
+	// Without pipelining, no operator is marked streamable; the same path
+	// operators run through the materializing engine instead.
 	raw := q.Plan(Options{Mode: ModeMSJ, NoPipeline: true}).Tree()
-	if strings.Contains(raw, "pipeline") || !strings.Contains(raw, "select") {
+	if strings.Contains(raw, "[stream]") || !strings.Contains(raw, "select") {
 		t.Errorf("NoPipeline plan:\n%s", raw)
 	}
 }

@@ -1,19 +1,26 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"dixq/internal/engine"
 	"dixq/internal/interval"
 	"dixq/internal/pipeline"
-	"dixq/internal/xq"
+	"dixq/internal/plan"
 )
 
 // table is a translated expression's relation plus its local width: the
 // number of key digits that encode positions within one environment. The
 // full key length of a tuple is the owning environment's depth plus local.
+//
+// Widths are always taken from the runtime tables, never from the plan's
+// static Digits annotations: relations that passed through package update
+// can carry wider keys than a freshly encoded document, so the runtime
+// arithmetic must follow the data.
 type table struct {
 	rel   *interval.Relation
 	local int
@@ -28,8 +35,8 @@ type binding struct {
 }
 
 // env is a node in the chain of dynamic-interval environments built while
-// walking the expression: For extends the depth, Where filters the index,
-// Let adds a binding.
+// executing the plan: a loop extends the depth, a filter narrows the
+// index, a let adds a binding.
 type env struct {
 	parent *env
 	depth  int
@@ -66,6 +73,8 @@ type evaluator struct {
 	// key; all such work is attributed to the Join phase (Figure 10 counts
 	// predicate evaluation as part of the join).
 	inCond bool
+	// an records per-plan-node actuals when Options.Analyze is set.
+	an *analyzer
 }
 
 // opset is the dispatch table for the operators that construct new keys,
@@ -170,39 +179,117 @@ func keyWidth(rel *interval.Relation) int {
 	return w
 }
 
-func (ev *evaluator) eval(e xq.Expr, en *env) (*table, error) {
-	switch e := e.(type) {
-	case xq.Var:
-		return ev.evalVar(e.Name, en)
-	case xq.Doc:
-		return ev.evalVar("doc:"+e.Name, en)
-	case xq.Const:
+// analyzer attributes exclusive wall time and allocated bytes to the plan
+// node currently executing. Entering a node charges the elapsed slice to
+// the node being left, so the per-node times are exclusive and sum to the
+// execution's total wall time.
+type analyzer struct {
+	stats *plan.RunStats
+	cur   int
+	start time.Time
+	alloc uint64
+}
+
+func newAnalyzer(rs *plan.RunStats) *analyzer {
+	return &analyzer{stats: rs, cur: -1}
+}
+
+// switchTo charges the elapsed time and allocation delta to the current
+// node, makes id current, and returns the previous current node.
+func (a *analyzer) switchTo(id int) int {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	now := time.Now()
+	if a.cur >= 0 && a.cur < len(a.stats.Nodes) {
+		ns := &a.stats.Nodes[a.cur]
+		ns.Time += now.Sub(a.start)
+		ns.Allocs += int64(mem.TotalAlloc - a.alloc)
+	}
+	prev := a.cur
+	a.cur = id
+	a.start = now
+	a.alloc = mem.TotalAlloc
+	return prev
+}
+
+// finish closes a node opened with switchTo: charges its trailing slice,
+// restores the previous node, and records the call and its output rows.
+func (a *analyzer) finish(id, prev, rows int) {
+	a.switchTo(prev)
+	if id >= 0 && id < len(a.stats.Nodes) {
+		ns := &a.stats.Nodes[id]
+		ns.Calls++
+		ns.Rows += int64(rows)
+	}
+}
+
+// exec runs one plan node, wrapping execNode with per-node accounting
+// when analyze mode is on.
+func (ev *evaluator) exec(n *plan.Node, en *env) (*table, error) {
+	if ev.an == nil {
+		return ev.execNode(n, en)
+	}
+	prev := ev.an.switchTo(n.ID)
+	tab, err := ev.execNode(n, en)
+	rows := 0
+	if tab != nil {
+		rows = tab.rel.Len()
+	}
+	ev.an.finish(n.ID, prev, rows)
+	return tab, err
+}
+
+// execNode dispatches a relation-valued plan node to its implementation.
+func (ev *evaluator) execNode(n *plan.Node, en *env) (*table, error) {
+	switch n.Op {
+	case plan.OpScan:
+		return ev.evalVar("doc:"+n.Label, en)
+	case plan.OpVar, plan.OpEmbedOuter:
+		return ev.evalVar(n.Label, en)
+	case plan.OpConst:
 		// Constants are replicated into every current environment; this
 		// must honour the index even at depth 0, where a false where
 		// clause can have emptied it.
 		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := interval.Encode(e.Value)
+		rel := interval.Encode(n.Value)
 		out, err := ev.ops.embedOuter(en.index, 0, en.depth, rel, ev.budget)
 		if err != nil {
 			return nil, err
 		}
 		return &table{rel: out, local: 1}, nil
-	case xq.Call:
-		return ev.evalCall(e, en)
-	case xq.Let:
-		val, err := ev.eval(e.Value, en)
+	case plan.OpLet:
+		val, err := ev.exec(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
 		child := en.child(en.depth, en.index)
-		child.vars[e.Var] = binding{tab: val, depth: en.depth}
-		return ev.eval(e.Body, child)
-	case xq.Where:
-		return ev.evalWhere(e, en)
-	case xq.For:
-		return ev.evalFor(e, en)
+		child.vars[n.Label] = binding{tab: val, depth: en.depth}
+		return ev.exec(n.Inputs[1], child)
+	case plan.OpFilter:
+		return ev.execFilter(n, en)
+	case plan.OpBindVar:
+		return ev.execBindVar(n, en)
+	case plan.OpMSJ:
+		return ev.execMergeJoin(n, en)
+	case plan.OpRoots, plan.OpPathStep:
+		if n.Streamable {
+			return ev.execStreamChain(n, en)
+		}
+		return ev.execCall(n, en)
+	case plan.OpStructuralSort, plan.OpReverse, plan.OpDistinct, plan.OpSubtreesDFS,
+		plan.OpConstruct, plan.OpConcat, plan.OpCount:
+		return ev.execCall(n, en)
+	case plan.OpInvalid:
+		// Run the inputs first so their errors surface the way the
+		// direct walk used to report them.
+		for _, c := range n.Inputs {
+			if _, err := ev.exec(c, en); err != nil {
+				return nil, err
+			}
+		}
+		return nil, errors.New("core: " + n.Label)
 	default:
-		return nil, fmt.Errorf("core: unknown expression %T", e)
+		return nil, fmt.Errorf("core: %s node outside a condition", n.OpName())
 	}
 }
 
@@ -239,62 +326,59 @@ func (ev *evaluator) evalVar(name string, en *env) (*table, error) {
 	return t, nil
 }
 
-// fusibleFns are the order-preserving unary operators the streaming
-// backend implements; chains of them run as one fused pass.
-var fusibleFns = map[string]bool{
-	xq.FnSelect:   true,
-	xq.FnSelText:  true,
-	xq.FnChildren: true,
-	xq.FnRoots:    true,
-	xq.FnData:     true,
-	xq.FnHead:     true,
-	xq.FnTail:     true,
-}
-
-// tryFuse executes a maximal chain of path operators through the
-// streaming iterators of package pipeline — the "sequence of linear time
-// operations" plan fragments of Section 5 — materializing only the chain's
-// final output. Chains shorter than two operators gain nothing and fall
-// back to the materializing engine.
-func (ev *evaluator) tryFuse(e xq.Call, en *env) (*table, bool, error) {
-	if ev.opts.NoPipeline || !fusibleFns[e.Fn] {
-		return nil, false, nil
-	}
-	var chain []xq.Call
-	cur := e
-	for fusibleFns[cur.Fn] && len(cur.Args) == 1 {
+// execStreamChain executes a maximal chain of Streamable path operators
+// through the streaming iterators of package pipeline — the "sequence of
+// linear time operations" plan fragments of Section 5 — materializing
+// only the chain's final output. Since the compiler marks every path
+// operator Streamable, single-step chains stream too; only NoPipeline
+// plans fall back to the materializing engine.
+func (ev *evaluator) execStreamChain(head *plan.Node, en *env) (*table, error) {
+	var chain []*plan.Node
+	cur := head
+	for {
 		chain = append(chain, cur)
-		next, ok := cur.Args[0].(xq.Call)
-		if !ok {
+		next := cur.Inputs[0]
+		if !next.Streamable || (next.Op != plan.OpRoots && next.Op != plan.OpPathStep) {
 			break
 		}
 		cur = next
 	}
-	if len(chain) < 2 {
-		return nil, false, nil
-	}
-	input, err := ev.eval(chain[len(chain)-1].Args[0], en)
+	input, err := ev.exec(chain[len(chain)-1].Inputs[0], en)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	defer track(ev.phaseDur(&ev.stats.Paths))()
 	var it pipeline.Iterator = pipeline.NewScan(input.rel)
+	// Inner chain stages never materialize; in analyze mode a counting
+	// pass-through records their per-stage row counts (their time stays
+	// attributed to the chain head, which does the fused work).
+	type stage struct {
+		node *plan.Node
+		ctr  *pipeline.Counter
+	}
+	var stages []stage
 	for i := len(chain) - 1; i >= 0; i-- {
-		switch op := chain[i]; op.Fn {
-		case xq.FnSelect:
-			it = pipeline.NewSelectLabel(op.Label, it)
-		case xq.FnSelText:
-			it = pipeline.NewSelectText(it)
-		case xq.FnChildren:
-			it = pipeline.NewChildren(it)
-		case xq.FnRoots:
+		op := chain[i]
+		switch {
+		case op.Op == plan.OpRoots:
 			it = pipeline.NewRoots(it)
-		case xq.FnData:
+		case op.Step == plan.StepSelect:
+			it = pipeline.NewSelectLabel(op.Label, it)
+		case op.Step == plan.StepSelText:
+			it = pipeline.NewSelectText(it)
+		case op.Step == plan.StepChildren:
+			it = pipeline.NewChildren(it)
+		case op.Step == plan.StepData:
 			it = pipeline.NewData(it)
-		case xq.FnHead:
+		case op.Step == plan.StepHead:
 			it = pipeline.NewHead(it, en.depth)
-		case xq.FnTail:
+		case op.Step == plan.StepTail:
 			it = pipeline.NewTail(it, en.depth)
+		}
+		if ev.an != nil && i > 0 {
+			c := &pipeline.Counter{In: it}
+			it = c
+			stages = append(stages, stage{node: op, ctr: c})
 		}
 	}
 	// Every fused operator preserves intervals, so the local width is the
@@ -302,89 +386,122 @@ func (ev *evaluator) tryFuse(e xq.Call, en *env) (*table, bool, error) {
 	start := ev.now()
 	out := pipeline.Materialize(it)
 	ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, out.Len())
-	return &table{rel: out, local: input.local}, true, nil
+	for _, s := range stages {
+		if s.node.ID >= 0 && s.node.ID < len(ev.an.stats.Nodes) {
+			ns := &ev.an.stats.Nodes[s.node.ID]
+			ns.Calls++
+			ns.Rows += int64(s.ctr.N)
+		}
+	}
+	return &table{rel: out, local: input.local}, nil
 }
 
-func (ev *evaluator) evalCall(e xq.Call, en *env) (*table, error) {
-	if tab, ok, err := ev.tryFuse(e, en); err != nil {
-		return nil, err
-	} else if ok {
-		return tab, nil
-	}
-	args := make([]*table, len(e.Args))
-	for i, a := range e.Args {
-		t, err := ev.eval(a, en)
+// execCall runs the inputs of an operator node and applies it through the
+// materializing engine.
+func (ev *evaluator) execCall(n *plan.Node, en *env) (*table, error) {
+	args := make([]*table, len(n.Inputs))
+	for i, c := range n.Inputs {
+		t, err := ev.exec(c, en)
 		if err != nil {
 			return nil, err
 		}
 		args[i] = t
 	}
 	start := ev.now()
-	tab, err := ev.applyOp(e, args, en)
+	tab, err := ev.applyOp(n, args, en)
 	if err != nil {
 		return nil, err
 	}
-	ev.note(e.Fn, start, tab.rel.Len())
+	ev.note(traceName(n), start, tab.rel.Len())
 	return tab, nil
 }
 
-func (ev *evaluator) applyOp(e xq.Call, args []*table, en *env) (*table, error) {
-	switch e.Fn {
-	case xq.FnNode:
-		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := ev.ops.construct(en.index, en.depth, e.Label, args[0].rel)
-		return &table{rel: rel, local: max(1, args[0].local)}, nil
-	case xq.FnConcat:
-		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := ev.ops.concat(en.index, en.depth, args[0].rel, args[1].rel)
-		return &table{rel: rel, local: max(args[0].local, args[1].local)}, nil
-	case xq.FnCount:
-		defer track(ev.phaseDur(&ev.stats.Construction))()
-		rel := ev.ops.count(en.index, en.depth, args[0].rel)
-		return &table{rel: rel, local: 1}, nil
-	case xq.FnHead:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.Head(args[0].rel, en.depth), local: args[0].local}, nil
-	case xq.FnTail:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.Tail(args[0].rel, en.depth), local: args[0].local}, nil
-	case xq.FnReverse:
-		defer track(ev.phaseDur(&ev.stats.Construction))()
-		return &table{rel: ev.ops.reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
-	case xq.FnSort:
-		defer track(ev.phaseDur(&ev.stats.Construction))()
-		return &table{rel: ev.ops.sortTrees(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local + 1}, nil
-	case xq.FnDistinct:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.DistinctP(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local}, nil
-	case xq.FnSelect:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.SelectLabel(e.Label, args[0].rel), local: args[0].local}, nil
-	case xq.FnSelText:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.SelectText(args[0].rel), local: args[0].local}, nil
-	case xq.FnData:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.Data(args[0].rel), local: args[0].local}, nil
-	case xq.FnRoots:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.Roots(args[0].rel), local: args[0].local}, nil
-	case xq.FnChildren:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: engine.Children(args[0].rel), local: args[0].local}, nil
-	case xq.FnSubtreesDFS:
-		defer track(ev.phaseDur(&ev.stats.Paths))()
-		return &table{rel: ev.ops.subtreesDFS(args[0].rel, en.depth), local: args[0].local + 1}, nil
+// traceName is the operator name recorded in traces: the function names
+// of the surface syntax, unchanged from the AST-walking evaluator.
+func traceName(n *plan.Node) string {
+	switch n.Op {
+	case plan.OpRoots:
+		return "roots"
+	case plan.OpPathStep:
+		return n.Step
+	case plan.OpStructuralSort:
+		return "sort"
+	case plan.OpReverse:
+		return "reverse"
+	case plan.OpDistinct:
+		return "distinct"
+	case plan.OpSubtreesDFS:
+		return "subtrees-dfs"
+	case plan.OpConstruct:
+		return "node"
+	case plan.OpConcat:
+		return "concat"
+	case plan.OpCount:
+		return "count"
 	default:
-		return nil, fmt.Errorf("core: unknown function %q", e.Fn)
+		return n.OpName()
 	}
 }
 
-// evalWhere implements the conditional template of Section 4.2.3: the
+func (ev *evaluator) applyOp(n *plan.Node, args []*table, en *env) (*table, error) {
+	switch n.Op {
+	case plan.OpConstruct:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := ev.ops.construct(en.index, en.depth, n.Label, args[0].rel)
+		return &table{rel: rel, local: max(1, args[0].local)}, nil
+	case plan.OpConcat:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := ev.ops.concat(en.index, en.depth, args[0].rel, args[1].rel)
+		return &table{rel: rel, local: max(args[0].local, args[1].local)}, nil
+	case plan.OpCount:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := ev.ops.count(en.index, en.depth, args[0].rel)
+		return &table{rel: rel, local: 1}, nil
+	case plan.OpReverse:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		return &table{rel: ev.ops.reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
+	case plan.OpStructuralSort:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		return &table{rel: ev.ops.sortTrees(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local + 1}, nil
+	case plan.OpDistinct:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.DistinctP(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local}, nil
+	case plan.OpRoots:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Roots(args[0].rel), local: args[0].local}, nil
+	case plan.OpSubtreesDFS:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: ev.ops.subtreesDFS(args[0].rel, en.depth), local: args[0].local + 1}, nil
+	case plan.OpPathStep:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		switch n.Step {
+		case plan.StepSelect:
+			return &table{rel: engine.SelectLabel(n.Label, args[0].rel), local: args[0].local}, nil
+		case plan.StepSelText:
+			return &table{rel: engine.SelectText(args[0].rel), local: args[0].local}, nil
+		case plan.StepChildren:
+			return &table{rel: engine.Children(args[0].rel), local: args[0].local}, nil
+		case plan.StepData:
+			return &table{rel: engine.Data(args[0].rel), local: args[0].local}, nil
+		case plan.StepHead:
+			return &table{rel: engine.Head(args[0].rel, en.depth), local: args[0].local}, nil
+		case plan.StepTail:
+			return &table{rel: engine.Tail(args[0].rel, en.depth), local: args[0].local}, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown operator %s", n.OpName())
+}
+
+// execFilter implements the conditional template of Section 4.2.3: the
 // index is filtered to the environments satisfying the condition, and the
 // bindings built at the current depth are semi-joined against it.
-func (ev *evaluator) evalWhere(e xq.Where, en *env) (*table, error) {
-	keep, err := ev.evalCond(e.Cond, en)
+func (ev *evaluator) execFilter(n *plan.Node, en *env) (*table, error) {
+	var keep []bool
+	err := ev.condScope(func() error {
+		var err error
+		keep, err = ev.pred(n.Inputs[0], en)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -402,37 +519,29 @@ func (ev *evaluator) evalWhere(e xq.Where, en *env) (*table, error) {
 	}
 	ev.note("where-filter", start, len(index))
 	done()
-	return ev.eval(e.Body, child)
+	return ev.exec(n.Inputs[1], child)
 }
 
-// evalCond evaluates a condition once per environment of the index. All
-// work below it — including operand path extraction — is charged to the
-// Join phase.
-func (ev *evaluator) evalCond(c xq.Cond, en *env) ([]bool, error) {
-	var out []bool
-	err := ev.condScope(func() error {
-		var err error
-		out, err = ev.evalCondBool(c, en)
-		return err
-	})
+// pred evaluates a predicate node to one boolean per environment of the
+// index, with per-node accounting in analyze mode.
+func (ev *evaluator) pred(n *plan.Node, en *env) ([]bool, error) {
+	if ev.an == nil {
+		return ev.predNode(n, en)
+	}
+	prev := ev.an.switchTo(n.ID)
+	out, err := ev.predNode(n, en)
+	ev.an.finish(n.ID, prev, len(out))
 	return out, err
 }
 
-func (ev *evaluator) evalCondBool(c xq.Cond, en *env) ([]bool, error) {
-	switch c := c.(type) {
-	case xq.Equal, xq.Less:
-		var le, re xq.Expr
-		if eq, ok := c.(xq.Equal); ok {
-			le, re = eq.L, eq.R
-		} else {
-			lt := c.(xq.Less)
-			le, re = lt.L, lt.R
-		}
-		lt, err := ev.eval(le, en)
+func (ev *evaluator) predNode(n *plan.Node, en *env) ([]bool, error) {
+	switch n.Op {
+	case plan.OpCmpEq, plan.OpCmpLess:
+		lt, err := ev.exec(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := ev.eval(re, en)
+		rt, err := ev.exec(n.Inputs[1], en)
 		if err != nil {
 			return nil, err
 		}
@@ -440,33 +549,33 @@ func (ev *evaluator) evalCondBool(c xq.Cond, en *env) ([]bool, error) {
 		cmp := engine.ComparePerEnv(en.index, en.depth, lt.rel, rt.rel)
 		out := make([]bool, len(cmp))
 		for i, v := range cmp {
-			if _, isEq := c.(xq.Equal); isEq {
+			if n.Op == plan.OpCmpEq {
 				out[i] = v == 0
 			} else {
 				out[i] = v < 0
 			}
 		}
 		return out, nil
-	case xq.Empty:
-		t, err := ev.eval(c.E, en)
+	case plan.OpEmptyTest:
+		t, err := ev.exec(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
 		defer track(&ev.stats.Join)()
 		return engine.EmptyPerEnv(en.index, en.depth, t.rel), nil
-	case xq.Contains:
-		lt, err := ev.eval(c.L, en)
+	case plan.OpContainsTest:
+		lt, err := ev.exec(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := ev.eval(c.R, en)
+		rt, err := ev.exec(n.Inputs[1], en)
 		if err != nil {
 			return nil, err
 		}
 		defer track(&ev.stats.Join)()
 		return engine.ContainsPerEnv(en.index, en.depth, lt.rel, rt.rel), nil
-	case xq.Not:
-		v, err := ev.evalCondBool(c.C, en)
+	case plan.OpNot:
+		v, err := ev.pred(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
@@ -474,12 +583,12 @@ func (ev *evaluator) evalCondBool(c xq.Cond, en *env) ([]bool, error) {
 			v[i] = !v[i]
 		}
 		return v, nil
-	case xq.And:
-		l, err := ev.evalCondBool(c.L, en)
+	case plan.OpAnd:
+		l, err := ev.pred(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.evalCondBool(c.R, en)
+		r, err := ev.pred(n.Inputs[1], en)
 		if err != nil {
 			return nil, err
 		}
@@ -487,12 +596,12 @@ func (ev *evaluator) evalCondBool(c xq.Cond, en *env) ([]bool, error) {
 			l[i] = l[i] && r[i]
 		}
 		return l, nil
-	case xq.Or:
-		l, err := ev.evalCondBool(c.L, en)
+	case plan.OpOr:
+		l, err := ev.pred(n.Inputs[0], en)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.evalCondBool(c.R, en)
+		r, err := ev.pred(n.Inputs[1], en)
 		if err != nil {
 			return nil, err
 		}
@@ -500,25 +609,19 @@ func (ev *evaluator) evalCondBool(c xq.Cond, en *env) ([]bool, error) {
 			l[i] = l[i] || r[i]
 		}
 		return l, nil
+	case plan.OpInvalid:
+		return nil, errors.New("core: " + n.Label)
 	default:
-		return nil, fmt.Errorf("core: unknown condition %T", c)
+		return nil, fmt.Errorf("core: %s node used as a condition", n.OpName())
 	}
 }
 
-// evalFor implements the iteration template of Section 4.2.4. In MSJ mode
-// it first attempts the Section 5 decorrelated merge-join evaluation; the
-// literal nested-loop translation is the fallback (and the only behaviour
-// in NLJ mode).
-func (ev *evaluator) evalFor(e xq.For, en *env) (*table, error) {
-	if ev.opts.Mode == ModeMSJ {
-		if tab, ok, err := ev.tryMergeJoin(e, en); err != nil {
-			return nil, err
-		} else if ok {
-			return tab, nil
-		}
-	}
+// execBindVar implements the iteration template of Section 4.2.4 — the
+// literal nested-loop translation (and the only loop strategy in NLJ
+// plans; MSJ plans compile eligible loops to OpMSJ nodes instead).
+func (ev *evaluator) execBindVar(n *plan.Node, en *env) (*table, error) {
 	ev.stats.NestedLoops++
-	dom, err := ev.eval(e.Domain, en)
+	dom, err := ev.exec(n.Inputs[0], en)
 	if err != nil {
 		return nil, err
 	}
@@ -529,14 +632,14 @@ func (ev *evaluator) evalFor(e xq.For, en *env) (*table, error) {
 	newDepth := en.depth + dom.local
 	bound := ev.ops.bindVar(dom.rel, roots, en.depth, newDepth)
 	child := en.child(newDepth, index)
-	child.vars[e.Var] = binding{tab: &table{rel: bound, local: dom.local}, depth: newDepth}
-	if e.Pos != "" {
+	child.vars[n.Label] = binding{tab: &table{rel: bound, local: dom.local}, depth: newDepth}
+	if n.Pos != "" {
 		pos := ev.ops.positions(roots, en.depth, newDepth)
-		child.vars[e.Pos] = binding{tab: &table{rel: pos, local: 1}, depth: newDepth}
+		child.vars[n.Pos] = binding{tab: &table{rel: pos, local: 1}, depth: newDepth}
 	}
 	ev.note("for-enter", start, len(index))
 	done()
-	body, err := ev.eval(e.Body, child)
+	body, err := ev.exec(n.Inputs[1], child)
 	if err != nil {
 		return nil, err
 	}

@@ -1,19 +1,20 @@
 package core
 
 import (
+	"fmt"
 	"slices"
-	"strings"
 
 	"dixq/internal/engine"
 	"dixq/internal/interval"
-	"dixq/internal/xq"
+	"dixq/internal/plan"
 )
 
-// tryMergeJoin attempts the Section 5 evaluation of a for-loop: when the
-// loop's domain is invariant with respect to the current environments and
-// its condition contains an equality separating the loop variable from the
-// outer variables, the loop body's environments are built by a structural
-// sort + merge join instead of the nested-loop embedding.
+// execMergeJoin runs an OpMSJ node — the Section 5 evaluation of a
+// for-loop whose domain is invariant with respect to the current
+// environments and whose condition contains a separable equality. The
+// compiler proved the pattern applies and split the pieces into the
+// node's inputs: [domain, outer-key, inner-key, body], with residual
+// conjuncts already folded into a filter around the body.
 //
 // The steps mirror the paper's description:
 //
@@ -25,50 +26,32 @@ import (
 //  5. rebuild the combined environments of the matching pairs in document
 //     order — identical to the environments the nested-loop strategy would
 //     produce, so all downstream translation steps are unchanged.
-//
-// It reports ok=false when the pattern does not apply and the literal
-// translation must run.
-func (ev *evaluator) tryMergeJoin(e xq.For, en *env) (*table, bool, error) {
-	w, ok := e.Body.(xq.Where)
-	if !ok {
-		return nil, false, nil
-	}
-	// The domain must be evaluable strictly above the current depth.
-	d0, ok := ev.maxFreeDepth(e.Domain, en)
-	if !ok || d0 >= en.depth {
-		return nil, false, nil
+func (ev *evaluator) execMergeJoin(n *plan.Node, en *env) (*table, error) {
+	domainP, outerKeyP, innerKeyP, bodyP := n.Inputs[0], n.Inputs[1], n.Inputs[2], n.Inputs[3]
+
+	// The loop-invariance depth d0 is recomputed from the runtime binding
+	// depths of the domain's free variables: on updated documents the
+	// runtime widths (hence depths) can exceed the static annotation, and
+	// the rebuild arithmetic below must follow the data.
+	d0 := 0
+	for _, name := range n.DomainVars {
+		b, ok := en.lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unbound variable $%s", name)
+		}
+		if b.depth > d0 {
+			d0 = b.depth
+		}
 	}
 	anc := ancestorAt(en, d0)
 	if anc == nil {
-		return nil, false, nil
-	}
-	// Find a separable equality conjunct: one side uses the loop variable
-	// (and otherwise only bindings visible at d0), the other avoids it.
-	conjuncts := flattenAnd(w.Cond)
-	keyIdx := -1
-	var outerKey, innerKey xq.Expr
-	for i, c := range conjuncts {
-		eq, isEq := c.(xq.Equal)
-		if !isEq {
-			continue
-		}
-		if ev.isInnerKey(eq.L, e.Var, d0, en) && ev.isOuterKey(eq.R, e.Var, en) {
-			innerKey, outerKey, keyIdx = eq.L, eq.R, i
-			break
-		}
-		if ev.isInnerKey(eq.R, e.Var, d0, en) && ev.isOuterKey(eq.L, e.Var, en) {
-			innerKey, outerKey, keyIdx = eq.R, eq.L, i
-			break
-		}
-	}
-	if keyIdx < 0 {
-		return nil, false, nil
+		return nil, fmt.Errorf("core: internal: no environment at depth %d", d0)
 	}
 
 	// (1) + (2): the inner environments, built once.
-	domTab, err := ev.eval(e.Domain, anc)
+	domTab, err := ev.exec(domainP, anc)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	done := track(&ev.stats.Join)
 	roots := engine.Roots(domTab.rel)
@@ -77,25 +60,25 @@ func (ev *evaluator) tryMergeJoin(e xq.For, en *env) (*table, bool, error) {
 	yBound := ev.ops.bindVar(domTab.rel, roots, d0, yDepth)
 	done()
 	yEnv := anc.child(yDepth, yIndex)
-	yEnv.vars[e.Var] = binding{tab: &table{rel: yBound, local: domTab.local}, depth: yDepth}
+	yEnv.vars[n.Label] = binding{tab: &table{rel: yBound, local: domTab.local}, depth: yDepth}
 	var yPos *interval.Relation
-	if e.Pos != "" {
+	if n.Pos != "" {
 		yPos = ev.ops.positions(roots, d0, yDepth)
-		yEnv.vars[e.Pos] = binding{tab: &table{rel: yPos, local: 1}, depth: yDepth}
+		yEnv.vars[n.Pos] = binding{tab: &table{rel: yPos, local: 1}, depth: yDepth}
 	}
 
 	// (3): join keys on each side.
 	var innerTab, outerTab *table
 	err = ev.condScope(func() error {
 		var err error
-		if innerTab, err = ev.eval(innerKey, yEnv); err != nil {
+		if innerTab, err = ev.exec(innerKeyP, yEnv); err != nil {
 			return err
 		}
-		outerTab, err = ev.eval(outerKey, en)
+		outerTab, err = ev.exec(outerKeyP, en)
 		return err
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 
 	// (4): structural sort and merge. Matches are constrained to pairs
@@ -175,85 +158,16 @@ func (ev *evaluator) tryMergeJoin(e xq.For, en *env) (*table, bool, error) {
 	done()
 
 	child := en.child(newDepth, newIndex)
-	child.vars[e.Var] = binding{tab: &table{rel: joined, local: domTab.local}, depth: newDepth}
-	if e.Pos != "" {
-		child.vars[e.Pos] = binding{tab: &table{rel: joinedPos, local: 1}, depth: newDepth}
+	child.vars[n.Label] = binding{tab: &table{rel: joined, local: domTab.local}, depth: newDepth}
+	if n.Pos != "" {
+		child.vars[n.Pos] = binding{tab: &table{rel: joinedPos, local: 1}, depth: newDepth}
 	}
 
-	// Residual conjuncts become an ordinary conditional.
-	var residual xq.Cond
-	for i, c := range conjuncts {
-		if i != keyIdx {
-			residual = andWith(residual, c)
-		}
-	}
-	bodyExpr := w.Body
-	if residual != nil {
-		bodyExpr = xq.Where{Cond: residual, Body: w.Body}
-	}
-	body, err := ev.eval(bodyExpr, child)
+	body, err := ev.exec(bodyP, child)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	return &table{rel: body.rel, local: domTab.local + body.local}, true, nil
-}
-
-// maxFreeDepth returns the greatest environment depth among the bindings
-// of an expression's free variables (documents are depth 0), or ok=false
-// if some variable is unbound.
-func (ev *evaluator) maxFreeDepth(e xq.Expr, en *env) (int, bool) {
-	depth := 0
-	for name := range xq.FreeVars(e) {
-		if strings.HasPrefix(name, "doc:") {
-			continue
-		}
-		b, ok := en.lookup(name)
-		if !ok {
-			return 0, false
-		}
-		if b.depth > depth {
-			depth = b.depth
-		}
-	}
-	return depth, true
-}
-
-// isInnerKey reports whether an expression can serve as the inner join
-// key: it uses the loop variable, and its remaining free variables are all
-// visible at depth d0 or above.
-func (ev *evaluator) isInnerKey(e xq.Expr, loopVar string, d0 int, en *env) bool {
-	free := xq.FreeVars(e)
-	if !free[loopVar] {
-		return false
-	}
-	for name := range free {
-		if name == loopVar || strings.HasPrefix(name, "doc:") {
-			continue
-		}
-		b, ok := en.lookup(name)
-		if !ok || b.depth > d0 {
-			return false
-		}
-	}
-	return true
-}
-
-// isOuterKey reports whether an expression can serve as the outer join
-// key: it avoids the loop variable and all its free variables are bound.
-func (ev *evaluator) isOuterKey(e xq.Expr, loopVar string, en *env) bool {
-	free := xq.FreeVars(e)
-	if free[loopVar] {
-		return false
-	}
-	for name := range free {
-		if strings.HasPrefix(name, "doc:") {
-			continue
-		}
-		if _, ok := en.lookup(name); !ok {
-			return false
-		}
-	}
-	return true
+	return &table{rel: body.rel, local: domTab.local + body.local}, nil
 }
 
 // ancestorAt walks the environment chain to the nearest environment of

@@ -260,3 +260,20 @@ func CountTrees(in Iterator) int {
 		}
 	}
 }
+
+// Counter passes tuples through unchanged, counting them. The analyze
+// mode of the executor wraps the inner stages of a fused chain with it to
+// attribute per-stage row counts without materializing anything.
+type Counter struct {
+	In Iterator
+	N  int
+}
+
+// Next implements Iterator.
+func (c *Counter) Next() (interval.Tuple, bool) {
+	t, ok := c.In.Next()
+	if ok {
+		c.N++
+	}
+	return t, ok
+}

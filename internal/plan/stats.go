@@ -1,0 +1,86 @@
+package plan
+
+import "time"
+
+// NodeStats are the actuals of one operator in one execution. Time and
+// Allocs are exclusive — work done by a node's inputs is charged to the
+// inputs — so the per-plan totals are the sums over all nodes.
+type NodeStats struct {
+	// Calls counts how many times the operator ran (usually 1: the
+	// dynamic-interval evaluation is set-oriented, every operator
+	// processes all environments in one call).
+	Calls int
+	// Rows is the total output tuple count across calls. For predicate
+	// operators it counts evaluated environments.
+	Rows int64
+	// Time is the exclusive wall time spent in the operator.
+	Time time.Duration
+	// Allocs is the exclusive allocated-byte delta attributed to the
+	// operator (heap-sampled; an order-of-magnitude signal, not exact).
+	Allocs int64
+}
+
+// RunStats holds one execution's per-node actuals, indexed by Node.ID.
+// Each execution owns its RunStats; the plan itself stays immutable and
+// shared.
+type RunStats struct {
+	Nodes []NodeStats
+}
+
+// NewRunStats sizes a stats block for a plan.
+func NewRunStats(root *Node) *RunStats {
+	return &RunStats{Nodes: make([]NodeStats, MaxID(root)+1)}
+}
+
+// Node returns the stats slot for a node ID (zero value if out of range).
+func (rs *RunStats) Node(id int) NodeStats {
+	if rs == nil || id < 0 || id >= len(rs.Nodes) {
+		return NodeStats{}
+	}
+	return rs.Nodes[id]
+}
+
+// Total sums the exclusive operator times; because times are exclusive
+// this is the plan's total execution wall time.
+func (rs *RunStats) Total() time.Duration {
+	if rs == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, n := range rs.Nodes {
+		d += n.Time
+	}
+	return d
+}
+
+// OperatorStat is one row of the flattened analyze report.
+type OperatorStat struct {
+	ID     int
+	Op     string
+	Calls  int
+	Rows   int64
+	Time   time.Duration
+	Allocs int64
+}
+
+// Operators flattens a plan and its run stats into report rows in
+// preorder (plan) order.
+func Operators(root *Node, rs *RunStats) []OperatorStat {
+	var out []OperatorStat
+	Walk(root, func(n *Node) {
+		s := rs.Node(n.ID)
+		name := n.OpName()
+		if d := n.Detail(); d != "" {
+			name += " [" + d + "]"
+		}
+		out = append(out, OperatorStat{
+			ID:     n.ID,
+			Op:     name,
+			Calls:  s.Calls,
+			Rows:   s.Rows,
+			Time:   s.Time,
+			Allocs: s.Allocs,
+		})
+	})
+	return out
+}

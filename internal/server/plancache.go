@@ -2,16 +2,18 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"dixq"
 )
 
-// planCache is an LRU of compiled query plans keyed by (query text,
-// engine). Parsing and rewriting a query is pure, and a compiled
-// dixq.Query is immutable and safe for concurrent reuse (every Run builds
-// a fresh evaluator), so one cached plan can serve many requests. A nil
-// *planCache is a valid disabled cache.
+// planCache is an LRU of compiled query plans keyed by the request's
+// canonicalized (query text, engine, options) tuple. Parsing and
+// rewriting a query is pure, and a compiled dixq.Query is immutable and
+// safe for concurrent reuse (every Run builds a fresh evaluator), so one
+// cached plan can serve many requests. A nil *planCache is a valid
+// disabled cache.
 type planCache struct {
 	mu           sync.Mutex
 	cap          int
@@ -36,8 +38,21 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-// planKey builds the cache key for a request.
-func planKey(query, engine string) string { return query + "\x00" + engine }
+// planKey builds the cache key for a request: the query text, the engine,
+// and every option that affects the plan or its execution strategy. The
+// options are canonicalized first — all parallelism values below 2 mean
+// "serial" and must share one entry — so equivalent requests hit the same
+// slot while requests differing in any effective knob never collide.
+// (Before options were part of the key, a cached entry served requests
+// whose options differed from the ones it was first compiled under.)
+func planKey(req *QueryRequest) string {
+	par := req.Parallelism
+	if par < 2 {
+		par = 1
+	}
+	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d",
+		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, par)
+}
 
 // get returns the cached plan for key and promotes it to most-recent.
 func (c *planCache) get(key string) (*dixq.Query, bool) {

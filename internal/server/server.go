@@ -62,7 +62,7 @@ func New(docs map[string]*dixq.Document, cfg Config) *Server {
 	return s
 }
 
-// QueryRequest is the POST /query body.
+// QueryRequest is the POST /query and POST /explain body.
 type QueryRequest struct {
 	// Query is the XQuery text.
 	Query string `json:"query"`
@@ -71,6 +71,30 @@ type QueryRequest struct {
 	Engine string `json:"engine,omitempty"`
 	// Indent pretty-prints the result XML.
 	Indent bool `json:"indent,omitempty"`
+	// Analyze (POST /explain, DI engines) executes the query and returns
+	// the plan annotated with per-operator actuals instead of the static
+	// description.
+	Analyze bool `json:"analyze,omitempty"`
+	// LegacyKeys selects the per-key-allocation operator implementations
+	// (DI engines).
+	LegacyKeys bool `json:"legacy_keys,omitempty"`
+	// NoPipeline disables streaming fusion of path-operator chains (DI
+	// engines).
+	NoPipeline bool `json:"no_pipeline,omitempty"`
+	// Parallelism bounds sort goroutines (DI engines); < 2 means serial.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// options maps the request's engine knobs onto dixq.Options.
+func (req *QueryRequest) options(engine dixq.Engine, cfg Config) *dixq.Options {
+	return &dixq.Options{
+		Engine:      engine,
+		Timeout:     cfg.Timeout,
+		MaxTuples:   cfg.MaxTuples,
+		LegacyKeys:  req.LegacyKeys,
+		NoPipeline:  req.NoPipeline,
+		Parallelism: req.Parallelism,
+	}
 }
 
 // QueryResponse is the POST /query success body.
@@ -131,7 +155,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
 		return nil, nil, false
 	}
-	key := planKey(req.Query, req.Engine)
+	key := planKey(&req)
 	if q, ok := s.plans.get(key); ok {
 		return &req, q, true
 	}
@@ -154,11 +178,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	res, err := q.Run(s.cat, &dixq.Options{
-		Engine:    engine,
-		Timeout:   s.cfg.Timeout,
-		MaxTuples: s.cfg.MaxTuples,
-	})
+	res, err := q.Run(s.cat, req.options(engine, s.cfg))
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, dixq.ErrBudgetExceeded) {
@@ -191,12 +211,72 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ExplainResponse is the POST /explain success body. Plan and Core are
+// always present; the remaining fields are filled in analyze mode, where
+// the query is executed and the per-operator actuals are reported.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+	Core string `json:"core"`
+	// AnalyzedPlan is the executed physical plan annotated with each
+	// operator's actuals.
+	AnalyzedPlan string `json:"analyzed_plan,omitempty"`
+	// Operators flattens the same actuals in plan preorder. The times are
+	// exclusive, so they sum to TotalMS.
+	Operators []OperatorJSON `json:"operators,omitempty"`
+	// TotalMS is the run's total evaluation time: the sum of the operator
+	// times.
+	TotalMS float64 `json:"total_ms,omitempty"`
+}
+
+// OperatorJSON is one operator's execution actuals.
+type OperatorJSON struct {
+	ID     int     `json:"id"`
+	Op     string  `json:"op"`
+	Calls  int     `json:"calls"`
+	Rows   int64   `json:"rows"`
+	TimeMS float64 `json:"time_ms"`
+	Allocs int64   `json:"allocs"`
+}
+
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	_, q, ok := s.decode(w, r)
+	req, q, ok := s.decode(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"plan": q.Explain(), "core": q.Core()})
+	out := ExplainResponse{Plan: q.Explain(), Core: q.Core()}
+	if req.Analyze {
+		engine, err := parseEngine(req.Engine)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		text, ops, err := q.ExplainAnalyze(s.cat, req.options(engine, s.cfg))
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, dixq.ErrBudgetExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		out.AnalyzedPlan = text
+		for _, op := range ops {
+			j := OperatorJSON{
+				ID:     op.ID,
+				Op:     op.Op,
+				Calls:  op.Calls,
+				Rows:   op.Rows,
+				TimeMS: ms(op.Time),
+				Allocs: op.Allocs,
+			}
+			out.Operators = append(out.Operators, j)
+			// The reported total is the sum of the reported per-operator
+			// values (not the raw durations), so the response is internally
+			// consistent under the millisecond rounding.
+			out.TotalMS += j.TimeMS
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {

@@ -215,6 +215,124 @@ func TestPlanCache(t *testing.T) {
 	}
 }
 
+// TestPlanCacheKeyIncludesOptions is the regression test for the cache
+// key: requests that differ in any plan-affecting option must occupy
+// distinct cache slots, while requests that differ only in a
+// non-canonical spelling of the same option (parallelism 0 vs 1, both
+// serial) must share one.
+func TestPlanCacheKeyIncludesOptions(t *testing.T) {
+	base := QueryRequest{Query: "q", Engine: "di-msj"}
+	distinct := []QueryRequest{
+		base,
+		{Query: "q", Engine: "di-nlj"},
+		{Query: "q", Engine: "di-msj", LegacyKeys: true},
+		{Query: "q", Engine: "di-msj", NoPipeline: true},
+		{Query: "q", Engine: "di-msj", Parallelism: 4},
+	}
+	seen := map[string]int{}
+	for i, req := range distinct {
+		key := planKey(&req)
+		if j, dup := seen[key]; dup {
+			t.Errorf("requests %d and %d share cache key %q", j, i, key)
+		}
+		seen[key] = i
+	}
+	for _, par := range []int{-1, 0, 1} {
+		req := base
+		req.Parallelism = par
+		if got, want := planKey(&req), planKey(&base); got != want {
+			t.Errorf("parallelism %d key = %q, want the serial key %q", par, got, want)
+		}
+	}
+	// Analyze and Indent shape the response, not the plan.
+	for _, req := range []QueryRequest{
+		{Query: "q", Engine: "di-msj", Analyze: true},
+		{Query: "q", Engine: "di-msj", Indent: true},
+	} {
+		if got, want := planKey(&req), planKey(&base); got != want {
+			t.Errorf("response-only option changed the key: %q vs %q", got, want)
+		}
+	}
+}
+
+// TestPlanCacheOptionsEndToEnd drives the regression through the HTTP
+// layer: the same query under different options must miss the cache.
+func TestPlanCacheOptionsEndToEnd(t *testing.T) {
+	ts := testServer(t, Config{})
+	query := `for $x in document("auction.xml")/site/regions return count($x/*)`
+	run := func(req QueryRequest) StatsJSON {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/query", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Stats == nil {
+			t.Fatal("missing stats")
+		}
+		return *out.Stats
+	}
+	run(QueryRequest{Query: query})
+	if st := run(QueryRequest{Query: query, NoPipeline: true}); st.PlanCacheMiss != 2 {
+		t.Fatalf("no_pipeline request should miss: %d misses", st.PlanCacheMiss)
+	}
+	if st := run(QueryRequest{Query: query, LegacyKeys: true}); st.PlanCacheMiss != 3 {
+		t.Fatalf("legacy_keys request should miss: %d misses", st.PlanCacheMiss)
+	}
+	if st := run(QueryRequest{Query: query}); st.PlanCacheHits != 1 {
+		t.Fatalf("repeat of the first request should hit: %d hits", st.PlanCacheHits)
+	}
+}
+
+// TestExplainAnalyze exercises the analyze form of POST /explain: the
+// response must carry per-operator actuals whose times sum to the
+// reported total (the operator times are exclusive by construction).
+func TestExplainAnalyze(t *testing.T) {
+	ts := testServer(t, Config{})
+	for _, engine := range []string{"", "di-nlj"} {
+		resp, body := postJSON(t, ts.URL+"/explain", QueryRequest{
+			Query: dixq.XMarkQ8, Engine: engine, Analyze: true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %q: status %d: %s", engine, resp.StatusCode, body)
+		}
+		var out ExplainResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.AnalyzedPlan == "" || !strings.Contains(out.AnalyzedPlan, "rows=") {
+			t.Fatalf("engine %q: analyzed plan missing actuals: %q", engine, out.AnalyzedPlan)
+		}
+		if len(out.Operators) == 0 {
+			t.Fatalf("engine %q: no operators", engine)
+		}
+		var sum float64
+		executed := 0
+		for _, op := range out.Operators {
+			sum += op.TimeMS
+			if op.Calls > 0 {
+				executed++
+			}
+		}
+		if sum != out.TotalMS {
+			t.Errorf("engine %q: operator times sum to %v, total_ms = %v", engine, sum, out.TotalMS)
+		}
+		if executed == 0 {
+			t.Errorf("engine %q: no operator recorded a call", engine)
+		}
+	}
+	// Analyze is a DI-engine feature.
+	resp, _ := postJSON(t, ts.URL+"/explain", QueryRequest{
+		Query: dixq.XMarkQ8, Engine: "interp", Analyze: true,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("interp analyze status = %d", resp.StatusCode)
+	}
+}
+
 func TestPlanCacheEviction(t *testing.T) {
 	c := newPlanCache(2)
 	q := &dixq.Query{}

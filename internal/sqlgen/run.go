@@ -3,8 +3,10 @@ package sqlgen
 import (
 	"fmt"
 
+	"dixq/internal/core"
 	"dixq/internal/interval"
 	"dixq/internal/minisql"
+	"dixq/internal/plan"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
@@ -38,12 +40,20 @@ func DocWidths(docs map[string]xmltree.Forest) map[string]int64 {
 	return out
 }
 
+// Plan compiles an expression to the nested-loop, no-pipeline physical
+// plan the SQL backend consumes: the literal Section 4 translation, with
+// no rewrites so the emitted SQL matches the expression as written.
+func Plan(e xq.Expr) *plan.Node {
+	return core.Compile(e, core.Options{NoRewrites: true}).
+		Plan(core.Options{Mode: core.ModeNLJ, NoPipeline: true})
+}
+
 // Run translates a core expression to SQL, executes it on the minisql
 // engine over the given documents, and decodes the (s, l, r) result rows
 // back into a forest. It is the end-to-end path of the paper's Section 4
 // on a generic relational engine.
 func Run(e xq.Expr, docs map[string]xmltree.Forest) (xmltree.Forest, error) {
-	stmt, err := Generate(e, DocWidths(docs))
+	stmt, err := Generate(Plan(e), DocWidths(docs))
 	if err != nil {
 		return nil, err
 	}

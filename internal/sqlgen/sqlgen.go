@@ -1,14 +1,22 @@
-// Package sqlgen emits the paper's XQuery-to-SQL translation: a core
-// expression becomes one SQL statement built by composing the templates of
-// Section 4 — the XFn operator templates (4.1) wrapped per environment
-// (4.2.1), assignment (4.2.2), the conditional (4.2.3) and the iterator
-// (4.2.4) — over the scalar dynamic interval encoding, with all widths
-// fixed at translation time exactly as the paper describes.
+// Package sqlgen emits the paper's XQuery-to-SQL translation: the
+// compiled physical plan of a core expression (the same plan.Node tree
+// the dynamic-interval executor runs) becomes one SQL statement built by
+// composing the templates of Section 4 — the XFn operator templates (4.1)
+// wrapped per environment (4.2.1), assignment (4.2.2), the conditional
+// (4.2.3) and the iterator (4.2.4) — over the scalar dynamic interval
+// encoding, with all widths fixed at translation time exactly as the
+// paper describes.
 //
 // The statement is rendered as a WITH chain (each template instantiation
 // one common table expression) ending in a single SELECT; it runs on any
 // engine supporting correlated derived tables, in particular the bundled
 // minisql engine, which plays the untuned relational engine of Section 5.
+//
+// Generate consumes nested-loop plans (compile with ModeNLJ): the
+// iterator template is the literal §4.2.4 translation, and the merge-join
+// decorrelation is precisely the optimization a generic engine does not
+// get. Streamable marks are ignored — pipelining is an execution
+// strategy, not a different plan shape.
 //
 // The scalar backend has the limitations the paper acknowledges: interval
 // endpoints are machine integers, so the polynomial width growth bounds
@@ -27,8 +35,8 @@ import (
 	"strings"
 
 	"dixq/internal/interval"
+	"dixq/internal/plan"
 	"dixq/internal/xmltree"
-	"dixq/internal/xq"
 )
 
 // ErrUnsupported marks operators outside the scalar SQL backend.
@@ -59,17 +67,18 @@ type Statement struct {
 // Unit is the name of the single-row constant table every statement uses.
 const Unit = "unit"
 
-// Generate translates a core expression. docWidths gives each document's
+// Generate translates a compiled physical plan. The plan must use
+// nested-loop iteration (ModeNLJ). docWidths gives each document's
 // encoding width (2 · node count for the DFS-counter encoding).
-func Generate(e xq.Expr, docWidths map[string]int64) (*Statement, error) {
-	for _, doc := range xq.Documents(e) {
+func Generate(p *plan.Node, docWidths map[string]int64) (*Statement, error) {
+	for _, doc := range plan.Documents(p) {
 		if w, ok := docWidths[doc]; !ok || w <= 0 {
 			return nil, fmt.Errorf("sqlgen: missing width for document %q", doc)
 		}
 	}
 	g := &generator{docWidths: docWidths}
-	env := g.initialEnv(e)
-	tab, err := g.expr(e, env)
+	env := g.initialEnv(p)
+	tab, err := g.expr(p, env)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +112,7 @@ type generator struct {
 	n         int
 }
 
-// sqlTab is a translated expression: the view holding its encoding at the
+// sqlTab is a translated plan node: the view holding its encoding at the
 // current environment, plus its width.
 type sqlTab struct {
 	view  string
@@ -132,11 +141,11 @@ func (g *generator) view(body string) string {
 	return name
 }
 
-func (g *generator) initialEnv(e xq.Expr) *sqlEnv {
+func (g *generator) initialEnv(p *plan.Node) *sqlEnv {
 	g.docTables = map[string]string{}
 	env := &sqlEnv{vars: map[string]sqlTab{}}
 	env.index = g.view(fmt.Sprintf("SELECT 0 AS i FROM %s", Unit))
-	for i, doc := range xq.Documents(e) {
+	for i, doc := range plan.Documents(p) {
 		t := fmt.Sprintf("doc_%d", i+1)
 		g.docTables[doc] = t
 		env.vars["doc:"+doc] = sqlTab{view: t, width: g.docWidths[doc]}
@@ -173,38 +182,45 @@ func sqlString(s string) string {
 	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }
 
-func (g *generator) expr(e xq.Expr, env *sqlEnv) (sqlTab, error) {
-	switch e := e.(type) {
-	case xq.Var:
-		t, ok := env.vars[e.Name]
+func (g *generator) expr(n *plan.Node, env *sqlEnv) (sqlTab, error) {
+	switch n.Op {
+	case plan.OpVar, plan.OpEmbedOuter:
+		// The SQL environments re-embed every visible variable eagerly at
+		// each loop entry, so both reads are plain lookups here.
+		t, ok := env.vars[n.Label]
 		if !ok {
-			return sqlTab{}, fmt.Errorf("sqlgen: unbound variable $%s", e.Name)
+			return sqlTab{}, fmt.Errorf("sqlgen: unbound variable $%s", n.Label)
 		}
 		return t, nil
-	case xq.Doc:
-		t, ok := env.vars["doc:"+e.Name]
+	case plan.OpScan:
+		t, ok := env.vars["doc:"+n.Label]
 		if !ok {
-			return sqlTab{}, fmt.Errorf("sqlgen: unknown document %q", e.Name)
+			return sqlTab{}, fmt.Errorf("sqlgen: unknown document %q", n.Label)
 		}
 		return t, nil
-	case xq.Const:
-		return g.constTable(e.Value, env)
-	case xq.Call:
-		return g.call(e, env)
-	case xq.Let:
-		val, err := g.expr(e.Value, env)
+	case plan.OpConst:
+		return g.constTable(n.Value, env)
+	case plan.OpLet:
+		val, err := g.expr(n.Inputs[0], env)
 		if err != nil {
 			return sqlTab{}, err
 		}
 		child := env.clone()
-		child.vars[e.Var] = val
-		return g.expr(e.Body, child)
-	case xq.Where:
-		return g.where(e, env)
-	case xq.For:
-		return g.forLoop(e, env)
+		child.vars[n.Label] = val
+		return g.expr(n.Inputs[1], child)
+	case plan.OpFilter:
+		return g.where(n, env)
+	case plan.OpBindVar:
+		return g.forLoop(n, env)
+	case plan.OpMSJ:
+		return sqlTab{}, fmt.Errorf("sqlgen: merge-join plan (generate from a ModeNLJ plan)")
+	case plan.OpRoots, plan.OpPathStep, plan.OpStructuralSort, plan.OpReverse,
+		plan.OpDistinct, plan.OpSubtreesDFS, plan.OpConstruct, plan.OpConcat, plan.OpCount:
+		return g.call(n, env)
+	case plan.OpInvalid:
+		return sqlTab{}, fmt.Errorf("sqlgen: %s", n.Label)
 	default:
-		return sqlTab{}, fmt.Errorf("sqlgen: unknown expression %T", e)
+		return sqlTab{}, fmt.Errorf("sqlgen: unknown operator %s", n.OpName())
 	}
 }
 
@@ -228,58 +244,27 @@ func (g *generator) constTable(f xmltree.Forest, env *sqlEnv) (sqlTab, error) {
 	return sqlTab{view: g.view(body), width: w}, nil
 }
 
-func (g *generator) call(e xq.Call, env *sqlEnv) (sqlTab, error) {
-	args := make([]sqlTab, len(e.Args))
-	for i, a := range e.Args {
+func (g *generator) call(n *plan.Node, env *sqlEnv) (sqlTab, error) {
+	args := make([]sqlTab, len(n.Inputs))
+	for i, a := range n.Inputs {
 		t, err := g.expr(a, env)
 		if err != nil {
 			return sqlTab{}, err
 		}
 		args[i] = t
 	}
-	switch e.Fn {
-	case xq.FnRoots:
+	switch n.Op {
+	case plan.OpRoots:
 		return sqlTab{view: g.rootsView(args[0].view), width: args[0].width}, nil
-	case xq.FnChildren:
-		body := fmt.Sprintf(
-			"SELECT u.s AS s, u.l AS l, u.r AS r FROM %s u WHERE EXISTS (SELECT * FROM %s v WHERE v.l < u.l AND u.r < v.r)",
-			args[0].view, args[0].view)
-		return sqlTab{view: g.view(body), width: args[0].width}, nil
-	case xq.FnSelect:
-		roots := g.rootsView(args[0].view)
-		body := fmt.Sprintf(
-			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s t, %s r WHERE r.s = %s AND r.l <= t.l AND t.r <= r.r",
-			args[0].view, roots, sqlString(e.Label))
-		return sqlTab{view: g.view(body), width: args[0].width}, nil
-	case xq.FnSelText:
-		roots := g.rootsView(args[0].view)
-		body := fmt.Sprintf(
-			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s t, %s r WHERE NOT r.s LIKE '<%%' AND NOT r.s LIKE '@%%' AND r.l <= t.l AND t.r <= r.r",
-			args[0].view, roots)
-		return sqlTab{view: g.view(body), width: args[0].width}, nil
-	case xq.FnData:
-		body := fmt.Sprintf(
-			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s t WHERE NOT t.s LIKE '<%%' AND NOT t.s LIKE '@%%'",
-			args[0].view)
-		return sqlTab{view: g.view(body), width: args[0].width}, nil
-	case xq.FnHead, xq.FnTail:
-		op := "<="
-		if e.Fn == xq.FnTail {
-			op = ">"
-		}
-		w := args[0].width
-		body := fmt.Sprintf(
-			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s, %s t WHERE %s AND t.l %s (SELECT u.r FROM %s u WHERE u.l = (SELECT MIN(v.l) FROM %s v WHERE %s))",
-			env.index, args[0].view, envWindow("t", w), op,
-			args[0].view, args[0].view, envWindow("v", w))
-		return sqlTab{view: g.view(body), width: w}, nil
-	case xq.FnCount:
+	case plan.OpPathStep:
+		return g.pathStep(n, args[0], env)
+	case plan.OpCount:
 		w := args[0].width
 		body := fmt.Sprintf(
 			"SELECT CAST((SELECT COUNT(*) FROM %s t WHERE %s AND NOT EXISTS (SELECT * FROM %s u WHERE %s AND u.l < t.l AND t.r < u.r)) AS VARCHAR) AS s, i*2 AS l, i*2 + 1 AS r FROM %s",
 			args[0].view, envWindow("t", w), args[0].view, envWindow("u", w), env.index)
 		return sqlTab{view: g.view(body), width: 2}, nil
-	case xq.FnNode:
+	case plan.OpConstruct:
 		win := args[0].width
 		wout, err := addWidth(win, 2)
 		if err != nil {
@@ -288,10 +273,10 @@ func (g *generator) call(e xq.Call, env *sqlEnv) (sqlTab, error) {
 		// Example 4.2, verbatim shape.
 		body := fmt.Sprintf(
 			`SELECT b.s AS s, b.l + i*%d AS l, b.r + i*%d AS r FROM %s, (SELECT %s AS s, 0 AS l, %d AS r FROM %s UNION ALL SELECT e.s AS s, e.l + 1 AS l, e.r + 1 AS r FROM (SELECT t.s AS s, t.l - i*%d AS l, t.r - i*%d AS r FROM %s t WHERE %s) e) b`,
-			wout, wout, env.index, sqlString(e.Label), wout-1, Unit,
+			wout, wout, env.index, sqlString(n.Label), wout-1, Unit,
 			win, win, args[0].view, envWindow("t", win))
 		return sqlTab{view: g.view(body), width: wout}, nil
-	case xq.FnConcat:
+	case plan.OpConcat:
 		w1, w2 := args[0].width, args[1].width
 		wout, err := addWidth(w1, w2)
 		if err != nil {
@@ -302,10 +287,51 @@ func (g *generator) call(e xq.Call, env *sqlEnv) (sqlTab, error) {
 			w1, wout, w1, wout, env.index, args[0].view, envWindow("a", w1),
 			w2, wout, w1, w2, wout, w1, env.index, args[1].view, envWindow("b", w2))
 		return sqlTab{view: g.view(body), width: wout}, nil
-	case xq.FnSort, xq.FnReverse, xq.FnDistinct, xq.FnSubtreesDFS:
-		return sqlTab{}, fmt.Errorf("%w: %s", ErrUnsupported, e.Fn)
+	case plan.OpStructuralSort, plan.OpReverse, plan.OpDistinct, plan.OpSubtreesDFS:
+		return sqlTab{}, fmt.Errorf("%w: %s", ErrUnsupported, n.OpName())
 	default:
-		return sqlTab{}, fmt.Errorf("sqlgen: unknown function %q", e.Fn)
+		return sqlTab{}, fmt.Errorf("sqlgen: unknown operator %s", n.OpName())
+	}
+}
+
+// pathStep instantiates the unary path-operator templates of Section 4.1.
+func (g *generator) pathStep(n *plan.Node, arg sqlTab, env *sqlEnv) (sqlTab, error) {
+	switch n.Step {
+	case plan.StepChildren:
+		body := fmt.Sprintf(
+			"SELECT u.s AS s, u.l AS l, u.r AS r FROM %s u WHERE EXISTS (SELECT * FROM %s v WHERE v.l < u.l AND u.r < v.r)",
+			arg.view, arg.view)
+		return sqlTab{view: g.view(body), width: arg.width}, nil
+	case plan.StepSelect:
+		roots := g.rootsView(arg.view)
+		body := fmt.Sprintf(
+			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s t, %s r WHERE r.s = %s AND r.l <= t.l AND t.r <= r.r",
+			arg.view, roots, sqlString(n.Label))
+		return sqlTab{view: g.view(body), width: arg.width}, nil
+	case plan.StepSelText:
+		roots := g.rootsView(arg.view)
+		body := fmt.Sprintf(
+			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s t, %s r WHERE NOT r.s LIKE '<%%' AND NOT r.s LIKE '@%%' AND r.l <= t.l AND t.r <= r.r",
+			arg.view, roots)
+		return sqlTab{view: g.view(body), width: arg.width}, nil
+	case plan.StepData:
+		body := fmt.Sprintf(
+			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s t WHERE NOT t.s LIKE '<%%' AND NOT t.s LIKE '@%%'",
+			arg.view)
+		return sqlTab{view: g.view(body), width: arg.width}, nil
+	case plan.StepHead, plan.StepTail:
+		op := "<="
+		if n.Step == plan.StepTail {
+			op = ">"
+		}
+		w := arg.width
+		body := fmt.Sprintf(
+			"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s, %s t WHERE %s AND t.l %s (SELECT u.r FROM %s u WHERE u.l = (SELECT MIN(v.l) FROM %s v WHERE %s))",
+			env.index, arg.view, envWindow("t", w), op,
+			arg.view, arg.view, envWindow("v", w))
+		return sqlTab{view: g.view(body), width: w}, nil
+	default:
+		return sqlTab{}, fmt.Errorf("sqlgen: unknown path step %q", n.Step)
 	}
 }
 
@@ -318,14 +344,14 @@ func (g *generator) rootsView(t string) string {
 
 // where instantiates the conditional template of Section 4.2.3: a filtered
 // index I' plus semi-joined views for the variables the body uses.
-func (g *generator) where(e xq.Where, env *sqlEnv) (sqlTab, error) {
-	cond, err := g.cond(e.Cond, env)
+func (g *generator) where(n *plan.Node, env *sqlEnv) (sqlTab, error) {
+	cond, err := g.cond(n.Inputs[0], env)
 	if err != nil {
 		return sqlTab{}, err
 	}
 	newIndex := g.view(fmt.Sprintf("SELECT i FROM %s WHERE %s", env.index, cond))
 	child := &sqlEnv{index: newIndex, vars: map[string]sqlTab{}}
-	free := xq.FreeVars(e.Body)
+	free := plan.FreeVars(n.Inputs[1])
 	for name, tab := range env.vars {
 		if !free[name] {
 			continue
@@ -335,61 +361,57 @@ func (g *generator) where(e xq.Where, env *sqlEnv) (sqlTab, error) {
 			newIndex, tab.view, envWindow("t", tab.width))
 		child.vars[name] = sqlTab{view: g.view(body), width: tab.width}
 	}
-	return g.expr(e.Body, child)
+	return g.expr(n.Inputs[1], child)
 }
 
-// cond renders a condition as a SQL predicate over the index row variable
-// i (Q_φ of the paper).
-func (g *generator) cond(c xq.Cond, env *sqlEnv) (string, error) {
-	switch c := c.(type) {
-	case xq.Empty:
-		t, err := g.expr(c.E, env)
+// cond renders a predicate node as a SQL predicate over the index row
+// variable i (Q_φ of the paper).
+func (g *generator) cond(n *plan.Node, env *sqlEnv) (string, error) {
+	switch n.Op {
+	case plan.OpEmptyTest:
+		t, err := g.expr(n.Inputs[0], env)
 		if err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("NOT EXISTS (SELECT * FROM %s t WHERE %s)", t.view, envWindow("t", t.width)), nil
-	case xq.Equal:
-		a, err := g.expr(c.L, env)
+	case plan.OpCmpEq:
+		a, err := g.expr(n.Inputs[0], env)
 		if err != nil {
 			return "", err
 		}
-		b, err := g.expr(c.R, env)
+		b, err := g.expr(n.Inputs[1], env)
 		if err != nil {
 			return "", err
 		}
 		return g.deepEqual(a, b), nil
-	case xq.Less:
+	case plan.OpCmpLess:
 		return "", fmt.Errorf("%w: structural less in conditions", ErrUnsupported)
-	case xq.Contains:
+	case plan.OpContainsTest:
 		return "", fmt.Errorf("%w: contains (string aggregation has no first-order template)", ErrUnsupported)
-	case xq.Not:
-		inner, err := g.cond(c.C, env)
+	case plan.OpNot:
+		inner, err := g.cond(n.Inputs[0], env)
 		if err != nil {
 			return "", err
 		}
 		return "NOT (" + inner + ")", nil
-	case xq.And:
-		l, err := g.cond(c.L, env)
+	case plan.OpAnd, plan.OpOr:
+		l, err := g.cond(n.Inputs[0], env)
 		if err != nil {
 			return "", err
 		}
-		r, err := g.cond(c.R, env)
+		r, err := g.cond(n.Inputs[1], env)
 		if err != nil {
 			return "", err
 		}
-		return "(" + l + ") AND (" + r + ")", nil
-	case xq.Or:
-		l, err := g.cond(c.L, env)
-		if err != nil {
-			return "", err
+		op := "AND"
+		if n.Op == plan.OpOr {
+			op = "OR"
 		}
-		r, err := g.cond(c.R, env)
-		if err != nil {
-			return "", err
-		}
-		return "(" + l + ") OR (" + r + ")", nil
+		return "(" + l + ") " + op + " (" + r + ")", nil
+	case plan.OpInvalid:
+		return "", fmt.Errorf("sqlgen: %s", n.Label)
 	default:
-		return "", fmt.Errorf("sqlgen: unknown condition %T", c)
+		return "", fmt.Errorf("sqlgen: unknown condition %s", n.OpName())
 	}
 }
 
@@ -429,8 +451,8 @@ func (g *generator) deepEqual(a, b sqlTab) string {
 // consistent general form, which also makes loop exit the claimed no-op
 // (tuples of environment i' land inside outer window i at width w_e·w_e'),
 // is i' = r.l, equivalently i·w_e plus the *local* offset of r.
-func (g *generator) forLoop(e xq.For, env *sqlEnv) (sqlTab, error) {
-	dom, err := g.expr(e.Domain, env)
+func (g *generator) forLoop(n *plan.Node, env *sqlEnv) (sqlTab, error) {
+	dom, err := g.expr(n.Inputs[0], env)
 	if err != nil {
 		return sqlTab{}, err
 	}
@@ -449,8 +471,11 @@ func (g *generator) forLoop(e xq.For, env *sqlEnv) (sqlTab, error) {
 		shift("l", wd), shift("r", wd), env.index, dom.view, roots, rootCond))
 
 	child := &sqlEnv{index: newIndex, vars: map[string]sqlTab{}}
-	free := xq.FreeVars(e.Body)
-	delete(free, e.Var)
+	free := plan.FreeVars(n.Inputs[1])
+	delete(free, n.Label)
+	if n.Pos != "" {
+		delete(free, n.Pos)
+	}
 	for name, tab := range env.vars {
 		if !free[name] {
 			continue
@@ -465,17 +490,17 @@ func (g *generator) forLoop(e xq.For, env *sqlEnv) (sqlTab, error) {
 			vShift("l"), vShift("r"), env.index, tab.view, roots, rootCond, envWindow("x", wv))
 		child.vars[name] = sqlTab{view: g.view(body), width: wv}
 	}
-	child.vars[e.Var] = sqlTab{view: xView, width: wd}
-	if e.Pos != "" {
+	child.vars[n.Label] = sqlTab{view: xView, width: wd}
+	if n.Pos != "" {
 		// The positional variable: rank of the root within its source
 		// environment, as a width-2 text tuple in the new environment.
 		posView := g.view(fmt.Sprintf(
 			"SELECT CAST((SELECT COUNT(*) FROM %s r2 WHERE i*%d <= r2.l AND r2.l <= r.l) AS VARCHAR) AS s, r.l*2 AS l, r.l*2 + 1 AS r FROM %s, %s r WHERE %s",
 			roots, wd, env.index, roots, rootCond))
-		child.vars[e.Pos] = sqlTab{view: posView, width: 2}
+		child.vars[n.Pos] = sqlTab{view: posView, width: 2}
 	}
 
-	bodyTab, err := g.expr(e.Body, child)
+	bodyTab, err := g.expr(n.Inputs[1], child)
 	if err != nil {
 		return sqlTab{}, err
 	}

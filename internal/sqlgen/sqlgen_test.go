@@ -155,32 +155,32 @@ func TestUnsupportedOperators(t *testing.T) {
 		`for $x in document("auction.xml") where deep-less($x, $x) return $x`,
 	} {
 		e := xq.MustParse(q)
-		if _, err := Generate(e, widths); !errors.Is(err, ErrUnsupported) {
+		if _, err := Generate(Plan(e), widths); !errors.Is(err, ErrUnsupported) {
 			t.Errorf("Generate(%s): err = %v, want ErrUnsupported", q, err)
 		}
 	}
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if _, err := Generate(xq.Var{Name: "x"}, nil); err == nil {
+	if _, err := Generate(Plan(xq.Var{Name: "x"}), nil); err == nil {
 		t.Error("unbound variable should fail")
 	}
-	if _, err := Generate(xq.Doc{Name: "d"}, nil); err == nil {
+	if _, err := Generate(Plan(xq.Doc{Name: "d"}), nil); err == nil {
 		t.Error("missing doc width should fail")
 	}
-	if _, err := Generate(xq.Call{Fn: "bogus"}, nil); err == nil {
+	if _, err := Generate(Plan(xq.Call{Fn: "bogus"}), nil); err == nil {
 		t.Error("unknown function should fail")
 	}
 	// Width overflow: four nested loops over a huge document.
 	e := xq.MustParse(`for $a in document("d") return for $b in document("d") return for $c in document("d") return for $e in document("d") return ($a,$b,$c,$e)`)
-	if _, err := Generate(e, map[string]int64{"d": 1 << 40}); !errors.Is(err, ErrOverflow) {
+	if _, err := Generate(Plan(e), map[string]int64{"d": 1 << 40}); !errors.Is(err, ErrOverflow) {
 		t.Errorf("err = %v, want ErrOverflow", err)
 	}
 }
 
 func TestStatementShape(t *testing.T) {
 	e := xq.MustParse(xmark.Q8)
-	stmt, err := Generate(e, DocWidths(figureDocs()))
+	stmt, err := Generate(Plan(e), DocWidths(figureDocs()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestDifferentialSQL(t *testing.T) {
 			"d2": xmltree.RandomForest(rng, 6),
 		}
 		e := xq.RandomExpr(rng, []string{"d1", "d2"}, 3)
-		stmt, err := Generate(e, DocWidths(docs))
+		stmt, err := Generate(Plan(e), DocWidths(docs))
 		if err != nil {
 			if errors.Is(err, ErrUnsupported) || errors.Is(err, ErrOverflow) {
 				continue
