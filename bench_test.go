@@ -355,3 +355,51 @@ func BenchmarkShred(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBatchChain compares the batch-at-a-time path-chain runtime
+// against the tuple-at-a-time iterators it replaced (core's
+// ScalarPipeline switch) on Q13, the path-and-construction workload whose
+// chains dominate. Run with -benchmem: the batched side's win is chiefly
+// allocations (chunked columnar buffers vs per-tuple key views).
+func BenchmarkBatchChain(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{ScaleFactor: 0.002, Seed: 20030609})
+	cat := core.Catalog{"auction.xml": interval.Encode(doc)}
+	q := core.Compile(xq.MustParse(xmark.Q13), core.Options{})
+	for _, v := range []struct {
+		name   string
+		scalar bool
+	}{{"batched", false}, {"scalar", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			opts := core.Options{Mode: core.ModeMSJ, ScalarPipeline: v.scalar}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(cat, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExternalSort measures the structural sort with and without a
+// memory budget tight enough to force every group through the external
+// merge sorter — the cost of bounded memory on the same input.
+func BenchmarkExternalSort(b *testing.B) {
+	rel := interval.Encode(xmark.Generate(xmark.Config{ScaleFactor: 0.002, Seed: 20030609}))
+	b.Run("inmemory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.SortTreesP(rel, 0, 1)
+		}
+	})
+	b.Run("spill", func(b *testing.B) {
+		dir := b.TempDir()
+		cfg := engine.SpillConfig{MaxBytes: 1 << 16, Dir: dir}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.SortTreesSpill(rel, 0, 1, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -30,11 +30,18 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-run budget; exceeding runs report DNF")
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-run materialization budget for DI plans (0 = unlimited)")
 	benchJSON := flag.String("benchjson", "", "write before/after key-layout micro-benchmarks (Q8/Q9/Q13) to this JSON file and exit")
-	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson")
+	benchJSON3 := flag.String("benchjson3", "", "write scalar-vs-batched pipeline micro-benchmarks (Q8/Q9/Q13, plus bounded-memory spill runs) to this JSON file and exit")
+	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson and -benchjson3")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := bench.WriteBenchJSON(*benchJSON, *benchScale, os.Stderr); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if *benchJSON3 != "" {
+		if err := bench.WriteBenchPR3JSON(*benchJSON3, *benchScale, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return

@@ -41,6 +41,8 @@ func main() {
 	flag.Var(&docs, "doc", "document binding name=path (.xml or .dixq, repeatable)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query budget")
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-query DI materialization budget (0 = unlimited)")
+	memBudget := flag.Int64("membudget", 0, "per-query DI sort memory budget in bytes; larger sorts spill to disk (0 = unbounded)")
+	spillDir := flag.String("spilldir", "", "directory for external-sort spill runs (default: OS temp dir)")
 	flag.Parse()
 
 	if len(docs) == 0 {
@@ -63,7 +65,12 @@ func main() {
 		log.Printf("loaded %s from %s (%d nodes)", name, path, doc.Nodes())
 	}
 
-	srv := server.New(loaded, server.Config{Timeout: *timeout, MaxTuples: *maxTuples})
+	srv := server.New(loaded, server.Config{
+		Timeout:   *timeout,
+		MaxTuples: *maxTuples,
+		MemBudget: *memBudget,
+		SpillDir:  *spillDir,
+	})
 	log.Printf("serving on %s", *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)

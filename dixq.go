@@ -195,6 +195,23 @@ type Options struct {
 	// NoPipeline disables streaming fusion of path-operator chains, forcing
 	// every operator to materialize its output (DI engines).
 	NoPipeline bool
+	// MemBudget bounds the accounted in-memory footprint of the structural
+	// sorts and merge-join sort state, in bytes (DI engines); inputs over
+	// the budget are sorted externally, spilling runs to SpillDir. Zero
+	// means unbounded — never spill. Unlike MaxTuples, exceeding MemBudget
+	// never aborts a query: it degrades to disk and the result is
+	// identical.
+	MemBudget int64
+	// SpillDir is where external-sort runs are written under MemBudget;
+	// empty means the OS temp directory.
+	SpillDir string
+	// BatchSize is the chunk row count of the batch-executed path chains
+	// (DI engines; 0 selects the default of 256).
+	BatchSize int
+	// ScalarPipeline executes path chains through the tuple-at-a-time
+	// iterators instead of the batch kernels (DI engines; output is
+	// identical — the switch exists for differential benchmarking).
+	ScalarPipeline bool
 }
 
 // ErrBudgetExceeded reports that a run hit Options.Timeout or MaxTuples.
@@ -274,13 +291,17 @@ func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorS
 		return "", nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
 	}
 	copts := core.Options{
-		Mode:        mode,
-		Timeout:     opts.Timeout,
-		MaxTuples:   opts.MaxTuples,
-		Trace:       opts.Trace,
-		Parallelism: opts.Parallelism,
-		LegacyKeys:  opts.LegacyKeys,
-		NoPipeline:  opts.NoPipeline,
+		Mode:           mode,
+		Timeout:        opts.Timeout,
+		MaxTuples:      opts.MaxTuples,
+		Trace:          opts.Trace,
+		Parallelism:    opts.Parallelism,
+		LegacyKeys:     opts.LegacyKeys,
+		NoPipeline:     opts.NoPipeline,
+		MemBudget:      opts.MemBudget,
+		SpillDir:       opts.SpillDir,
+		BatchSize:      opts.BatchSize,
+		ScalarPipeline: opts.ScalarPipeline,
 	}
 	text, rs, err := q.q.ExplainAnalyze(cat.enc, copts)
 	if err != nil {
@@ -361,14 +382,18 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 		}
 		stats := &core.Stats{}
 		f, err := q.q.EvalForest(cat.enc, core.Options{
-			Mode:        mode,
-			Stats:       stats,
-			Timeout:     opts.Timeout,
-			MaxTuples:   opts.MaxTuples,
-			Trace:       opts.Trace,
-			Parallelism: opts.Parallelism,
-			LegacyKeys:  opts.LegacyKeys,
-			NoPipeline:  opts.NoPipeline,
+			Mode:           mode,
+			Stats:          stats,
+			Timeout:        opts.Timeout,
+			MaxTuples:      opts.MaxTuples,
+			Trace:          opts.Trace,
+			Parallelism:    opts.Parallelism,
+			LegacyKeys:     opts.LegacyKeys,
+			NoPipeline:     opts.NoPipeline,
+			MemBudget:      opts.MemBudget,
+			SpillDir:       opts.SpillDir,
+			BatchSize:      opts.BatchSize,
+			ScalarPipeline: opts.ScalarPipeline,
 		})
 		if err != nil {
 			return nil, err

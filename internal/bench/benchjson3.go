@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"dixq/internal/core"
+	"dixq/internal/interval"
+	"dixq/internal/xmark"
+)
+
+// sameResult reports tuple-for-tuple identity of two results, including
+// the physical digit count of every key.
+func sameResult(got, want *interval.Relation) bool {
+	if len(got.Tuples) != len(want.Tuples) {
+		return false
+	}
+	for i := range want.Tuples {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if g.S != w.S || len(g.L) != len(w.L) || len(g.R) != len(w.R) ||
+			!g.L.Equal(w.L) || !g.R.Equal(w.R) {
+			return false
+		}
+	}
+	return true
+}
+
+// BudgetedRun is one bounded-memory evaluation: the query runs under a
+// MemBudget small enough to force every structural sort through the
+// external sorter, and must still complete with a digit-identical answer.
+type BudgetedRun struct {
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+	NsPerOp        int64 `json:"ns_per_op"`
+	SpilledRuns    int64 `json:"spilled_runs"`
+	SpilledBytes   int64 `json:"spilled_bytes"`
+	// Identical reports whether the budgeted result matched the unbudgeted
+	// one tuple-for-tuple, including physical key lengths.
+	Identical bool `json:"identical_to_unbudgeted"`
+}
+
+// Comparison3 is the before/after pair for one query on the runtime axis:
+// before is the tuple-at-a-time scalar pipeline, after the batch-at-a-time
+// chunked pipeline, plus the bounded-memory run of the batched form.
+type Comparison3 struct {
+	Query  string      `json:"query"`
+	Before Measurement `json:"before_scalar"`
+	After  Measurement `json:"after_batched"`
+	// AllocsRatio is before/after allocations (at or above 1 = no alloc
+	// regression).
+	AllocsRatio float64 `json:"allocs_ratio"`
+	// NsRatio is after/before time (at or below 1 = no time regression).
+	NsRatio  float64     `json:"ns_ratio"`
+	Budgeted BudgetedRun `json:"budgeted"`
+}
+
+// BenchReport3 is the schema of BENCH_PR3.json.
+type BenchReport3 struct {
+	ScaleFactor float64       `json:"scale_factor"`
+	Mode        string        `json:"mode"`
+	Results     []Comparison3 `json:"results"`
+}
+
+// WriteBenchPR3JSON micro-benchmarks XMark Q8, Q9 and Q13 on the DI-MSJ
+// path under the scalar and batched pipeline runtimes, verifies the
+// bounded-memory (spilling) run, and writes the report to path. Progress
+// lines go to log.
+func WriteBenchPR3JSON(path string, sf float64, log io.Writer) error {
+	const memBudget = 256 // bytes: below any sort input, so every MSJ sort spills
+	doc := xmark.Generate(xmark.Config{ScaleFactor: sf, Seed: 1})
+	spillDir, err := os.MkdirTemp("", "dixq-bench-spill-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spillDir)
+	report := BenchReport3{ScaleFactor: sf, Mode: core.ModeMSJ.String()}
+	queries := []struct{ name, text string }{
+		{"Q8", xmark.Q8},
+		{"Q9", xmark.Q9},
+		{"Q13", xmark.Q13},
+	}
+	for _, q := range queries {
+		w, err := NewWorkload(q.text, doc)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", q.name, err)
+		}
+		measureOnce := func(opts core.Options) Measurement {
+			// Start each variant from a collected heap so one side never
+			// pays the other's garbage.
+			runtime.GC()
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := w.compiled.Eval(w.enc, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return Measurement{
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+		}
+		// Best of five interleaved rounds: ns/op is scheduler-noisy at the
+		// millisecond scale (allocs/op is deterministic), and alternating
+		// the variants keeps drift from biasing one side.
+		scalarOpts := core.Options{Mode: core.ModeMSJ, ScalarPipeline: true}
+		batchedOpts := core.Options{Mode: core.ModeMSJ}
+		c := Comparison3{Query: q.name}
+		for round := 0; round < 5; round++ {
+			mb, ma := measureOnce(scalarOpts), measureOnce(batchedOpts)
+			if round == 0 || mb.NsPerOp < c.Before.NsPerOp {
+				c.Before = mb
+			}
+			if round == 0 || ma.NsPerOp < c.After.NsPerOp {
+				c.After = ma
+			}
+		}
+		if c.After.AllocsPerOp > 0 {
+			c.AllocsRatio = float64(c.Before.AllocsPerOp) / float64(c.After.AllocsPerOp)
+		}
+		if c.Before.NsPerOp > 0 {
+			c.NsRatio = float64(c.After.NsPerOp) / float64(c.Before.NsPerOp)
+		}
+
+		want, err := w.compiled.Eval(w.enc, core.Options{Mode: core.ModeMSJ})
+		if err != nil {
+			return fmt.Errorf("bench: %s unbudgeted: %w", q.name, err)
+		}
+		stats := &core.Stats{}
+		budgetOpts := core.Options{
+			Mode: core.ModeMSJ, MemBudget: memBudget, SpillDir: spillDir, Stats: stats,
+		}
+		got, err := w.compiled.Eval(w.enc, budgetOpts)
+		if err != nil {
+			return fmt.Errorf("bench: %s budgeted: %w", q.name, err)
+		}
+		budgeted := measureOnce(core.Options{Mode: core.ModeMSJ, MemBudget: memBudget, SpillDir: spillDir})
+		c.Budgeted = BudgetedRun{
+			MemBudgetBytes: memBudget,
+			NsPerOp:        budgeted.NsPerOp,
+			SpilledRuns:    stats.SpilledRuns,
+			SpilledBytes:   stats.SpilledBytes,
+			Identical:      sameResult(got, want),
+		}
+
+		fmt.Fprintf(log, "%s: scalar %d allocs/op %d ns/op | batched %d allocs/op %d ns/op | allocs ratio %.2fx, ns ratio %.2f | budgeted %d runs spilled, identical=%v\n",
+			q.name, c.Before.AllocsPerOp, c.Before.NsPerOp,
+			c.After.AllocsPerOp, c.After.NsPerOp, c.AllocsRatio, c.NsRatio,
+			c.Budgeted.SpilledRuns, c.Budgeted.Identical)
+		report.Results = append(report.Results, c)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

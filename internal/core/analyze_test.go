@@ -14,13 +14,14 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden analyze-plan files")
 
-// scrubStats masks the run-dependent actuals (wall time, allocated bytes)
-// in an analyze rendering; calls and rows are deterministic for a fixed
-// document, so they stay and are locked by the goldens.
-var scrubStats = regexp.MustCompile(`time=[^ )]+ allocs=-?\d+`)
+// scrubStats masks the run-dependent actuals (wall time, allocated bytes,
+// chunk footprints) in an analyze rendering; calls, rows, batches and
+// spilled runs are deterministic for a fixed document, so they stay and
+// are locked by the goldens.
+var scrubStats = regexp.MustCompile(`time=[^ )]+ allocs=-?\d+ bytes=-?\d+`)
 
 func scrubAnalyze(s string) string {
-	return scrubStats.ReplaceAllString(s, "time=_ allocs=_")
+	return scrubStats.ReplaceAllString(s, "time=_ allocs=_ bytes=_")
 }
 
 // TestAnalyzeGoldenPlans locks the analyze-mode plan renderings for the

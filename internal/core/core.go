@@ -81,6 +81,22 @@ type Options struct {
 	// instead of the flat shared-buffer layout. Output is identical; the
 	// switch exists for differential testing and before/after benchmarks.
 	LegacyKeys bool
+	// MemBudget bounds the accounted in-memory footprint of the structural
+	// sort and merge-join sort state, in bytes; inputs over the budget are
+	// sorted externally, spilling runs to SpillDir (0 = unbounded, never
+	// spill). Unlike MaxTuples, exceeding it never aborts the query — it
+	// degrades to disk.
+	MemBudget int64
+	// SpillDir is where external-sort runs are written; empty means the OS
+	// temp directory.
+	SpillDir string
+	// BatchSize is the chunk row count of the batch-executed path chains
+	// (0 = pipeline.DefaultBatchSize).
+	BatchSize int
+	// ScalarPipeline executes path chains through the tuple-at-a-time
+	// iterators instead of the batch kernels. Output is identical; the
+	// switch exists for differential testing and before/after benchmarks.
+	ScalarPipeline bool
 	// Analyze, when non-nil, collects per-plan-node actuals (calls, rows,
 	// exclusive wall time, allocated bytes) during evaluation — the input
 	// of the analyze form of Explain. The caller passes an empty RunStats;
@@ -108,6 +124,11 @@ type Stats struct {
 	// EmbeddedTuples counts tuples produced by outer-environment
 	// embedding, the quadratic cost center of DI-NLJ.
 	EmbeddedTuples int64
+	// SpilledRuns counts external-sort runs written to disk under
+	// Options.MemBudget (0 when everything fit in memory).
+	SpilledRuns int64
+	// SpilledBytes is the accounted footprint of the spilled records.
+	SpilledBytes int64
 }
 
 // Total returns the summed phase times.

@@ -75,6 +75,18 @@ type evaluator struct {
 	inCond bool
 	// an records per-plan-node actuals when Options.Analyze is set.
 	an *analyzer
+	// spill carries the memory budget for the structural sorts; nil when
+	// Options.MemBudget is unset (everything stays in memory).
+	spill *engine.SpillConfig
+	// chunk is the columnar scratch buffer shared by every fused batch
+	// chain of this evaluation (chains run sequentially and drain fully, so
+	// one buffer serves them all); stages, src, and chainB are the matching
+	// scratch values for the chains' stage lists, batch source, and fused
+	// chain, re-inited per chain.
+	chunk  *interval.Flat
+	stages []pipeline.Stage
+	src    pipeline.RelationBatches
+	chainB pipeline.Chain
 }
 
 // opset is the dispatch table for the operators that construct new keys,
@@ -151,7 +163,23 @@ func newEvaluator(cat Catalog, opts Options) *evaluator {
 			ev.budget.Deadline = time.Now().Add(opts.Timeout)
 		}
 	}
+	if opts.MemBudget > 0 {
+		ev.spill = &engine.SpillConfig{MaxBytes: opts.MemBudget, Dir: opts.SpillDir}
+	}
 	return ev
+}
+
+// noteSpill accumulates a spill-capable operator's disk activity into the
+// run's stats and, in analyze mode, into the current plan node.
+func (ev *evaluator) noteSpill(st engine.SpillStats) {
+	if st.Runs == 0 {
+		return
+	}
+	ev.stats.SpilledRuns += st.Runs
+	ev.stats.SpilledBytes += st.Bytes
+	if ev.an != nil {
+		ev.an.addSpill(st.Runs)
+	}
 }
 
 func (ev *evaluator) rootEnv() *env {
@@ -220,6 +248,23 @@ func (a *analyzer) finish(id, prev, rows int) {
 		ns := &a.stats.Nodes[id]
 		ns.Calls++
 		ns.Rows += int64(rows)
+	}
+}
+
+// addBatches charges chunk counts and accounted bytes to a node.
+func (a *analyzer) addBatches(id, batches int, bytes int64) {
+	if id >= 0 && id < len(a.stats.Nodes) {
+		ns := &a.stats.Nodes[id]
+		ns.Batches += batches
+		ns.Bytes += bytes
+	}
+}
+
+// addSpill charges spilled external-sort runs to the node currently
+// executing.
+func (a *analyzer) addSpill(runs int64) {
+	if a.cur >= 0 && a.cur < len(a.stats.Nodes) {
+		a.stats.Nodes[a.cur].Spilled += runs
 	}
 }
 
@@ -327,11 +372,14 @@ func (ev *evaluator) evalVar(name string, en *env) (*table, error) {
 }
 
 // execStreamChain executes a maximal chain of Streamable path operators
-// through the streaming iterators of package pipeline — the "sequence of
-// linear time operations" plan fragments of Section 5 — materializing
-// only the chain's final output. Since the compiler marks every path
-// operator Streamable, single-step chains stream too; only NoPipeline
-// plans fall back to the materializing engine.
+// through package pipeline — the "sequence of linear time operations" plan
+// fragments of Section 5 — materializing only the chain's final output.
+// Since the compiler marks every path operator Streamable, single-step
+// chains stream too; only NoPipeline plans fall back to the materializing
+// engine. The chain runs batch-at-a-time over columnar chunks by default;
+// Options.ScalarPipeline (and LegacyKeys, which promises the per-key
+// physical layout) select the tuple-at-a-time iterators instead. Both
+// paths produce digit-identical output.
 func (ev *evaluator) execStreamChain(head *plan.Node, en *env) (*table, error) {
 	var chain []*plan.Node
 	cur := head
@@ -348,6 +396,15 @@ func (ev *evaluator) execStreamChain(head *plan.Node, en *env) (*table, error) {
 		return nil, err
 	}
 	defer track(ev.phaseDur(&ev.stats.Paths))()
+	if ev.opts.ScalarPipeline || ev.opts.LegacyKeys {
+		return ev.runScalarChain(chain, input, en)
+	}
+	return ev.runBatchChain(chain, input, en)
+}
+
+// runScalarChain is the tuple-at-a-time execution of a fused chain,
+// preserved as the differential oracle for the batch runtime.
+func (ev *evaluator) runScalarChain(chain []*plan.Node, input *table, en *env) (*table, error) {
 	var it pipeline.Iterator = pipeline.NewScan(input.rel)
 	// Inner chain stages never materialize; in analyze mode a counting
 	// pass-through records their per-stage row counts (their time stays
@@ -385,12 +442,99 @@ func (ev *evaluator) execStreamChain(head *plan.Node, en *env) (*table, error) {
 	// input's.
 	start := ev.now()
 	out := pipeline.Materialize(it)
-	ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, out.Len())
+	if ev.opts.Trace != nil {
+		ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, out.Len())
+	}
 	for _, s := range stages {
 		if s.node.ID >= 0 && s.node.ID < len(ev.an.stats.Nodes) {
 			ns := &ev.an.stats.Nodes[s.node.ID]
 			ns.Calls++
 			ns.Rows += int64(s.ctr.N)
+		}
+	}
+	return &table{rel: out, local: input.local}, nil
+}
+
+// runBatchChain is the batch-at-a-time execution of a fused chain: the
+// input relation flows through the chain as columnar chunks, each kernel
+// compacting survivors within the chunk in place, and the materialization
+// hands back the surviving original tuples by their recorded row indices —
+// every fused operator is a filter, so the output is a subsequence of the
+// input.
+func (ev *evaluator) runBatchChain(chain []*plan.Node, input *table, en *env) (*table, error) {
+	if ev.chunk == nil {
+		ev.chunk = &interval.Flat{}
+	}
+	ev.src.Init(input.rel, ev.opts.BatchSize, ev.chunk)
+	var b pipeline.Batch = &ev.src
+	// ev.stages keeps its high-water entries so each recycled Stage hands
+	// its key buffers to this chain's stage of the same position.
+	n := 0
+	for i := len(chain) - 1; i >= 0; i-- {
+		op := chain[i]
+		var proto pipeline.Stage
+		switch {
+		case op.Op == plan.OpRoots:
+			proto = pipeline.RootsStage()
+		case op.Step == plan.StepSelect:
+			proto = pipeline.SelectLabelStage(op.Label)
+		case op.Step == plan.StepSelText:
+			proto = pipeline.SelectTextStage()
+		case op.Step == plan.StepChildren:
+			proto = pipeline.ChildrenStage()
+		case op.Step == plan.StepData:
+			proto = pipeline.DataStage()
+		case op.Step == plan.StepHead:
+			proto = pipeline.HeadStage(en.depth)
+		case op.Step == plan.StepTail:
+			proto = pipeline.TailStage(en.depth)
+		}
+		if n < len(ev.stages) {
+			ev.stages[n].Reuse(proto)
+		} else {
+			ev.stages = append(ev.stages, proto)
+		}
+		n++
+	}
+	stages := ev.stages[:n]
+	type stageCtr struct {
+		node *plan.Node
+		ctr  *pipeline.BatchCounter
+	}
+	var ctrs []stageCtr
+	if ev.an == nil {
+		// Plain execution fuses the whole chain into one pass per chunk.
+		ev.chainB.Init(b, stages)
+		b = &ev.chainB
+	} else {
+		// Analyze stacks one kernel per stage so a counting pass-through
+		// can attribute per-stage rows, batches, and bytes.
+		for j, st := range stages {
+			b = pipeline.NewKernel(b, st)
+			if j < len(stages)-1 {
+				c := &pipeline.BatchCounter{In: b}
+				b = c
+				ctrs = append(ctrs, stageCtr{node: chain[len(chain)-1-j], ctr: c})
+			}
+		}
+	}
+	start := ev.now()
+	out, st := pipeline.MaterializeBatches(b, input.rel)
+	if ev.opts.Trace != nil {
+		ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, out.Len())
+	}
+	if ev.an != nil {
+		head := chain[0]
+		if head.ID >= 0 && head.ID < len(ev.an.stats.Nodes) {
+			ev.an.addBatches(head.ID, st.Batches, st.Bytes)
+		}
+		for _, s := range ctrs {
+			if s.node.ID >= 0 && s.node.ID < len(ev.an.stats.Nodes) {
+				ns := &ev.an.stats.Nodes[s.node.ID]
+				ns.Calls++
+				ns.Rows += int64(s.ctr.Rows)
+			}
+			ev.an.addBatches(s.node.ID, s.ctr.Batches, s.ctr.Bytes)
 		}
 	}
 	return &table{rel: out, local: input.local}, nil
@@ -462,6 +606,14 @@ func (ev *evaluator) applyOp(n *plan.Node, args []*table, en *env) (*table, erro
 		return &table{rel: ev.ops.reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
 	case plan.OpStructuralSort:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
+		if ev.spill != nil && !ev.opts.LegacyKeys {
+			rel, st, err := engine.SortTreesSpill(args[0].rel, en.depth, ev.opts.Parallelism, *ev.spill)
+			if err != nil {
+				return nil, err
+			}
+			ev.noteSpill(st)
+			return &table{rel: rel, local: args[0].local + 1}, nil
+		}
 		return &table{rel: ev.ops.sortTrees(args[0].rel, en.depth, ev.opts.Parallelism), local: args[0].local + 1}, nil
 	case plan.OpDistinct:
 		defer track(ev.phaseDur(&ev.stats.Paths))()

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"dixq/internal/engine"
+	"dixq/internal/extsort"
 	"dixq/internal/interval"
 	"dixq/internal/plan"
 )
@@ -88,7 +89,15 @@ func (ev *evaluator) execMergeJoin(n *plan.Node, en *env) (*table, error) {
 	start := ev.now()
 	outerGroups := engine.GroupByEnv(en.index, en.depth, outerTab.rel)
 	innerGroups := engine.GroupByEnv(yIndex, yDepth, innerTab.rel)
-	pairs := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism)
+	spill := ev.spill
+	if ev.opts.LegacyKeys {
+		spill = nil
+	}
+	pairs, spillStats, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, spill)
+	if err != nil {
+		return nil, err
+	}
+	ev.noteSpill(spillStats)
 
 	// (5): rebuild combined environments in document order. The flat path
 	// writes every rebuilt key into shared fixed-stride buffers (one builder
@@ -192,12 +201,21 @@ type envPair struct {
 // mergeJoinEnvs sorts both environment sequences by (ancestor prefix,
 // structural key order) and merges them, returning all matching pairs
 // ordered by (outer position, inner position) — document order of the
-// combined environments.
+// combined environments. Under a memory budget the two environment sorts
+// spill to disk; the merged match set is identical either way.
 func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
-	innerIndex engine.Index, innerGroups [][]interval.Tuple, d0 int, parallelism int) []envPair {
+	innerIndex engine.Index, innerGroups [][]interval.Tuple, d0 int, parallelism int,
+	spill *engine.SpillConfig) ([]envPair, engine.SpillStats, error) {
 
-	outerOrder := sortByKey(outerIndex, outerGroups, d0, parallelism)
-	innerOrder := sortByKey(innerIndex, innerGroups, d0, parallelism)
+	var stats engine.SpillStats
+	outerOrder, err := sortByKeySpill(outerIndex, outerGroups, d0, parallelism, spill, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	innerOrder, err := sortByKeySpill(innerIndex, innerGroups, d0, parallelism, spill, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
 
 	cmp := func(o, i int) int {
 		if c := outerIndex[o].ComparePrefix(innerIndex[i], d0); c != 0 {
@@ -239,7 +257,7 @@ func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 		}
 		return a.inner - b.inner
 	})
-	return pairs
+	return pairs, stats, nil
 }
 
 // sortByKey returns the environment positions ordered by (d0-prefix of the
@@ -254,4 +272,54 @@ func sortByKey(index engine.Index, groups [][]interval.Tuple, d0 int, parallelis
 		}
 		return engine.CompareForests(groups[a], groups[b])
 	})
+}
+
+// sortByKeySpill is sortByKey under a memory budget: when the accounted
+// footprint of the sort input (environment keys plus key forests) exceeds
+// the budget, the ordering runs through the external merge sorter — each
+// record carries one environment's key and forest, the same comparator
+// applies to the re-decoded records, and the unique ordinal reproduces
+// SortPerm's ties-by-position — so the returned permutation is identical
+// to the in-memory sort at any budget. Spill activity accumulates into
+// stats.
+func sortByKeySpill(index engine.Index, groups [][]interval.Tuple, d0 int, parallelism int,
+	spill *engine.SpillConfig, stats *engine.SpillStats) ([]int, error) {
+
+	if spill == nil {
+		return sortByKey(index, groups, d0, parallelism), nil
+	}
+	foot := int64(0)
+	for i := range index {
+		foot += int64(len(index[i])) * 8
+		foot += interval.TuplesFootprint(groups[i])
+	}
+	if foot <= spill.MaxBytes {
+		return sortByKey(index, groups, d0, parallelism), nil
+	}
+	sorter := extsort.New(
+		extsort.Config{MaxBytes: spill.MaxBytes, Dir: spill.Dir},
+		func(a, b *extsort.Record) int {
+			if c := a.Key.ComparePrefix(b.Key, d0); c != 0 {
+				return c
+			}
+			return engine.CompareForests(a.Tuples, b.Tuples)
+		},
+	)
+	defer sorter.Close()
+	for i := range index {
+		if err := sorter.Add(extsort.Record{Ord: int64(i), Key: index[i], Tuples: groups[i]}); err != nil {
+			return nil, err
+		}
+	}
+	stats.Runs += int64(sorter.Runs())
+	stats.Bytes += sorter.SpilledBytes()
+	order := make([]int, 0, len(index))
+	err := sorter.Merge(func(r *extsort.Record) error {
+		order = append(order, int(r.Ord))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return order, nil
 }

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+// TestSortTreesSpillMatchesInMemory is the differential property test of
+// the spill-capable structural sort: at any budget — including one byte,
+// which forces every group through the external sorter — the output must
+// be digit-identical to SortTreesP, and a budget of zero must never spill.
+func TestSortTreesSpillMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(20030611))
+	for trial := 0; trial < 40; trial++ {
+		rel := interval.Encode(xmltree.RandomForest(rng, 14))
+
+		for _, depth := range []int{0, 1} {
+			in := rel
+			if depth == 1 {
+				roots := Roots(rel)
+				in = BindVar(rel, roots, 0, 1)
+			}
+			want := SortTreesP(in, depth, 4)
+
+			got, stats, err := SortTreesSpill(in, depth, 4, SpillConfig{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Runs != 0 {
+				t.Fatalf("unbounded sort spilled %d runs", stats.Runs)
+			}
+			sameRelation(t, "SortTreesSpill/unbounded", got, want)
+
+			for _, budget := range []int64{1, 200, 4096} {
+				got, stats, err := SortTreesSpill(in, depth, 4, SpillConfig{MaxBytes: budget, Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameRelation(t, "SortTreesSpill/budget", got, want)
+				if budget == 1 && len(in.Tuples) > 0 && stats.Runs == 0 {
+					t.Fatalf("budget of 1 byte over %d tuples spilled nothing", len(in.Tuples))
+				}
+			}
+		}
+	}
+}

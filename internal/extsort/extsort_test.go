@@ -1,0 +1,209 @@
+package extsort
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dixq/internal/interval"
+)
+
+// keyCmp orders records by their sort key alone (ties fall to Ord).
+func keyCmp(a, b *Record) int { return interval.Compare(a.Key, b.Key) }
+
+// randomRecords builds n records with colliding keys (to exercise the
+// stability tie-break) and small tuple payloads.
+func randomRecords(rng *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		k := interval.Key{int64(rng.Intn(n/4 + 1)), int64(rng.Intn(3))}
+		recs[i] = Record{
+			Ord: int64(i),
+			Key: k,
+			Tuples: []interval.Tuple{{
+				S: strings.Repeat("x", rng.Intn(5)+1),
+				L: interval.Key{int64(i), -int64(rng.Intn(9))},
+				R: interval.Key{int64(i) + 1},
+			}},
+		}
+	}
+	return recs
+}
+
+// collect runs a full Add/Merge cycle with the given budget and returns
+// the merged order plus the run count observed just before Merge (Merge
+// releases the runs), deep-copying each yielded record (they are only
+// valid during the callback).
+func collect(t *testing.T, recs []Record, maxBytes int64, dir string) ([]Record, *Sorter, int) {
+	t.Helper()
+	s := New(Config{MaxBytes: maxBytes, Dir: dir}, keyCmp)
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := s.Runs()
+	var out []Record
+	err := s.Merge(func(r *Record) error {
+		cp := Record{Ord: r.Ord, Key: append(interval.Key{}, r.Key...)}
+		for _, tp := range r.Tuples {
+			cp.Tuples = append(cp.Tuples, interval.Tuple{
+				S: tp.S,
+				L: append(interval.Key{}, tp.L...),
+				R: append(interval.Key{}, tp.R...),
+			})
+		}
+		out = append(out, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, s, runs
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Ord != y.Ord || !x.Key.Equal(y.Key) || len(x.Tuples) != len(y.Tuples) {
+			return false
+		}
+		for j := range x.Tuples {
+			if x.Tuples[j].S != y.Tuples[j].S ||
+				!x.Tuples[j].L.Equal(y.Tuples[j].L) ||
+				!x.Tuples[j].R.Equal(y.Tuples[j].R) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSpilledMatchesInMemory is the core property: any budget (including
+// one that forces a run per handful of records) must produce the same
+// sequence as the unbounded in-memory sort, and a budgeted run over
+// non-trivial input must actually have spilled.
+func TestSpilledMatchesInMemory(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, rng.Intn(200)+20)
+		want, _, runs0 := collect(t, recs, 0, t.TempDir())
+		if runs0 != 0 {
+			t.Log("unbounded sorter spilled")
+			return false
+		}
+		for _, budget := range []int64{1, 500, 5000} {
+			got, s, runs := collect(t, recs, budget, t.TempDir())
+			if !sameRecords(got, want) {
+				t.Logf("seed %d budget %d: merged order diverged", seed, budget)
+				return false
+			}
+			if budget == 1 && runs == 0 {
+				t.Logf("seed %d: budget 1 never spilled", seed)
+				return false
+			}
+			if runs > 0 && s.SpilledBytes() <= 0 {
+				t.Logf("seed %d: spilled runs but no spilled bytes", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStability pins the Ord tie-break: equal keys come back in insertion
+// order even when every record lands in its own run.
+func TestStability(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, Record{Ord: int64(i), Key: interval.Key{7}})
+	}
+	got, _, runs := collect(t, recs, 1, t.TempDir())
+	if runs < 2 {
+		t.Fatalf("expected many runs, got %d", runs)
+	}
+	for i, r := range got {
+		if r.Ord != int64(i) {
+			t.Fatalf("record %d has Ord %d; stability broken", i, r.Ord)
+		}
+	}
+}
+
+// TestRunFilesCleanedUp checks that Merge removes every spill file.
+func TestRunFilesCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	_, s, runs := collect(t, randomRecords(rng, 100), 1, dir)
+	if runs == 0 {
+		t.Fatal("budget 1 never spilled")
+	}
+	if s.Runs() != 0 {
+		t.Errorf("Runs() = %d after Merge; Close should reset", s.Runs())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d spill files left in %s", len(entries), dir)
+	}
+}
+
+// TestCloseWithoutMerge covers the error-path cleanup.
+func TestCloseWithoutMerge(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{MaxBytes: 1, Dir: dir}, keyCmp)
+	for i := 0; i < 20; i++ {
+		if err := s.Add(Record{Ord: int64(i), Key: interval.Key{int64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("no runs spilled")
+	}
+	s.Close()
+	s.Close() // idempotent
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("%d spill files left after Close", len(entries))
+	}
+}
+
+// TestAddErrors pins the contract violations: negative ordinals and
+// unwritable spill directories surface as errors, not corruption.
+func TestAddErrors(t *testing.T) {
+	s := New(Config{}, keyCmp)
+	if err := s.Add(Record{Ord: -1}); err == nil {
+		t.Error("negative Ord accepted")
+	}
+	bad := New(Config{MaxBytes: 1, Dir: filepath.Join(t.TempDir(), "missing")}, keyCmp)
+	err := bad.Add(Record{Ord: 0, Key: interval.Key{1}})
+	for i := 1; err == nil && i < 10; i++ {
+		err = bad.Add(Record{Ord: int64(i), Key: interval.Key{1}})
+	}
+	if err == nil {
+		t.Error("spill into missing directory did not error")
+	}
+}
+
+// TestEmptyMerge: merging nothing yields nothing.
+func TestEmptyMerge(t *testing.T) {
+	s := New(Config{MaxBytes: 1}, keyCmp)
+	n := 0
+	if err := s.Merge(func(*Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("empty merge yielded %d records", n)
+	}
+}

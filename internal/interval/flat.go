@@ -214,16 +214,30 @@ func (b *Builder) Relation() *Relation { return &Relation{Tuples: b.tuples} }
 // stride are zero-padded, which the trailing-zero comparison rule makes
 // an identity). Row i's L digits occupy Digits[2·i·Stride : 2·i·Stride+Stride]
 // and its R digits the following Stride slots.
+//
+// Lens optionally records the exact physical digit count of every key
+// (Lens[2·i] for L, Lens[2·i+1] for R); nil means every key is a full
+// stride. The padding digits beyond a key's length are always zero, so
+// comparisons are length-oblivious either way — the lengths exist so that
+// Tuple and Relation can hand out keys digit-identical to the row layout
+// they were built from, which the batch runtime relies on.
 type Flat struct {
 	Stride int
 	Labels []string
 	Digits []int64
+	Lens   []int32
+	// Orig optionally maps each row to its index in the row-form relation
+	// the chunk was filled from. The batch runtime threads it through its
+	// filter kernels so the final materialization can hand back the
+	// original tuples (aliasing their keys, like the scalar iterators do)
+	// instead of cloning digits. Nil when the rows have no row-form origin.
+	Orig []int32
 
 	rel *Relation // lazily materialized compatibility view
 }
 
-// FlatOf converts a relation to columnar form. The stride is the maximum
-// physical key length (at least 1).
+// FlatOf converts a relation to columnar form, preserving exact key
+// lengths. The stride is the maximum physical key length (at least 1).
 func FlatOf(r *Relation) *Flat {
 	stride := 1
 	for _, t := range r.Tuples {
@@ -234,21 +248,148 @@ func FlatOf(r *Relation) *Flat {
 			stride = len(t.R)
 		}
 	}
-	f := &Flat{
-		Stride: stride,
-		Labels: make([]string, len(r.Tuples)),
-		Digits: make([]int64, 2*stride*len(r.Tuples)),
-	}
-	for i, t := range r.Tuples {
-		f.Labels[i] = t.S
-		copy(f.Digits[2*i*stride:], t.L)
-		copy(f.Digits[(2*i+1)*stride:], t.R)
+	f := NewFlat(stride, len(r.Tuples))
+	for _, t := range r.Tuples {
+		f.AppendTuple(t)
 	}
 	return f
 }
 
+// NewFlat returns an empty flat relation of the given stride with capacity
+// for rows rows — the reusable chunk buffer of the batch runtime.
+func NewFlat(stride, rows int) *Flat {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Flat{
+		Stride: stride,
+		Labels: make([]string, 0, rows),
+		Digits: make([]int64, 0, 2*stride*rows),
+		Lens:   make([]int32, 0, 2*rows),
+	}
+}
+
+// Restride resets the flat to zero rows at a (possibly different) stride,
+// keeping its buffers — the chunk-recycling primitive of the batch
+// runtime, where consecutive chains reuse one buffer at their own strides.
+func (f *Flat) Restride(stride int) {
+	if stride < 1 {
+		stride = 1
+	}
+	f.Stride = stride
+	f.Reset()
+}
+
+// Reserve grows the column buffers so at least rows rows fit at the
+// current stride without further allocation, keeping existing rows. It
+// turns the append-doubling a reused chunk would pay after Restride into
+// at most one allocation per column.
+func (f *Flat) Reserve(rows int) {
+	if cap(f.Labels) < rows {
+		s := make([]string, len(f.Labels), rows)
+		copy(s, f.Labels)
+		f.Labels = s
+	}
+	if n := 2 * rows * f.Stride; cap(f.Digits) < n {
+		d := make([]int64, len(f.Digits), n)
+		copy(d, f.Digits)
+		f.Digits = d
+	}
+	if n := 2 * rows; cap(f.Lens) < n {
+		l := make([]int32, len(f.Lens), n)
+		copy(l, f.Lens)
+		f.Lens = l
+	}
+}
+
+// Reset truncates the flat relation to zero rows, keeping its buffers.
+func (f *Flat) Reset() {
+	f.Labels = f.Labels[:0]
+	f.Digits = f.Digits[:0]
+	f.Lens = f.Lens[:0]
+	if f.Orig != nil {
+		f.Orig = f.Orig[:0]
+	}
+	f.rel = nil
+}
+
+// AppendTuple copies one tuple into the next row. Keys longer than the
+// stride panic — the caller fixed the stride from the same width bound the
+// keys were built under.
+func (f *Flat) AppendTuple(t Tuple) {
+	if len(t.L) > f.Stride || len(t.R) > f.Stride {
+		panic("interval: key wider than flat stride")
+	}
+	f.Labels = append(f.Labels, t.S)
+	o := len(f.Digits)
+	f.Digits = append(f.Digits, make([]int64, 2*f.Stride)...)
+	copy(f.Digits[o:], t.L)
+	copy(f.Digits[o+f.Stride:], t.R)
+	f.Lens = append(f.Lens, int32(len(t.L)), int32(len(t.R)))
+	f.rel = nil
+}
+
+// AppendRow copies row i of src (same stride) into the next row.
+func (f *Flat) AppendRow(src *Flat, i int) {
+	f.Labels = append(f.Labels, src.Labels[i])
+	f.Digits = append(f.Digits, src.Digits[2*i*src.Stride:2*(i+1)*src.Stride]...)
+	f.Lens = append(f.Lens, int32(src.LLen(i)), int32(src.RLen(i)))
+	if src.Orig != nil {
+		f.Orig = append(f.Orig, src.Orig[i])
+	}
+	f.rel = nil
+}
+
+// MoveRow overwrites row dst with row src within the same flat — the
+// in-place compaction step of the batch filter kernels. No-op when
+// dst == src, so a kernel that keeps everything copies nothing.
+func (f *Flat) MoveRow(dst, src int) {
+	if dst == src {
+		return
+	}
+	w := 2 * f.Stride
+	copy(f.Digits[dst*w:(dst+1)*w], f.Digits[src*w:(src+1)*w])
+	f.Labels[dst] = f.Labels[src]
+	if f.Lens != nil {
+		f.Lens[2*dst], f.Lens[2*dst+1] = f.Lens[2*src], f.Lens[2*src+1]
+	}
+	if f.Orig != nil {
+		f.Orig[dst] = f.Orig[src]
+	}
+	f.rel = nil
+}
+
+// Truncate shortens the flat to its first n rows.
+func (f *Flat) Truncate(n int) {
+	f.Labels = f.Labels[:n]
+	f.Digits = f.Digits[:2*n*f.Stride]
+	if f.Lens != nil {
+		f.Lens = f.Lens[:2*n]
+	}
+	if f.Orig != nil {
+		f.Orig = f.Orig[:n]
+	}
+	f.rel = nil
+}
+
 // Len returns the number of rows.
 func (f *Flat) Len() int { return len(f.Labels) }
+
+// LLen returns the exact digit count of row i's L key.
+func (f *Flat) LLen(i int) int {
+	if f.Lens == nil {
+		return f.Stride
+	}
+	return int(f.Lens[2*i])
+}
+
+// RLen returns the exact digit count of row i's R key.
+func (f *Flat) RLen(i int) int {
+	if f.Lens == nil {
+		return f.Stride
+	}
+	return int(f.Lens[2*i+1])
+}
 
 // L returns row i's left endpoint as a full-stride key view (no copy).
 func (f *Flat) L(i int) Key {
@@ -262,8 +403,35 @@ func (f *Flat) R(i int) Key {
 	return Key(f.Digits[o : o+f.Stride : o+f.Stride])
 }
 
-// Tuple materializes row i as a tuple view; the keys alias the buffer.
-func (f *Flat) Tuple(i int) Tuple { return Tuple{S: f.Labels[i], L: f.L(i), R: f.R(i)} }
+// Tuple materializes row i as a tuple view; the keys alias the buffer at
+// their exact physical lengths (capacity-capped, so appending to one can
+// never clobber the neighbouring key).
+func (f *Flat) Tuple(i int) Tuple {
+	o := 2 * i * f.Stride
+	ln, rn := f.LLen(i), f.RLen(i)
+	return Tuple{
+		S: f.Labels[i],
+		L: Key(f.Digits[o : o+ln : o+ln]),
+		R: Key(f.Digits[o+f.Stride : o+f.Stride+rn : o+f.Stride+rn]),
+	}
+}
+
+// View returns a zero-copy window over rows [lo, hi) — the chunking
+// primitive of the batch runtime. The view shares the parent's buffers.
+func (f *Flat) View(lo, hi int) *Flat {
+	v := &Flat{
+		Stride: f.Stride,
+		Labels: f.Labels[lo:hi],
+		Digits: f.Digits[2*lo*f.Stride : 2*hi*f.Stride],
+	}
+	if f.Lens != nil {
+		v.Lens = f.Lens[2*lo : 2*hi]
+	}
+	if f.Orig != nil {
+		v.Orig = f.Orig[lo:hi]
+	}
+	return v
+}
 
 // CompareAt lexicographically compares the L keys of rows i and j without
 // touching Key at all: a straight digit loop over buffer offsets.
@@ -315,6 +483,20 @@ func (f *Flat) Sort(parallelism int) {
 		labels[i] = f.Labels[p]
 		copy(digits[i*w:(i+1)*w], f.Digits[p*w:(p+1)*w])
 	}
+	if f.Lens != nil {
+		lens := make([]int32, len(f.Lens))
+		for i, p := range order {
+			lens[2*i], lens[2*i+1] = f.Lens[2*p], f.Lens[2*p+1]
+		}
+		f.Lens = lens
+	}
+	if f.Orig != nil {
+		orig := make([]int32, len(f.Orig))
+		for i, p := range order {
+			orig[i] = f.Orig[p]
+		}
+		f.Orig = orig
+	}
 	f.Labels, f.Digits = labels, digits
 	f.rel = nil
 }
@@ -330,9 +512,8 @@ func (f *Flat) IsSorted() bool {
 }
 
 // Relation materializes the compatibility view lazily: a relation whose
-// tuple keys alias the flat buffer (full-stride, so trailing zeros are
-// visible to len() but not to any comparison). The view is cached; callers
-// must not mutate it.
+// tuple keys alias the flat buffer at their exact physical lengths (full
+// stride when Lens is nil). The view is cached; callers must not mutate it.
 func (f *Flat) Relation() *Relation {
 	if f.rel == nil {
 		tuples := make([]Tuple, f.Len())
@@ -342,4 +523,48 @@ func (f *Flat) Relation() *Relation {
 		f.rel = &Relation{Tuples: tuples}
 	}
 	return f.rel
+}
+
+// Footprint returns the resident size of the flat buffers in bytes — the
+// unit of account for the runtime memory budget. Label string headers are
+// counted; the label bytes themselves are shared with the document and
+// excluded.
+func (f *Flat) Footprint() int64 {
+	return int64(len(f.Digits))*8 + int64(len(f.Labels))*tupleLabelBytes +
+		int64(len(f.Lens))*4 + int64(len(f.Orig))*4
+}
+
+// tupleLabelBytes is the accounted per-row label cost: a string header
+// (pointer + length) on a 64-bit platform.
+const tupleLabelBytes = 16
+
+// tupleHeaderBytes is the accounted size of a Tuple struct itself: one
+// string header plus two slice headers.
+const tupleHeaderBytes = 16 + 2*24
+
+// TupleFootprint returns the accounted resident size of one row-form tuple:
+// struct header plus its key digits.
+func TupleFootprint(t Tuple) int64 {
+	return tupleHeaderBytes + int64(len(t.L)+len(t.R))*8
+}
+
+// TuplesFootprint returns the accounted resident size of a tuple slice:
+// tuple headers plus all key digits. Keys aliasing a shared arena are
+// counted at their view length — close enough for budget enforcement,
+// which needs a consistent measure rather than allocator truth.
+func TuplesFootprint(ts []Tuple) int64 {
+	n := int64(0)
+	for i := range ts {
+		n += TupleFootprint(ts[i])
+	}
+	return n
+}
+
+// RelationFootprint returns the accounted resident size of a row-form
+// relation.
+func RelationFootprint(r *Relation) int64 {
+	if r == nil {
+		return 0
+	}
+	return TuplesFootprint(r.Tuples)
 }

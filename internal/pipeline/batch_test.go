@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+// sameTuples compares two relations digit-for-digit: labels, exact key
+// lengths, and every digit must match. Stricter than Key.Equal on purpose —
+// the batch runtime promises digit-identical output to the scalar one.
+func sameTuples(t *testing.T, name string, got, want *interval.Relation) bool {
+	t.Helper()
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Logf("%s: %d tuples, want %d", name, len(got.Tuples), len(want.Tuples))
+		return false
+	}
+	for i := range got.Tuples {
+		a, b := got.Tuples[i], want.Tuples[i]
+		if a.S != b.S || len(a.L) != len(b.L) || len(a.R) != len(b.R) ||
+			!a.L.Equal(b.L) || !a.R.Equal(b.R) {
+			t.Logf("%s: tuple %d = %s (lens %d/%d), want %s (lens %d/%d)",
+				name, i, a, len(a.L), len(a.R), b, len(b.L), len(b.R))
+			return false
+		}
+	}
+	return true
+}
+
+// batchPairs maps every scalar operator to its batch kernel.
+var batchPairs = []struct {
+	name   string
+	scalar func(Iterator) Iterator
+	batch  func(Batch) Batch
+}{
+	{"Roots", NewRoots, NewBatchRoots},
+	{"Children", NewChildren, NewBatchChildren},
+	{"SelectLabel",
+		func(it Iterator) Iterator { return NewSelectLabel("<a>", it) },
+		func(b Batch) Batch { return NewBatchSelectLabel("<a>", b) }},
+	{"SelectText", NewSelectText, NewBatchSelectText},
+	{"Data", NewData, NewBatchData},
+	{"Head",
+		func(it Iterator) Iterator { return NewHead(it, 0) },
+		func(b Batch) Batch { return NewBatchHead(b, 0) }},
+	{"Tail",
+		func(it Iterator) Iterator { return NewTail(it, 0) },
+		func(b Batch) Batch { return NewBatchTail(b, 0) }},
+}
+
+// TestBatchKernelsMatchScalar is the per-operator differential: every batch
+// kernel must reproduce its scalar twin digit-for-digit on random forests,
+// across batch sizes down to one row per chunk (which exercises all the
+// state carried across chunk boundaries).
+func TestBatchKernelsMatchScalar(t *testing.T) {
+	for _, p := range batchPairs {
+		for _, bs := range []int{1, 2, 3, 7, DefaultBatchSize} {
+			cfg := &quick.Config{MaxCount: 120}
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				rel := interval.Encode(xmltree.RandomForest(rng, 12))
+				want := Materialize(p.scalar(NewScan(rel)))
+				got, _ := MaterializeBatches(p.batch(NewRelationBatches(rel, bs)), rel)
+				return sameTuples(t, p.name, got, want)
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Errorf("%s (batch=%d): %v", p.name, bs, err)
+			}
+		}
+	}
+}
+
+// TestBatchChainMatchesScalarChain fuses a multi-step chain and compares
+// with the scalar fused chain, over both batch sources.
+func TestBatchChainMatchesScalarChain(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := interval.Encode(xmltree.RandomForest(rng, 15))
+		want := Materialize(NewData(NewSelectLabel("<a>", NewChildren(NewScan(rel)))))
+
+		got, _ := MaterializeBatches(
+			NewBatchData(NewBatchSelectLabel("<a>", NewBatchChildren(NewRelationBatches(rel, 4)))), rel)
+		if !sameTuples(t, "chain/relation", got, want) {
+			return false
+		}
+
+		flat := interval.FlatOf(rel)
+		got2, _ := MaterializeBatches(
+			NewBatchData(NewBatchSelectLabel("<a>", NewBatchChildren(NewFlatBatches(flat, 4)))), nil)
+		return sameTuples(t, "chain/flat", got2, want)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchHeadTailMultiEnv pins the environment-boundary state machine
+// with chunk boundaries falling inside and between environments.
+func TestBatchHeadTailMultiEnv(t *testing.T) {
+	forests := []xmltree.Forest{
+		{xmltree.NewElement("a", xmltree.NewText("x")), xmltree.NewElement("b")},
+		nil,
+		{xmltree.NewText("only")},
+		{xmltree.NewElement("c"), xmltree.NewElement("d"), xmltree.NewElement("e")},
+	}
+	rel := &interval.Relation{}
+	for i, f := range forests {
+		enc := interval.Encode(f)
+		for _, tp := range enc.Tuples {
+			rel.Tuples = append(rel.Tuples, interval.Tuple{
+				S: tp.S,
+				L: append(interval.Key{int64(i)}, tp.L...),
+				R: append(interval.Key{int64(i)}, tp.R...),
+			})
+		}
+	}
+	for _, bs := range []int{1, 2, 3, 64} {
+		wantHead := Materialize(NewHead(NewScan(rel), 1))
+		gotHead, _ := MaterializeBatches(NewBatchHead(NewRelationBatches(rel, bs), 1), rel)
+		if !sameTuples(t, "head", gotHead, wantHead) {
+			t.Errorf("head diverged at batch=%d", bs)
+		}
+		wantTail := Materialize(NewTail(NewScan(rel), 1))
+		gotTail, _ := MaterializeBatches(NewBatchTail(NewRelationBatches(rel, bs), 1), rel)
+		if !sameTuples(t, "tail", gotTail, wantTail) {
+			t.Errorf("tail diverged at batch=%d", bs)
+		}
+	}
+}
+
+// TestCountTreesBatches checks the batched tree counter against the scalar
+// one on random forests.
+func TestCountTreesBatches(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := interval.Encode(xmltree.RandomForest(rng, 12))
+		want := CountTrees(NewScan(rel))
+		got := CountTreesBatches(NewRelationBatches(rel, 3))
+		if got != want {
+			t.Logf("seed %d: got %d trees, want %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchCounter checks the pass-through accounting wrapper.
+func TestBatchCounter(t *testing.T) {
+	f, _ := xmltree.Parse(`<a><b/></a><c/><d>x</d>`)
+	rel := interval.Encode(f)
+	c := &BatchCounter{In: NewRelationBatches(rel, 2)}
+	out, st := MaterializeBatches(c, rel)
+	if out.Len() != rel.Len() {
+		t.Fatalf("counter dropped rows: %d != %d", out.Len(), rel.Len())
+	}
+	if c.Rows != rel.Len() {
+		t.Errorf("Rows = %d, want %d", c.Rows, rel.Len())
+	}
+	wantBatches := (rel.Len() + 1) / 2
+	if c.Batches != wantBatches || st.Batches != wantBatches {
+		t.Errorf("Batches = %d/%d, want %d", c.Batches, st.Batches, wantBatches)
+	}
+	if c.Bytes <= 0 || st.Bytes != c.Bytes {
+		t.Errorf("Bytes = %d/%d, want positive and equal", c.Bytes, st.Bytes)
+	}
+}
+
+// TestBatchSourcesNeverYieldEmpty pins the no-empty-chunk contract.
+func TestBatchSourcesNeverYieldEmpty(t *testing.T) {
+	empty := &interval.Relation{}
+	if _, ok := NewRelationBatches(empty, 8).Next(); ok {
+		t.Error("RelationBatches yielded a chunk for an empty relation")
+	}
+	if _, ok := NewFlatBatches(interval.FlatOf(empty), 8).Next(); ok {
+		t.Error("FlatBatches yielded a chunk for an empty relation")
+	}
+	rel := interval.Encode(xmltree.Forest{xmltree.NewText("x")})
+	// A kernel that filters everything out must report exhaustion, not an
+	// empty chunk.
+	none := NewKernel(NewRelationBatches(rel, 8), SelectLabelStage("<never>"))
+	if _, ok := none.Next(); ok {
+		t.Error("kernel yielded an empty chunk")
+	}
+}

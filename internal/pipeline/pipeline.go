@@ -144,7 +144,7 @@ func NewSelectLabel(label string, in Iterator) Iterator {
 // NewSelectText streams the trees whose root is a text node.
 func NewSelectText(in Iterator) Iterator {
 	return &selectRoots{in: in, keep: func(s string) bool {
-		return (&xmltree.Node{Label: s}).Kind() == xmltree.Text
+		return xmltree.LabelKind(s) == xmltree.Text
 	}}
 }
 
@@ -179,7 +179,7 @@ func (d *data) Next() (interval.Tuple, bool) {
 		if !ok {
 			return interval.Tuple{}, false
 		}
-		if (&xmltree.Node{Label: t.S}).Kind() == xmltree.Text {
+		if xmltree.LabelKind(t.S) == xmltree.Text {
 			return t, true
 		}
 	}

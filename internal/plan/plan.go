@@ -305,8 +305,10 @@ func (n *Node) write(b *strings.Builder, indent int, role string, rs *RunStats) 
 	}
 	if rs != nil {
 		s := rs.Node(n.ID)
-		fmt.Fprintf(b, " (calls=%d rows=%d time=%s allocs=%d)",
-			s.Calls, s.Rows, s.Time, s.Allocs)
+		// Deterministic actuals first (locked by the analyze goldens), the
+		// run-dependent trio last so tests can mask it in one pass.
+		fmt.Fprintf(b, " (calls=%d rows=%d batches=%d spilled=%d time=%s allocs=%d bytes=%d)",
+			s.Calls, s.Rows, s.Batches, s.Spilled, s.Time, s.Allocs, s.Bytes)
 	}
 	b.WriteByte('\n')
 	labels := n.inputLabels()

@@ -18,6 +18,15 @@ type NodeStats struct {
 	// Allocs is the exclusive allocated-byte delta attributed to the
 	// operator (heap-sampled; an order-of-magnitude signal, not exact).
 	Allocs int64
+	// Batches counts the columnar chunks the operator processed (only the
+	// batch-executed operators report it; materializing operators leave 0).
+	Batches int
+	// Bytes is the accounted footprint of the chunks that flowed through
+	// the operator — deterministic for a fixed document, unlike Allocs.
+	Bytes int64
+	// Spilled counts external-sort runs the operator wrote to disk while
+	// staying under the memory budget.
+	Spilled int64
 }
 
 // RunStats holds one execution's per-node actuals, indexed by Node.ID.
@@ -55,12 +64,15 @@ func (rs *RunStats) Total() time.Duration {
 
 // OperatorStat is one row of the flattened analyze report.
 type OperatorStat struct {
-	ID     int
-	Op     string
-	Calls  int
-	Rows   int64
-	Time   time.Duration
-	Allocs int64
+	ID      int
+	Op      string
+	Calls   int
+	Rows    int64
+	Time    time.Duration
+	Allocs  int64
+	Batches int
+	Bytes   int64
+	Spilled int64
 }
 
 // Operators flattens a plan and its run stats into report rows in
@@ -74,12 +86,15 @@ func Operators(root *Node, rs *RunStats) []OperatorStat {
 			name += " [" + d + "]"
 		}
 		out = append(out, OperatorStat{
-			ID:     n.ID,
-			Op:     name,
-			Calls:  s.Calls,
-			Rows:   s.Rows,
-			Time:   s.Time,
-			Allocs: s.Allocs,
+			ID:      n.ID,
+			Op:      name,
+			Calls:   s.Calls,
+			Rows:    s.Rows,
+			Time:    s.Time,
+			Allocs:  s.Allocs,
+			Batches: s.Batches,
+			Bytes:   s.Bytes,
+			Spilled: s.Spilled,
 		})
 	})
 	return out

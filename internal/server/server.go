@@ -20,6 +20,13 @@ type Config struct {
 	Timeout time.Duration
 	// MaxTuples per query for the DI engines; zero means none.
 	MaxTuples int64
+	// MemBudget bounds the accounted in-memory sort footprint per query for
+	// the DI engines, in bytes; larger sorts spill runs to SpillDir instead
+	// of aborting. Zero means unbounded.
+	MemBudget int64
+	// SpillDir is where external-sort runs are written under MemBudget;
+	// empty means the OS temp directory.
+	SpillDir string
 	// PlanCacheSize caps the LRU cache of compiled query plans, keyed by
 	// (query text, engine). 0 means the default of 128; negative disables
 	// caching.
@@ -91,6 +98,8 @@ func (req *QueryRequest) options(engine dixq.Engine, cfg Config) *dixq.Options {
 		Engine:      engine,
 		Timeout:     cfg.Timeout,
 		MaxTuples:   cfg.MaxTuples,
+		MemBudget:   cfg.MemBudget,
+		SpillDir:    cfg.SpillDir,
 		LegacyKeys:  req.LegacyKeys,
 		NoPipeline:  req.NoPipeline,
 		Parallelism: req.Parallelism,
@@ -114,6 +123,8 @@ type StatsJSON struct {
 	MergeJoins     int     `json:"merge_joins"`
 	NestedLoops    int     `json:"nested_loops"`
 	EmbeddedTuples int64   `json:"embedded_tuples"`
+	SpilledRuns    int64   `json:"spilled_runs"`
+	SpilledBytes   int64   `json:"spilled_bytes"`
 	PlanCacheHits  uint64  `json:"plan_cache_hits"`
 	PlanCacheMiss  uint64  `json:"plan_cache_misses"`
 }
@@ -204,6 +215,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			MergeJoins:     st.MergeJoins,
 			NestedLoops:    st.NestedLoops,
 			EmbeddedTuples: st.EmbeddedTuples,
+			SpilledRuns:    st.SpilledRuns,
+			SpilledBytes:   st.SpilledBytes,
 			PlanCacheHits:  hits,
 			PlanCacheMiss:  misses,
 		}
@@ -230,12 +243,15 @@ type ExplainResponse struct {
 
 // OperatorJSON is one operator's execution actuals.
 type OperatorJSON struct {
-	ID     int     `json:"id"`
-	Op     string  `json:"op"`
-	Calls  int     `json:"calls"`
-	Rows   int64   `json:"rows"`
-	TimeMS float64 `json:"time_ms"`
-	Allocs int64   `json:"allocs"`
+	ID      int     `json:"id"`
+	Op      string  `json:"op"`
+	Calls   int     `json:"calls"`
+	Rows    int64   `json:"rows"`
+	Batches int     `json:"batches"`
+	Bytes   int64   `json:"bytes"`
+	Spilled int64   `json:"spilled"`
+	TimeMS  float64 `json:"time_ms"`
+	Allocs  int64   `json:"allocs"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -262,12 +278,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		out.AnalyzedPlan = text
 		for _, op := range ops {
 			j := OperatorJSON{
-				ID:     op.ID,
-				Op:     op.Op,
-				Calls:  op.Calls,
-				Rows:   op.Rows,
-				TimeMS: ms(op.Time),
-				Allocs: op.Allocs,
+				ID:      op.ID,
+				Op:      op.Op,
+				Calls:   op.Calls,
+				Rows:    op.Rows,
+				Batches: op.Batches,
+				Bytes:   op.Bytes,
+				Spilled: op.Spilled,
+				TimeMS:  ms(op.Time),
+				Allocs:  op.Allocs,
 			}
 			out.Operators = append(out.Operators, j)
 			// The reported total is the sum of the reported per-operator

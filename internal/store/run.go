@@ -1,0 +1,196 @@
+// Streaming run encoding (DIXQR1) — the on-disk format of external-sort
+// spill runs. Save/Load persist whole relations with an up-front label
+// dictionary; a spill run is written incrementally while sorting, so the
+// dictionary grows inline instead: the first occurrence of a label travels
+// with the tuple, later occurrences reference it by index. Digits use
+// signed varints because spill runs carry derived intermediate keys, not
+// just document encodings. Record framing above the tuple level (sort keys,
+// group lengths) is the caller's — RunWriter/RunReader expose the uvarint,
+// key, and tuple primitives and nothing more.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dixq/internal/interval"
+)
+
+// runMagic identifies a spill-run stream and its version.
+const runMagic = "DIXQR1\n"
+
+// RunWriter streams primitives to one spill run.
+type RunWriter struct {
+	bw     *bufio.Writer
+	labels map[string]uint64
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewRunWriter starts a run on w by writing the format magic.
+func NewRunWriter(w io.Writer) (*RunWriter, error) {
+	rw := &RunWriter{bw: bufio.NewWriter(w), labels: map[string]uint64{}}
+	if _, err := rw.bw.WriteString(runMagic); err != nil {
+		return nil, err
+	}
+	return rw, nil
+}
+
+// Uvarint writes one unsigned varint.
+func (w *RunWriter) Uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.bw.Write(w.buf[:n])
+	return err
+}
+
+// varint writes one signed varint (zigzag).
+func (w *RunWriter) varint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.bw.Write(w.buf[:n])
+	return err
+}
+
+// Key writes a key as its length followed by its digits.
+func (w *RunWriter) Key(k interval.Key) error {
+	if err := w.Uvarint(uint64(len(k))); err != nil {
+		return err
+	}
+	for _, d := range k {
+		if err := w.varint(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tuple writes one tuple: a label reference (0 means "new label, inline
+// bytes follow"; i+1 references the i-th label seen) and both keys.
+func (w *RunWriter) Tuple(t interval.Tuple) error {
+	if idx, ok := w.labels[t.S]; ok {
+		if err := w.Uvarint(idx + 1); err != nil {
+			return err
+		}
+	} else {
+		w.labels[t.S] = uint64(len(w.labels))
+		if err := w.Uvarint(0); err != nil {
+			return err
+		}
+		if err := w.Uvarint(uint64(len(t.S))); err != nil {
+			return err
+		}
+		if _, err := w.bw.WriteString(t.S); err != nil {
+			return err
+		}
+	}
+	if err := w.Key(t.L); err != nil {
+		return err
+	}
+	return w.Key(t.R)
+}
+
+// Flush drains the buffered writer; call once after the last record.
+func (w *RunWriter) Flush() error { return w.bw.Flush() }
+
+// RunReader streams primitives back from a spill run. Decoded keys live in
+// a shared arena; labels are interned once per run.
+type RunReader struct {
+	br     *bufio.Reader
+	labels []string
+	arena  interval.KeyArena
+}
+
+// NewRunReader checks the format magic and returns a reader positioned at
+// the first record.
+func NewRunReader(r io.Reader) (*RunReader, error) {
+	rr := &RunReader{br: bufio.NewReader(r)}
+	head := make([]byte, len(runMagic))
+	if _, err := io.ReadFull(rr.br, head); err != nil || string(head) != runMagic {
+		return nil, ErrFormat
+	}
+	return rr, nil
+}
+
+// Uvarint reads one unsigned varint. A clean end of stream surfaces as
+// io.EOF; anything else is wrapped.
+func (r *RunReader) Uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return 0, io.EOF
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: truncated run varint: %w", err)
+	}
+	if v > maxSaneLen {
+		return 0, fmt.Errorf("store: implausible run length %d", v)
+	}
+	return v, nil
+}
+
+// Key reads one key into the shared arena.
+func (r *RunReader) Key() (interval.Key, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("store: implausible run key length %d", n)
+	}
+	k := r.arena.Alloc(int(n))
+	for i := range k {
+		d, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return nil, fmt.Errorf("store: truncated run key: %w", err)
+		}
+		k[i] = d
+	}
+	return k, nil
+}
+
+// Tuple reads one tuple written by RunWriter.Tuple. io.EOF at a record
+// boundary signals the end of the run.
+func (r *RunReader) Tuple() (interval.Tuple, error) {
+	ref, err := r.Uvarint()
+	if err != nil {
+		return interval.Tuple{}, err // io.EOF here is a clean end of run
+	}
+	var s string
+	if ref == 0 {
+		n, err := r.Uvarint()
+		if err != nil {
+			return interval.Tuple{}, fmt.Errorf("store: truncated run label: %w", err)
+		}
+		if n > 1<<20 {
+			return interval.Tuple{}, fmt.Errorf("store: implausible run label length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r.br, b); err != nil {
+			return interval.Tuple{}, fmt.Errorf("store: truncated run label: %w", err)
+		}
+		s = string(b)
+		r.labels = append(r.labels, s)
+	} else {
+		if ref > uint64(len(r.labels)) {
+			return interval.Tuple{}, fmt.Errorf("store: run label reference %d out of range", ref)
+		}
+		s = r.labels[ref-1]
+	}
+	l, err := r.Key()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return interval.Tuple{}, fmt.Errorf("store: truncated run tuple: %w", err)
+	}
+	rk, err := r.Key()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return interval.Tuple{}, fmt.Errorf("store: truncated run tuple: %w", err)
+	}
+	return interval.Tuple{S: s, L: l, R: rk}, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dixq/internal/interval"
 )
@@ -190,7 +191,7 @@ func (d *decoder) key() (interval.Key, error) {
 
 // Save writes a relation to a file, atomically via a temporary sibling.
 func Save(path string, rel *interval.Relation) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".dixq-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".dixq-*")
 	if err != nil {
 		return err
 	}
@@ -202,7 +203,10 @@ func Save(path string, rel *interval.Relation) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename %s to %s: %w", tmp.Name(), path, err)
+	}
+	return nil
 }
 
 // Load reads a relation from a file.
@@ -217,13 +221,4 @@ func Load(path string) (*interval.Relation, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return rel, nil
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

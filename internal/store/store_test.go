@@ -108,7 +108,7 @@ func TestSaveLoad(t *testing.T) {
 }
 
 func TestSaveIntoCurrentDir(t *testing.T) {
-	// Exercise the bare-filename path (dirOf returns ".").
+	// Exercise the bare-filename path (filepath.Dir returns ".").
 	old, _ := os.Getwd()
 	if err := os.Chdir(t.TempDir()); err != nil {
 		t.Fatal(err)

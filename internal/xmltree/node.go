@@ -80,11 +80,16 @@ func NewText(data string) *Node {
 }
 
 // Kind reports the node's kind under the labeling convention.
-func (n *Node) Kind() Kind {
+func (n *Node) Kind() Kind { return LabelKind(n.Label) }
+
+// LabelKind reports the kind a label denotes under the labeling
+// convention, without constructing a node — the per-row form used by the
+// pipeline filters.
+func LabelKind(label string) Kind {
 	switch {
-	case len(n.Label) >= 2 && n.Label[0] == '<' && n.Label[len(n.Label)-1] == '>':
+	case len(label) >= 2 && label[0] == '<' && label[len(label)-1] == '>':
 		return Element
-	case len(n.Label) >= 1 && n.Label[0] == '@':
+	case len(label) >= 1 && label[0] == '@':
 		return Attribute
 	default:
 		return Text
