@@ -6,10 +6,14 @@
 //
 //	dibench [-exp all|q13|q8|q8breakdown|q9|deepkeys]
 //	        [-scales 0.001,0.01,...] [-systems interp,generic-sql,di-nlj,di-msj]
-//	        [-timeout 60s] [-maxtuples N]
+//	        [-timeout 60s] [-maxtuples N] [-metricsdump file]
 //
 // Systems exceeding the budget are reported DNF, mirroring the paper's
 // experiment cutoffs. See EXPERIMENTS.md for paper-vs-measured tables.
+// -metricsdump writes the process's cumulative observability counters
+// (the same Prometheus exposition dixqd serves at /metrics) to a file
+// after the run — batches processed, bytes sorted, spill volume — so a
+// benchmark sweep leaves an auditable record of what the runtime did.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"dixq/internal/bench"
+	"dixq/internal/obs"
 )
 
 func main() {
@@ -32,7 +37,16 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write before/after key-layout micro-benchmarks (Q8/Q9/Q13) to this JSON file and exit")
 	benchJSON3 := flag.String("benchjson3", "", "write scalar-vs-batched pipeline micro-benchmarks (Q8/Q9/Q13, plus bounded-memory spill runs) to this JSON file and exit")
 	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson and -benchjson3")
+	metricsDump := flag.String("metricsdump", "", "write cumulative runtime metrics (Prometheus text format) to this file on exit")
 	flag.Parse()
+
+	if *metricsDump != "" {
+		defer func() {
+			if err := os.WriteFile(*metricsDump, []byte(obs.Default.Render()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dibench: metricsdump: %v\n", err)
+			}
+		}()
+	}
 
 	if *benchJSON != "" {
 		if err := bench.WriteBenchJSON(*benchJSON, *benchScale, os.Stderr); err != nil {

@@ -4,13 +4,20 @@
 //
 //	dixqd -addr :8080 -doc auction.xml=auction.xml -doc d2=other.dixq
 //
-// Endpoints:
+// Endpoints (docs/API.md is the full reference):
 //
-//	GET  /healthz   liveness
-//	GET  /docs      loaded documents
-//	POST /query     {"query": "...", "engine": "di-msj"} -> {"xml": ...}
-//	POST /explain   plan description for a query
-//	POST /sql       the Section 4 SQL translation
+//	GET  /healthz       liveness
+//	GET  /docs          loaded documents
+//	GET  /metrics       Prometheus text-format metrics
+//	GET  /debug/traces  recent sampled query traces (?n=K limits)
+//	POST /query         {"query": "...", "engine": "di-msj"} -> {"xml": ...}
+//	POST /explain       plan description for a query ("analyze": true executes)
+//	POST /sql           the Section 4 SQL translation
+//
+// -trace-sample N records 1 in every N queries into the /debug/traces
+// ring buffer (default 64; 0 disables). -pprof addr serves net/http/pprof
+// on a second listener, kept off the query port so profiling endpoints
+// are never exposed by accident.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -43,6 +51,8 @@ func main() {
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-query DI materialization budget (0 = unlimited)")
 	memBudget := flag.Int64("membudget", 0, "per-query DI sort memory budget in bytes; larger sorts spill to disk (0 = unbounded)")
 	spillDir := flag.String("spilldir", "", "directory for external-sort spill runs (default: OS temp dir)")
+	traceSample := flag.Int("trace-sample", 0, "sample 1 in N queries into /debug/traces (0 = default 64, negative = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	if len(docs) == 0 {
@@ -65,11 +75,23 @@ func main() {
 		log.Printf("loaded %s from %s (%d nodes)", name, path, doc.Nodes())
 	}
 
+	if *pprofAddr != "" {
+		// The pprof import registered its handlers on DefaultServeMux;
+		// this listener is the only place that mux is served.
+		go func() {
+			log.Printf("pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Fatalf("pprof: %v", err)
+			}
+		}()
+	}
+
 	srv := server.New(loaded, server.Config{
-		Timeout:   *timeout,
-		MaxTuples: *maxTuples,
-		MemBudget: *memBudget,
-		SpillDir:  *spillDir,
+		Timeout:     *timeout,
+		MaxTuples:   *maxTuples,
+		MemBudget:   *memBudget,
+		SpillDir:    *spillDir,
+		TraceSample: *traceSample,
 	})
 	log.Printf("serving on %s", *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

@@ -214,6 +214,36 @@ type Options struct {
 	ScalarPipeline bool
 }
 
+// coreOptions maps the public Options onto the internal executor's
+// options for a DI plan mode.
+func (opts *Options) coreOptions(mode core.Mode) core.Options {
+	return core.Options{
+		Mode:           mode,
+		Timeout:        opts.Timeout,
+		MaxTuples:      opts.MaxTuples,
+		Trace:          opts.Trace,
+		Parallelism:    opts.Parallelism,
+		LegacyKeys:     opts.LegacyKeys,
+		NoPipeline:     opts.NoPipeline,
+		MemBudget:      opts.MemBudget,
+		SpillDir:       opts.SpillDir,
+		BatchSize:      opts.BatchSize,
+		ScalarPipeline: opts.ScalarPipeline,
+	}
+}
+
+// diMode maps a DI engine selection to its plan mode; ok is false for the
+// non-DI engines, which have no plans.
+func diMode(e Engine) (mode core.Mode, ok bool) {
+	switch e {
+	case MergeJoin:
+		return core.ModeMSJ, true
+	case NestedLoop:
+		return core.ModeNLJ, true
+	}
+	return 0, false
+}
+
 // ErrBudgetExceeded reports that a run hit Options.Timeout or MaxTuples.
 var ErrBudgetExceeded = engine.ErrBudgetExceeded
 
@@ -282,32 +312,45 @@ func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorS
 	if opts == nil {
 		opts = &Options{}
 	}
-	mode := core.ModeMSJ
-	switch opts.Engine {
-	case MergeJoin:
-	case NestedLoop:
-		mode = core.ModeNLJ
-	default:
+	mode, ok := diMode(opts.Engine)
+	if !ok {
 		return "", nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
 	}
-	copts := core.Options{
-		Mode:           mode,
-		Timeout:        opts.Timeout,
-		MaxTuples:      opts.MaxTuples,
-		Trace:          opts.Trace,
-		Parallelism:    opts.Parallelism,
-		LegacyKeys:     opts.LegacyKeys,
-		NoPipeline:     opts.NoPipeline,
-		MemBudget:      opts.MemBudget,
-		SpillDir:       opts.SpillDir,
-		BatchSize:      opts.BatchSize,
-		ScalarPipeline: opts.ScalarPipeline,
-	}
+	copts := opts.coreOptions(mode)
 	text, rs, err := q.q.ExplainAnalyze(cat.enc, copts)
 	if err != nil {
 		return "", nil, err
 	}
 	return text, plan.Operators(q.q.Plan(copts), rs), nil
+}
+
+// RunAnalyzed evaluates the query like Run while additionally collecting
+// the per-plan-node actuals of ExplainAnalyze (DI engines only): it
+// returns the result plus the flattened per-operator statistics in plan
+// preorder, whose exclusive times sum to the evaluation's total. The
+// instrumented run reads memory statistics at every operator boundary, so
+// it is meant for sampled executions (the server's query tracing), not
+// for every request.
+func (q *Query) RunAnalyzed(cat *Catalog, opts *Options) (*Result, []OperatorStat, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode, ok := diMode(opts.Engine)
+	if !ok {
+		return nil, nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
+	}
+	start := time.Now()
+	stats := &core.Stats{}
+	copts := opts.coreOptions(mode)
+	copts.Stats = stats
+	rs := &plan.RunStats{}
+	copts.Analyze = rs
+	f, err := q.q.EvalForest(cat.enc, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{doc: &Document{forest: f}, Stats: stats, Elapsed: time.Since(start)}
+	return res, plan.Operators(q.q.Plan(copts), rs), nil
 }
 
 // PlanText renders the physical plan the query executes under the given
@@ -316,12 +359,8 @@ func (q *Query) PlanText(opts *Options) (string, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	mode := core.ModeMSJ
-	switch opts.Engine {
-	case MergeJoin:
-	case NestedLoop:
-		mode = core.ModeNLJ
-	default:
+	mode, ok := diMode(opts.Engine)
+	if !ok {
 		return "", fmt.Errorf("dixq: plans exist for the DI engines only, got %s", opts.Engine)
 	}
 	return q.q.Plan(core.Options{Mode: mode, NoPipeline: opts.NoPipeline}).Tree(), nil
@@ -376,25 +415,11 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 	start := time.Now()
 	switch opts.Engine {
 	case MergeJoin, NestedLoop:
-		mode := core.ModeMSJ
-		if opts.Engine == NestedLoop {
-			mode = core.ModeNLJ
-		}
+		mode, _ := diMode(opts.Engine)
 		stats := &core.Stats{}
-		f, err := q.q.EvalForest(cat.enc, core.Options{
-			Mode:           mode,
-			Stats:          stats,
-			Timeout:        opts.Timeout,
-			MaxTuples:      opts.MaxTuples,
-			Trace:          opts.Trace,
-			Parallelism:    opts.Parallelism,
-			LegacyKeys:     opts.LegacyKeys,
-			NoPipeline:     opts.NoPipeline,
-			MemBudget:      opts.MemBudget,
-			SpillDir:       opts.SpillDir,
-			BatchSize:      opts.BatchSize,
-			ScalarPipeline: opts.ScalarPipeline,
-		})
+		copts := opts.coreOptions(mode)
+		copts.Stats = stats
+		f, err := q.q.EvalForest(cat.enc, copts)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"dixq/internal/engine"
 	"dixq/internal/interval"
+	"dixq/internal/obs"
 	"dixq/internal/pipeline"
 	"dixq/internal/plan"
 )
@@ -520,6 +521,7 @@ func (ev *evaluator) runBatchChain(chain []*plan.Node, input *table, en *env) (*
 	}
 	start := ev.now()
 	out, st := pipeline.MaterializeBatches(b, input.rel)
+	obs.AddBatches(st.Batches, st.Bytes)
 	if ev.opts.Trace != nil {
 		ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, out.Len())
 	}

@@ -23,7 +23,9 @@ import (
 //  2. build the candidate inner environments independently;
 //  3. evaluate the two join keys on their own sides;
 //  4. sort both environment sequences by the structural order of their key
-//     forests (DeepCompare as the comparator) and merge;
+//     forests (DeepCompare, the paper's Algorithm 5.3, as the comparator —
+//     with roots extraction, Algorithm 5.2, splitting each side into its
+//     per-environment key forests) and merge;
 //  5. rebuild the combined environments of the matching pairs in document
 //     order — identical to the environments the nested-loop strategy would
 //     produce, so all downstream translation steps are unchanged.

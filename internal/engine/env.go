@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dixq/internal/interval"
+	"dixq/internal/obs"
 	"dixq/internal/xmltree"
 )
 
@@ -35,9 +36,11 @@ func (b *Budget) charge(n int64) bool {
 	}
 	b.used += n
 	if b.MaxTuples > 0 && b.used > b.MaxTuples {
+		obs.BudgetRejections.Inc()
 		return false
 	}
 	if !b.Deadline.IsZero() && b.used%budgetCheckEvery < n && time.Now().After(b.Deadline) {
+		obs.BudgetRejections.Inc()
 		return false
 	}
 	return true

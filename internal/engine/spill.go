@@ -10,6 +10,7 @@ package engine
 import (
 	"dixq/internal/extsort"
 	"dixq/internal/interval"
+	"dixq/internal/obs"
 )
 
 // SpillConfig bounds the memory of the spill-capable sorts.
@@ -47,7 +48,11 @@ func SortTreesSpill(rel *interval.Relation, depth, parallelism int, cfg SpillCon
 			return
 		}
 		prefix := g[0].L
-		if cfg.MaxBytes <= 0 || interval.TuplesFootprint(g) <= cfg.MaxBytes {
+		if fp := interval.TuplesFootprint(g); cfg.MaxBytes <= 0 || fp <= cfg.MaxBytes {
+			// The spilled path accounts its footprint inside extsort; the
+			// in-memory path charges the already-computed group footprint
+			// here so dixq_sort_bytes_total covers both.
+			obs.SortedBytes.Add(fp)
 			ranges := treeRanges(g)
 			order := stableSortRanges(g, ranges, parallelism)
 			for j, idx := range order {

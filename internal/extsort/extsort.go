@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"dixq/internal/interval"
+	"dixq/internal/obs"
 	"dixq/internal/store"
 )
 
@@ -140,6 +141,8 @@ func (s *Sorter) flush() error {
 	}
 	s.runs = append(s.runs, f.Name())
 	s.spills += s.bytes
+	obs.SpilledRuns.Inc()
+	obs.SpilledBytes.Add(s.bytes)
 	s.recs = s.recs[:0]
 	s.bytes = 0
 	return nil
@@ -248,6 +251,9 @@ func (h *mergeHeap) Pop() any           { x := h.s[len(h.s)-1]; h.s = h.s[:len(h
 // Returning an error from yield stops the merge.
 func (s *Sorter) Merge(yield func(*Record) error) error {
 	defer s.Close()
+	// Everything added passes through this sort exactly once: the flushed
+	// runs plus the in-memory tail.
+	obs.SortedBytes.Add(s.spills + s.bytes)
 	s.sortBuffer()
 	if len(s.runs) == 0 {
 		for i := range s.recs {

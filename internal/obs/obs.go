@@ -1,0 +1,68 @@
+package obs
+
+// Default is the process-wide registry. Package server exposes it at GET
+// /metrics, cmd/dibench snapshots it with -metricsdump, and the engine
+// layers below record into the metrics declared here.
+var Default = NewRegistry()
+
+// The dixq metric set. Counters are cumulative since process start;
+// everything an individual query reports through Result.Stats or
+// ExplainAnalyze has an aggregate twin here, so fleet dashboards and
+// single-query debugging read the same quantities.
+var (
+	// Queries counts served queries by engine ("di-msj", "di-nlj",
+	// "interp", "generic-sql") and outcome ("ok", "error", "budget",
+	// "bad_request").
+	Queries = Default.NewCounterVec("dixq_queries_total",
+		"Queries served, by engine and outcome.", "engine", "outcome")
+	// QueryDuration is the end-to-end latency of successful and failed
+	// query executions (parse and plan-cache time included).
+	QueryDuration = Default.NewHistogram("dixq_query_duration_seconds",
+		"End-to-end query latency in seconds.", nil)
+	// ActiveQueries is the number of queries currently executing.
+	ActiveQueries = Default.NewGauge("dixq_active_queries",
+		"Queries currently executing.")
+	// PlanCacheHits / PlanCacheMisses mirror the server plan cache's
+	// internal counters as scrapeable series.
+	PlanCacheHits = Default.NewCounter("dixq_plan_cache_hits_total",
+		"Compiled-plan cache hits.")
+	PlanCacheMisses = Default.NewCounter("dixq_plan_cache_misses_total",
+		"Compiled-plan cache misses (query parsed and compiled).")
+	// BatchesProcessed / BatchBytes count the columnar chunks (and their
+	// accounted footprint) that flowed through fused batch chains.
+	BatchesProcessed = Default.NewCounter("dixq_batches_processed_total",
+		"Columnar chunks processed by fused path chains.")
+	BatchBytes = Default.NewCounter("dixq_batch_bytes_total",
+		"Accounted bytes of chunks processed by fused path chains.")
+	// SortedBytes is the accounted footprint that passed through the
+	// budget-aware structural sorts (in-memory or spilled). Unbudgeted
+	// sorts do not account footprints and are not counted.
+	SortedBytes = Default.NewCounter("dixq_sort_bytes_total",
+		"Accounted bytes sorted by budget-aware structural sorts.")
+	// SpilledRuns / SpilledBytes count external-sort runs written to disk
+	// under a memory budget.
+	SpilledRuns = Default.NewCounter("dixq_spilled_runs_total",
+		"External-sort runs spilled to disk.")
+	SpilledBytes = Default.NewCounter("dixq_spilled_bytes_total",
+		"Accounted bytes of records spilled to disk runs.")
+	// RunBytesWritten / RunBytesRead are the on-disk I/O volume of spill
+	// runs in the DIXQR1 encoding (encoded size, not accounted footprint).
+	RunBytesWritten = Default.NewCounter("dixq_spill_run_bytes_written_total",
+		"Encoded bytes written to spill run files.")
+	RunBytesRead = Default.NewCounter("dixq_spill_run_bytes_read_total",
+		"Encoded bytes read back from spill run files.")
+	// BudgetRejections counts evaluations aborted by MaxTuples or Timeout
+	// (the budgets that abort; MemBudget degrades to disk instead and
+	// shows up in the spill counters).
+	BudgetRejections = Default.NewCounter("dixq_budget_rejections_total",
+		"Evaluations aborted by the MaxTuples or Timeout budget.")
+	// TracesSampled counts queries that produced a trace.
+	TracesSampled = Default.NewCounter("dixq_traces_sampled_total",
+		"Queries sampled into the trace ring buffer.")
+)
+
+// AddBatches records one fused chain's chunk throughput.
+func AddBatches(batches int, bytes int64) {
+	BatchesProcessed.Add(int64(batches))
+	BatchBytes.Add(bytes)
+}

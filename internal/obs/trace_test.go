@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(3)
+	if b.Len() != 0 || len(b.Last(10)) != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		id := b.Add(Trace{Query: string(rune('a' + i - 1))})
+		if id != uint64(i) {
+			t.Fatalf("Add #%d assigned ID %d", i, id)
+		}
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capacity)", b.Len())
+	}
+	got := b.Last(0)
+	if len(got) != 3 || got[0].Query != "e" || got[1].Query != "d" || got[2].Query != "c" {
+		t.Fatalf("Last(0) = %+v, want e,d,c newest-first", got)
+	}
+	if got[0].ID != 5 || got[2].ID != 3 {
+		t.Fatalf("IDs = %d..%d, want 5..3", got[0].ID, got[2].ID)
+	}
+	if one := b.Last(1); len(one) != 1 || one[0].Query != "e" {
+		t.Fatalf("Last(1) = %+v", one)
+	}
+	if capped := b.Last(99); len(capped) != 3 {
+		t.Fatalf("Last(99) returned %d", len(capped))
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	if NewSampler(0) != nil || NewSampler(-1) != nil {
+		t.Fatal("non-positive rate should return nil")
+	}
+	s := NewSampler(4)
+	var picks []bool
+	for i := 0; i < 9; i++ {
+		picks = append(picks, s.Sample())
+	}
+	want := []bool{true, false, false, false, true, false, false, false, true}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("sample pattern = %v, want %v", picks, want)
+		}
+	}
+	always := NewSampler(1)
+	for i := 0; i < 3; i++ {
+		if !always.Sample() {
+			t.Fatal("1-in-1 sampler skipped an event")
+		}
+	}
+}
+
+// TestTraceJSONShape pins the wire shape of a trace: zero-valued operator
+// fields must be omitted, children must nest.
+func TestTraceJSONShape(t *testing.T) {
+	tr := Trace{
+		Query:  "q",
+		Engine: "di-msj",
+		Spans: []Span{
+			{Name: "parse", DurationNS: 10},
+			{Name: "execute", DurationNS: 100, Children: []Span{
+				{Name: "scan", DurationNS: 60, Rows: 5, Calls: 1},
+			}},
+		},
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	spans := m["spans"].([]any)
+	parse := spans[0].(map[string]any)
+	if _, has := parse["rows"]; has {
+		t.Error("zero rows not omitted")
+	}
+	exec := spans[1].(map[string]any)
+	child := exec["children"].([]any)[0].(map[string]any)
+	if child["rows"].(float64) != 5 {
+		t.Errorf("child rows = %v", child["rows"])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dixq"
+	"dixq/internal/obs"
 )
 
 // planCache is an LRU of compiled query plans keyed by the request's
@@ -64,9 +65,11 @@ func (c *planCache) get(key string) (*dixq.Query, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		obs.PlanCacheHits.Inc()
 		return el.Value.(*planEntry).q, true
 	}
 	c.misses++
+	obs.PlanCacheMisses.Inc()
 	return nil, false
 }
 

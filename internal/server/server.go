@@ -1,6 +1,14 @@
 // Package server exposes a document catalog over HTTP: load documents
 // once (XML or pre-shredded .dixq stores), then answer XQuery POSTs with
 // any of the engines. It is the thin serving layer behind cmd/dixqd.
+//
+// Beyond query answering, the server is the process's observability
+// surface (docs/API.md is the full HTTP reference): GET /metrics serves
+// the obs.Default registry in the Prometheus text format, and GET
+// /debug/traces returns the most recent sampled query traces — parse,
+// plan-cache and execute spans, with per-plan-operator child spans for
+// the DI engines, reusing the same exclusive-time machinery as POST
+// /explain {"analyze":true}.
 package server
 
 import (
@@ -9,9 +17,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"dixq"
+	"dixq/internal/obs"
 )
 
 // Config bounds query execution for every request.
@@ -31,19 +41,39 @@ type Config struct {
 	// (query text, engine). 0 means the default of 128; negative disables
 	// caching.
 	PlanCacheSize int
+	// TraceSample samples 1 in every N POST /query requests into the trace
+	// ring buffer served by GET /debug/traces. 0 means the default of
+	// 64; negative disables tracing. Sampled DI-engine queries run with
+	// per-operator instrumentation, which costs a memory-stats read per
+	// plan-node boundary — that is the sampling trade-off.
+	TraceSample int
+	// TraceBufferSize caps the trace ring buffer; 0 means the default of
+	// 128. The buffer keeps the most recent traces, oldest overwritten.
+	TraceBufferSize int
 }
 
 // defaultPlanCacheSize is the plan-cache capacity when Config leaves it 0.
 const defaultPlanCacheSize = 128
 
+// defaultTraceSample is the 1-in-N trace sampling rate when Config leaves
+// TraceSample 0.
+const defaultTraceSample = 64
+
+// traceQueryLimit bounds the query text stored per trace, so the ring
+// buffer's footprint stays small regardless of request sizes.
+const traceQueryLimit = 2048
+
 // Server answers queries against a fixed document catalog. It is safe for
 // concurrent use: the catalog is read-only after construction, the engines
-// share nothing per run, and the plan cache is internally locked.
+// share nothing per run, the plan cache is internally locked, and the
+// trace buffer and sampler are atomic/locked.
 type Server struct {
-	cat   *dixq.Catalog
-	docs  []DocInfo
-	cfg   Config
-	plans *planCache
+	cat     *dixq.Catalog
+	docs    []DocInfo
+	cfg     Config
+	plans   *planCache
+	sampler *obs.Sampler
+	traces  *obs.TraceBuffer
 }
 
 // DocInfo describes one loaded document.
@@ -60,7 +90,20 @@ func New(docs map[string]*dixq.Document, cfg Config) *Server {
 	if size == 0 {
 		size = defaultPlanCacheSize
 	}
-	s := &Server{cat: cat, cfg: cfg, plans: newPlanCache(size)}
+	every := cfg.TraceSample
+	if every == 0 {
+		every = defaultTraceSample
+	}
+	if every < 0 {
+		every = 0 // NewSampler returns the never-sampling nil sampler
+	}
+	s := &Server{
+		cat:     cat,
+		cfg:     cfg,
+		plans:   newPlanCache(size),
+		sampler: obs.NewSampler(every),
+		traces:  obs.NewTraceBuffer(cfg.TraceBufferSize),
+	}
 	for name, d := range docs {
 		cat.Add(name, d)
 		s.docs = append(s.docs, DocInfo{Name: name, Nodes: d.Nodes(), Depth: d.Depth()})
@@ -133,71 +176,212 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// TracesResponse is the GET /debug/traces body.
+type TracesResponse struct {
+	// SampleEvery is the configured 1-in-N sampling rate (0 when tracing
+	// is disabled).
+	SampleEvery int `json:"sample_every"`
+	// Traces are the most recent sampled queries, newest first.
+	Traces []obs.Trace `json:"traces"`
+}
+
 // Handler returns the HTTP routes:
 //
-//	GET  /healthz  liveness
-//	GET  /docs     the loaded documents
-//	POST /query    run a query (QueryRequest -> QueryResponse)
-//	POST /explain  describe the plan for a query
-//	POST /sql      return the SQL translation of a query
+//	GET  /healthz       liveness
+//	GET  /docs          the loaded documents
+//	GET  /metrics       Prometheus text-format metrics (obs.Default)
+//	GET  /debug/traces  recent sampled query traces (?n=K limits)
+//	POST /query         run a query (QueryRequest -> QueryResponse)
+//	POST /explain       describe the plan for a query
+//	POST /sql           return the SQL translation of a query
+//
+// Every error body is JSON ({"error": ...}): unknown paths get 404,
+// wrong-method hits on registered paths get 405 with an Allow header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+	metrics := obs.Default.Handler()
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		}},
+		{"GET", "/docs", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.docs)
+		}},
+		{"GET", "/metrics", metrics.ServeHTTP},
+		{"GET", "/debug/traces", s.handleTraces},
+		{"POST", "/query", s.handleQuery},
+		{"POST", "/explain", s.handleExplain},
+		{"POST", "/sql", s.handleSQL},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" "+rt.path, rt.h)
+		// The method-less pattern catches every other verb on the same
+		// path: a JSON 405 with Allow, instead of the mux's plain-text
+		// default.
+		mux.HandleFunc(rt.path, methodNotAllowed(rt.method))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such endpoint: " + r.URL.Path})
 	})
-	mux.HandleFunc("GET /docs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.docs)
-	})
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /explain", s.handleExplain)
-	mux.HandleFunc("POST /sql", s.handleSQL)
 	return mux
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, *dixq.Query, bool) {
+// methodNotAllowed answers a wrong-method hit on a registered route.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow)})
+	}
+}
+
+// decodeInfo reports what decode did, for trace spans.
+type decodeInfo struct {
+	// parseNS is the parse+compile time (0 on a cache hit).
+	parseNS int64
+	// cacheHit reports whether the compiled plan came from the cache.
+	cacheHit bool
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, *dixq.Query, decodeInfo, bool) {
+	var info decodeInfo
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return nil, nil, false
+		return nil, nil, info, false
 	}
 	if req.Query == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
-		return nil, nil, false
+		return nil, nil, info, false
 	}
 	key := planKey(&req)
 	if q, ok := s.plans.get(key); ok {
-		return &req, q, true
+		info.cacheHit = true
+		return &req, q, info, true
 	}
+	start := time.Now()
 	q, err := dixq.ParseQuery(req.Query)
+	info.parseNS = int64(time.Since(start))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return nil, nil, false
+		return nil, nil, info, false
 	}
 	s.plans.put(key, q)
-	return &req, q, true
+	return &req, q, info, true
+}
+
+// engineLabel is the canonical metric/trace label of an engine.
+func engineLabel(e dixq.Engine) string {
+	switch e {
+	case dixq.MergeJoin:
+		return "di-msj"
+	case dixq.NestedLoop:
+		return "di-nlj"
+	case dixq.Interpreter:
+		return "interp"
+	case dixq.GenericSQL:
+		return "generic-sql"
+	}
+	return "unknown"
+}
+
+// truncateQuery bounds the query text stored in a trace.
+func truncateQuery(q string) string {
+	if len(q) <= traceQueryLimit {
+		return q
+	}
+	return q[:traceQueryLimit] + "…"
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	req, q, ok := s.decode(w, r)
+	obs.ActiveQueries.Inc()
+	start := time.Now()
+	outcome, engine := "error", "unknown"
+	var tr *obs.Trace
+	if s.sampler.Sample() {
+		tr = &obs.Trace{StartUnixNS: start.UnixNano()}
+	}
+	defer func() {
+		obs.ActiveQueries.Dec()
+		obs.QueryDuration.Observe(time.Since(start))
+		obs.Queries.With(engine, outcome).Inc()
+		if tr != nil {
+			tr.Engine = engine
+			tr.Outcome = outcome
+			tr.DurationNS = int64(time.Since(start))
+			s.traces.Add(*tr)
+			obs.TracesSampled.Inc()
+		}
+	}()
+
+	req, q, info, ok := s.decode(w, r)
 	if !ok {
+		outcome = "bad_request"
 		return
 	}
-	engine, err := parseEngine(req.Engine)
+	if tr != nil {
+		tr.Query = truncateQuery(req.Query)
+		if !info.cacheHit {
+			tr.Spans = append(tr.Spans, obs.Span{Name: "parse-compile", DurationNS: info.parseNS})
+		}
+		tr.Spans = append(tr.Spans, obs.Span{
+			Name:  "plan-cache",
+			Attrs: map[string]string{"hit": strconv.FormatBool(info.cacheHit)},
+		})
+	}
+	eng, err := parseEngine(req.Engine)
 	if err != nil {
+		outcome = "bad_request"
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	res, err := q.Run(s.cat, req.options(engine, s.cfg))
+	engine = engineLabel(eng)
+
+	execStart := time.Now()
+	var res *dixq.Result
+	var ops []dixq.OperatorStat
+	if tr != nil && (eng == dixq.MergeJoin || eng == dixq.NestedLoop) {
+		// A sampled DI query runs instrumented, so the trace carries one
+		// child span per plan operator — the same exclusive-time actuals
+		// POST /explain {"analyze":true} reports.
+		res, ops, err = q.RunAnalyzed(s.cat, req.options(eng, s.cfg))
+	} else {
+		res, err = q.Run(s.cat, req.options(eng, s.cfg))
+	}
+	if tr != nil {
+		exec := obs.Span{Name: "execute", DurationNS: int64(time.Since(execStart))}
+		for _, op := range ops {
+			exec.Children = append(exec.Children, obs.Span{
+				Name:       op.Op,
+				DurationNS: int64(op.Time),
+				Calls:      op.Calls,
+				Rows:       op.Rows,
+				Batches:    op.Batches,
+				Bytes:      op.Bytes,
+				Spilled:    op.Spilled,
+			})
+		}
+		if err != nil {
+			exec.Attrs = map[string]string{"error": err.Error()}
+		}
+		tr.Spans = append(tr.Spans, exec)
+	}
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, dixq.ErrBudgetExceeded) {
 			status = http.StatusGatewayTimeout
+			outcome = "budget"
 		}
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
+	outcome = "ok"
 	out := QueryResponse{
 		XML:       res.XML(),
 		Trees:     res.Document().Trees(),
@@ -222,6 +406,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad n parameter: " + v})
+			return
+		}
+		n = parsed
+	}
+	every := 0
+	if s.sampler != nil {
+		every = s.cfg.TraceSample
+		if every == 0 {
+			every = defaultTraceSample
+		}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{SampleEvery: every, Traces: s.traces.Last(n)})
 }
 
 // ExplainResponse is the POST /explain success body. Plan and Core are
@@ -255,7 +459,7 @@ type OperatorJSON struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	req, q, ok := s.decode(w, r)
+	req, q, _, ok := s.decode(w, r)
 	if !ok {
 		return
 	}
@@ -299,7 +503,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
-	_, q, ok := s.decode(w, r)
+	_, q, _, ok := s.decode(w, r)
 	if !ok {
 		return
 	}

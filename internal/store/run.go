@@ -16,10 +16,37 @@ import (
 	"io"
 
 	"dixq/internal/interval"
+	"dixq/internal/obs"
 )
 
 // runMagic identifies a spill-run stream and its version.
 const runMagic = "DIXQR1\n"
+
+// countingWriter tracks encoded bytes as they leave the buffer, so the
+// spill I/O volume is observable (dixq_spill_run_bytes_written_total)
+// at bufio-flush granularity — one counter add per buffer drain, never
+// per primitive.
+type countingWriter struct {
+	w io.Writer
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	obs.RunBytesWritten.Add(int64(n))
+	return n, err
+}
+
+// countingReader is the read-side twin, charging
+// dixq_spill_run_bytes_read_total per bufio fill.
+type countingReader struct {
+	r io.Reader
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	obs.RunBytesRead.Add(int64(n))
+	return n, err
+}
 
 // RunWriter streams primitives to one spill run.
 type RunWriter struct {
@@ -30,7 +57,7 @@ type RunWriter struct {
 
 // NewRunWriter starts a run on w by writing the format magic.
 func NewRunWriter(w io.Writer) (*RunWriter, error) {
-	rw := &RunWriter{bw: bufio.NewWriter(w), labels: map[string]uint64{}}
+	rw := &RunWriter{bw: bufio.NewWriter(&countingWriter{w: w}), labels: map[string]uint64{}}
 	if _, err := rw.bw.WriteString(runMagic); err != nil {
 		return nil, err
 	}
@@ -103,7 +130,7 @@ type RunReader struct {
 // NewRunReader checks the format magic and returns a reader positioned at
 // the first record.
 func NewRunReader(r io.Reader) (*RunReader, error) {
-	rr := &RunReader{br: bufio.NewReader(r)}
+	rr := &RunReader{br: bufio.NewReader(&countingReader{r: r})}
 	head := make([]byte, len(runMagic))
 	if _, err := io.ReadFull(rr.br, head); err != nil || string(head) != runMagic {
 		return nil, ErrFormat
