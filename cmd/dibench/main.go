@@ -36,8 +36,10 @@ func main() {
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-run materialization budget for DI plans (0 = unlimited)")
 	benchJSON := flag.String("benchjson", "", "write before/after key-layout micro-benchmarks (Q8/Q9/Q13) to this JSON file and exit")
 	benchJSON3 := flag.String("benchjson3", "", "write scalar-vs-batched pipeline micro-benchmarks (Q8/Q9/Q13, plus bounded-memory spill runs) to this JSON file and exit")
-	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson and -benchjson3")
+	benchJSON5 := flag.String("benchjson5", "", "write parallel scale-up micro-benchmarks (Q8/Q9/Q13 at 1/2/4/8 workers) to this JSON file and exit")
+	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson, -benchjson3 and -benchjson5")
 	metricsDump := flag.String("metricsdump", "", "write cumulative runtime metrics (Prometheus text format) to this file on exit")
+	parallelism := flag.Int("parallelism", 1, "intra-query worker bound for DI harness runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *metricsDump != "" {
@@ -56,6 +58,12 @@ func main() {
 	}
 	if *benchJSON3 != "" {
 		if err := bench.WriteBenchPR3JSON(*benchJSON3, *benchScale, os.Stderr); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if *benchJSON5 != "" {
+		if err := bench.WriteBenchPR5JSON(*benchJSON5, *benchScale, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return
@@ -79,7 +87,7 @@ func main() {
 			systems = append(systems, bench.System(strings.TrimSpace(s)))
 		}
 	}
-	cfg := bench.Config{Timeout: *timeout, MaxTuples: *maxTuples}
+	cfg := bench.Config{Timeout: *timeout, MaxTuples: *maxTuples, Parallelism: *parallelism}
 
 	experiments := bench.Experiments
 	if *exp != "all" {

@@ -51,6 +51,7 @@ func main() {
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-query DI materialization budget (0 = unlimited)")
 	memBudget := flag.Int64("membudget", 0, "per-query DI sort memory budget in bytes; larger sorts spill to disk (0 = unbounded)")
 	spillDir := flag.String("spilldir", "", "directory for external-sort spill runs (default: OS temp dir)")
+	parallelism := flag.Int("parallelism", 0, "per-query worker bound for requests that do not set one (0 = GOMAXPROCS, 1 = serial)")
 	traceSample := flag.Int("trace-sample", 0, "sample 1 in N queries into /debug/traces (0 = default 64, negative = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		MaxTuples:   *maxTuples,
 		MemBudget:   *memBudget,
 		SpillDir:    *spillDir,
+		Parallelism: *parallelism,
 		TraceSample: *traceSample,
 	})
 	log.Printf("serving on %s", *addr)

@@ -185,8 +185,14 @@ type Options struct {
 	// Trace, when non-nil, collects per-operator statistics (DI engines
 	// only).
 	Trace *Trace
-	// Parallelism bounds the goroutines used by the structural sorts (DI
-	// engines); values < 2 keep evaluation single-threaded.
+	// Parallelism bounds the workers of the intra-query parallel runtime
+	// (DI engines): morsel-parallel fused path chains, the parallel
+	// structural sorts, and the concurrent merge-join sort phase. Zero (the
+	// default) resolves to runtime.GOMAXPROCS(0); 1 keeps evaluation
+	// single-threaded; larger values bound the query's workers directly.
+	// Workers are drawn from a process-wide budget shared by concurrent
+	// queries, so a query may be granted fewer. Results are digit-identical
+	// at any setting and any grant.
 	Parallelism int
 	// LegacyKeys selects the per-key-allocation operator implementations
 	// instead of the flat shared-buffer layout (DI engines; output is

@@ -72,6 +72,9 @@ type Config struct {
 	// LegacyKeys runs the DI systems on the per-key-allocation layout
 	// instead of the flat shared-buffer layout (before/after comparisons).
 	LegacyKeys bool
+	// Parallelism bounds the DI systems' intra-query workers (0 resolves
+	// to GOMAXPROCS, 1 is serial — the same semantics as core.Options).
+	Parallelism int
 }
 
 // Workload is a prepared query over a prepared document.
@@ -115,11 +118,12 @@ func (w *Workload) Run(sys System, cfg Config) Outcome {
 		}
 		stats := &core.Stats{}
 		forest, err = w.compiled.EvalForest(w.enc, core.Options{
-			Mode:       mode,
-			Stats:      stats,
-			Timeout:    cfg.Timeout,
-			MaxTuples:  cfg.MaxTuples,
-			LegacyKeys: cfg.LegacyKeys,
+			Mode:        mode,
+			Stats:       stats,
+			Timeout:     cfg.Timeout,
+			MaxTuples:   cfg.MaxTuples,
+			LegacyKeys:  cfg.LegacyKeys,
+			Parallelism: cfg.Parallelism,
 		})
 		out.Stats = stats
 	case SysSQL:

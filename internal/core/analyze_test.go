@@ -14,14 +14,14 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden analyze-plan files")
 
-// scrubStats masks the run-dependent actuals (wall time, allocated bytes,
-// chunk footprints) in an analyze rendering; calls, rows, batches and
-// spilled runs are deterministic for a fixed document, so they stay and
-// are locked by the goldens.
-var scrubStats = regexp.MustCompile(`time=[^ )]+ allocs=-?\d+ bytes=-?\d+`)
+// scrubStats masks the run-dependent actuals (granted workers, wall time,
+// allocated bytes, chunk footprints) in an analyze rendering; calls, rows,
+// batches and spilled runs are deterministic for a fixed document, so they
+// stay and are locked by the goldens.
+var scrubStats = regexp.MustCompile(`workers=\d+ time=[^ )]+ allocs=-?\d+ bytes=-?\d+`)
 
 func scrubAnalyze(s string) string {
-	return scrubStats.ReplaceAllString(s, "time=_ allocs=_ bytes=_")
+	return scrubStats.ReplaceAllString(s, "workers=_ time=_ allocs=_ bytes=_")
 }
 
 // TestAnalyzeGoldenPlans locks the analyze-mode plan renderings for the
@@ -51,7 +51,10 @@ func TestAnalyzeGoldenPlans(t *testing.T) {
 		for _, mm := range modes {
 			t.Run(qq.name+"-"+mm.name, func(t *testing.T) {
 				q := Compile(xq.MustParse(qq.query), Options{})
-				text, rs, err := q.ExplainAnalyze(cat, Options{Mode: mm.mode})
+				// Parallelism is pinned to 1 so the batch counts locked by
+				// the goldens cannot shift with GOMAXPROCS (the parallel
+				// chain runner chunks the input per morsel).
+				text, rs, err := q.ExplainAnalyze(cat, Options{Mode: mm.mode, Parallelism: 1})
 				if err != nil {
 					t.Fatal(err)
 				}

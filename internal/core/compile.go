@@ -33,6 +33,20 @@ func buildPlan(e xq.Expr, opts Options) *plan.Node {
 			}
 		})
 	}
+	// Mark the operators the parallel runtime knows how to split across
+	// workers: streamable chains run morsel-parallel, the structural sorts
+	// and distinct use the parallel sort kernel, and a merge join sorts its
+	// two inputs concurrently. The marks are static capability annotations;
+	// whether a run actually fans out depends on Options.Parallelism and
+	// the input size.
+	plan.Walk(root, func(n *plan.Node) {
+		switch n.Op {
+		case plan.OpStructuralSort, plan.OpDistinct, plan.OpMSJ:
+			n.ParallelSafe = true
+		case plan.OpRoots, plan.OpPathStep:
+			n.ParallelSafe = n.Streamable
+		}
+	})
 	plan.AssignIDs(root)
 	return root
 }

@@ -73,9 +73,15 @@ type Options struct {
 	// Trace, when non-nil, collects per-operator execution statistics
 	// (calls, output rows, time) — the engine's EXPLAIN ANALYZE.
 	Trace *Trace
-	// Parallelism bounds the goroutines used by the structural sorts
-	// (merge joins, sort(), distinct()); values < 2 keep evaluation
-	// single-threaded (the default). Results are identical at any setting.
+	// Parallelism bounds the workers of the intra-query parallel runtime:
+	// morsel-parallel fused path chains, the parallel structural sorts
+	// (merge joins, sort(), distinct()), and the concurrent merge-join
+	// sort phase. 0 (the default) resolves to runtime.GOMAXPROCS(0); 1
+	// keeps evaluation single-threaded; larger values bound the query's
+	// workers directly. Workers are drawn from a process-wide budget
+	// shared by concurrent queries (package exec), so a query may be
+	// granted fewer. Results are digit-identical at any setting and any
+	// grant.
 	Parallelism int
 	// LegacyKeys selects the per-key-allocation operator implementations
 	// instead of the flat shared-buffer layout. Output is identical; the

@@ -112,20 +112,10 @@ func TestQ9UsesTwoMergeJoins(t *testing.T) {
 	}
 }
 
-func TestBenchmarkQueriesMatchInterpreter(t *testing.T) {
-	cat, icat := generatedCatalog(0.002, 17)
-	for name, query := range map[string]string{"Q8": xmark.Q8, "Q9": xmark.Q9, "Q13": xmark.Q13} {
-		want, err := interp.Run(query, icat)
-		if err != nil {
-			t.Fatalf("%s interp: %v", name, err)
-		}
-		got := runBoth(t, query, cat)
-		if !got.Equal(want) {
-			t.Errorf("%s: DI result differs from interpreter\n got %d trees\nwant %d trees",
-				name, len(got), len(want))
-		}
-	}
-}
+// The benchmark-queries-vs-interpreter differential moved to
+// internal/difftest (TestEnginesAgreeOnCorpus runs Q8/Q9/Q13 against the
+// interpreter over the same generated document, among every other
+// variant).
 
 func TestQ13OnGenerated(t *testing.T) {
 	cat, icat := generatedCatalog(0.001, 5)

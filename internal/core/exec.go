@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dixq/internal/engine"
+	"dixq/internal/exec"
 	"dixq/internal/interval"
 	"dixq/internal/obs"
 	"dixq/internal/pipeline"
@@ -151,6 +152,10 @@ func (ev *evaluator) condScope(fn func() error) error {
 }
 
 func newEvaluator(cat Catalog, opts Options) *evaluator {
+	// Resolve the Parallelism knob once: <= 0 selects the GOMAXPROCS
+	// default, 1 keeps evaluation single-threaded, larger values bound the
+	// query's workers. Everything downstream sees the resolved value.
+	opts.Parallelism = exec.Resolve(opts.Parallelism)
 	ev := &evaluator{docs: cat, opts: opts, stats: opts.Stats, ops: &flatOps}
 	if opts.LegacyKeys {
 		ev.ops = &legacyOps
@@ -266,6 +271,14 @@ func (a *analyzer) addBatches(id, batches int, bytes int64) {
 func (a *analyzer) addSpill(runs int64) {
 	if a.cur >= 0 && a.cur < len(a.stats.Nodes) {
 		a.stats.Nodes[a.cur].Spilled += runs
+	}
+}
+
+// addWorkers records the observed worker count of a node's parallel
+// phase, keeping the maximum across phases.
+func (a *analyzer) addWorkers(id, workers int) {
+	if id >= 0 && id < len(a.stats.Nodes) && workers > a.stats.Nodes[id].Workers {
+		a.stats.Nodes[id].Workers = workers
 	}
 }
 
@@ -466,8 +479,6 @@ func (ev *evaluator) runBatchChain(chain []*plan.Node, input *table, en *env) (*
 	if ev.chunk == nil {
 		ev.chunk = &interval.Flat{}
 	}
-	ev.src.Init(input.rel, ev.opts.BatchSize, ev.chunk)
-	var b pipeline.Batch = &ev.src
 	// ev.stages keeps its high-water entries so each recycled Stage hands
 	// its key buffers to this chain's stage of the same position.
 	n := 0
@@ -498,6 +509,36 @@ func (ev *evaluator) runBatchChain(chain []*plan.Node, input *table, en *env) (*
 		n++
 	}
 	stages := ev.stages[:n]
+	// With Parallelism >= 2 the chain runs morsel-parallel when the input
+	// offers safe split points (see pipeline/parallel.go); the runner's
+	// output is tuple-for-tuple the serial chain's, so falling back below
+	// is purely a performance decision.
+	if ev.opts.Parallelism >= 2 {
+		start := ev.now()
+		if pres, ok := pipeline.RunChainParallel(input.rel, stages, ev.opts.BatchSize, ev.opts.Parallelism, ev.an != nil); ok {
+			obs.AddBatches(pres.Stats.Batches, pres.Stats.Bytes)
+			if ev.opts.Trace != nil {
+				ev.note(fmt.Sprintf("pipeline[%d ops]", len(chain)), start, pres.Rel.Len())
+			}
+			if ev.an != nil {
+				head := chain[0]
+				ev.an.addBatches(head.ID, pres.Stats.Batches, pres.Stats.Bytes)
+				ev.an.addWorkers(head.ID, pres.Workers)
+				for j := 0; j < len(stages)-1; j++ {
+					node := chain[len(chain)-1-j]
+					if node.ID >= 0 && node.ID < len(ev.an.stats.Nodes) {
+						ns := &ev.an.stats.Nodes[node.ID]
+						ns.Calls++
+						ns.Rows += int64(pres.Stages[j].Rows)
+					}
+					ev.an.addBatches(node.ID, pres.Stages[j].Batches, pres.Stages[j].Bytes)
+				}
+			}
+			return &table{rel: pres.Rel, local: input.local}, nil
+		}
+	}
+	ev.src.Init(input.rel, ev.opts.BatchSize, ev.chunk)
+	var b pipeline.Batch = &ev.src
 	type stageCtr struct {
 		node *plan.Node
 		ctr  *pipeline.BatchCounter

@@ -55,33 +55,10 @@ func TestFlatMatchesLegacyKeys(t *testing.T) {
 	}
 }
 
-// TestParallelismExercisesParallelSorts lowers the parallel-sort threshold
-// so Parallelism > 1 actually fans out goroutines on test-sized inputs
-// (this is the run that must stay clean under -race), and checks results
-// against the serial evaluation.
-func TestParallelismExercisesParallelSorts(t *testing.T) {
-	old := interval.ParallelSortThreshold
-	interval.ParallelSortThreshold = 4
-	defer func() { interval.ParallelSortThreshold = old }()
-	cat, _ := generatedCatalog(0.005, 11)
-	for _, query := range []string{
-		xmark.Q8,
-		xmark.Q9,
-		`for $x in document("auction.xml")/site/people/person return sort($x/*)`,
-		`distinct(document("auction.xml")/site/regions/*/item/name)`,
-	} {
-		q := Compile(xq.MustParse(query), Options{})
-		serial, err := q.Eval(cat, Options{Mode: ModeMSJ})
-		if err != nil {
-			t.Fatalf("serial: %v on %s", err, query)
-		}
-		parallel, err := q.Eval(cat, Options{Mode: ModeMSJ, Parallelism: 4})
-		if err != nil {
-			t.Fatalf("parallel: %v on %s", err, query)
-		}
-		sameTuples(t, query, parallel, serial)
-	}
-}
+// The parallel-vs-serial differential (with the sort threshold lowered so
+// Parallelism > 1 actually fans out on test-sized inputs) moved to
+// internal/difftest, which runs the same queries through the full
+// engine/parallelism/budget matrix under -race in CI.
 
 // BenchmarkMSJ measures the merge-join evaluation of XMark Q8 in both key
 // layouts; the flat layout should cut allocations per run.

@@ -372,7 +372,7 @@ func (ev *evaluator) legacyTryMergeJoin(e xq.For, en *env) (*table, bool, error)
 
 	outerGroups := engine.GroupByEnv(en.index, en.depth, outerTab.rel)
 	innerGroups := engine.GroupByEnv(yIndex, yDepth, innerTab.rel)
-	pairs, spillStats, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, ev.spill)
+	pairs, spillStats, _, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, ev.spill)
 	if err != nil {
 		return nil, false, err
 	}

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"dixq/internal/engine"
+	"dixq/internal/exec"
 	"dixq/internal/extsort"
 	"dixq/internal/interval"
 	"dixq/internal/plan"
@@ -95,11 +96,14 @@ func (ev *evaluator) execMergeJoin(n *plan.Node, en *env) (*table, error) {
 	if ev.opts.LegacyKeys {
 		spill = nil
 	}
-	pairs, spillStats, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, spill)
+	pairs, spillStats, sortWorkers, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, spill)
 	if err != nil {
 		return nil, err
 	}
 	ev.noteSpill(spillStats)
+	if ev.an != nil {
+		ev.an.addWorkers(n.ID, sortWorkers)
+	}
 
 	// (5): rebuild combined environments in document order. The flat path
 	// writes every rebuilt key into shared fixed-stride buffers (one builder
@@ -203,20 +207,47 @@ type envPair struct {
 // mergeJoinEnvs sorts both environment sequences by (ancestor prefix,
 // structural key order) and merges them, returning all matching pairs
 // ordered by (outer position, inner position) — document order of the
-// combined environments. Under a memory budget the two environment sorts
+// combined environments, plus the number of pool workers the sort phase
+// used. With parallelism >= 2 the two sides sort concurrently, each with
+// half the worker bound. Under a memory budget the two environment sorts
 // spill to disk; the merged match set is identical either way.
 func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 	innerIndex engine.Index, innerGroups [][]interval.Tuple, d0 int, parallelism int,
-	spill *engine.SpillConfig) ([]envPair, engine.SpillStats, error) {
+	spill *engine.SpillConfig) ([]envPair, engine.SpillStats, int, error) {
 
 	var stats engine.SpillStats
-	outerOrder, err := sortByKeySpill(outerIndex, outerGroups, d0, parallelism, spill, &stats)
-	if err != nil {
-		return nil, stats, err
-	}
-	innerOrder, err := sortByKeySpill(innerIndex, innerGroups, d0, parallelism, spill, &stats)
-	if err != nil {
-		return nil, stats, err
+	var outerOrder, innerOrder []int
+	workers := 1
+	if parallelism >= 2 {
+		// Each side gets its own stats block and half the worker bound; the
+		// comparators and the external sorter touch no shared mutable state.
+		sideStats := [2]engine.SpillStats{}
+		sideErrs := [2]error{}
+		sidePar := max(1, parallelism/2)
+		workers = exec.Run(2, 2, func(task, worker int) {
+			if task == 0 {
+				outerOrder, sideErrs[0] = sortByKeySpill(outerIndex, outerGroups, d0, sidePar, spill, &sideStats[0])
+			} else {
+				innerOrder, sideErrs[1] = sortByKeySpill(innerIndex, innerGroups, d0, sidePar, spill, &sideStats[1])
+			}
+		})
+		stats.Runs = sideStats[0].Runs + sideStats[1].Runs
+		stats.Bytes = sideStats[0].Bytes + sideStats[1].Bytes
+		for _, err := range sideErrs {
+			if err != nil {
+				return nil, stats, workers, err
+			}
+		}
+	} else {
+		var err error
+		outerOrder, err = sortByKeySpill(outerIndex, outerGroups, d0, parallelism, spill, &stats)
+		if err != nil {
+			return nil, stats, workers, err
+		}
+		innerOrder, err = sortByKeySpill(innerIndex, innerGroups, d0, parallelism, spill, &stats)
+		if err != nil {
+			return nil, stats, workers, err
+		}
 	}
 
 	cmp := func(o, i int) int {
@@ -259,7 +290,7 @@ func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 		}
 		return a.inner - b.inner
 	})
-	return pairs, stats, nil
+	return pairs, stats, workers, nil
 }
 
 // sortByKey returns the environment positions ordered by (d0-prefix of the

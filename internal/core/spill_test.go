@@ -9,7 +9,6 @@ import (
 	"dixq/internal/engine"
 	"dixq/internal/interval"
 	"dixq/internal/xmark"
-	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
 
@@ -110,50 +109,6 @@ func TestAbortBudgetsStillAbortUnderMemBudget(t *testing.T) {
 	}
 }
 
-// TestBatchedMatchesScalarOnSeedCorpus is the differential test of the
-// batch runtime over the end-to-end fuzz seed corpus: for every seed query
-// that evaluates, the batched chains (at several chunk sizes, with and
-// without a memory budget) must produce the relation the scalar iterators
-// produce, in both plan modes.
-func TestBatchedMatchesScalarOnSeedCorpus(t *testing.T) {
-	seeds := []string{
-		`document("d")/a/b/text()`,
-		`for $x in document("d")/a return for $y in document("d")/a where $x = $y return <m>{$x}</m>`,
-		`let $a := for $t in document("d")//b return $t where not(empty($a)) return count($a)`,
-		`for $x at $i in document("d") order by $x descending return ($i, $x)`,
-		`if (some $v in document("d") satisfies contains($v, "x")) then "y" else sort(document("d"))`,
-		`declare function f($v) { $v/b }; f(document("d"))`,
-	}
-	doc, err := xmltree.Parse(`<a x="1"><b>t</b><b>u</b><c><b>t</b></c></a>`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cat := EncodeCatalog(map[string]xmltree.Forest{"d": doc})
-	dir := t.TempDir()
-
-	for _, src := range seeds {
-		q := Compile(xq.MustParse(src), Options{})
-		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-			want, werr := q.Eval(cat, Options{Mode: mode, ScalarPipeline: true})
-			for _, budget := range []int64{0, 64} {
-				for _, size := range []int{1, 3, DefaultBatchSizeForTest} {
-					got, gerr := q.Eval(cat, Options{
-						Mode: mode, BatchSize: size, MemBudget: budget, SpillDir: dir,
-					})
-					if (werr != nil) != (gerr != nil) {
-						t.Fatalf("%q/%s size=%d budget=%d: scalar err %v, batched err %v",
-							src, mode, size, budget, werr, gerr)
-					}
-					if werr != nil {
-						continue
-					}
-					identicalRelations(t, src, got, want)
-				}
-			}
-		}
-	}
-}
-
-// DefaultBatchSizeForTest keeps the seed-corpus differential exercising the
-// production chunk size without importing pipeline here.
-const DefaultBatchSizeForTest = 256
+// The seed-corpus differential test of the batch runtime moved to
+// internal/difftest, where the same corpus drives every engine variant
+// through one matrix (TestEnginesAgreeOnCorpus).

@@ -1,0 +1,159 @@
+// Package difftest is the cross-engine differential harness: one shared
+// corpus of queries and documents, executed through every evaluation
+// strategy the repository ships — the denotational interpreter (the
+// semantic oracle), the DI-MSJ and DI-NLJ plan modes, the legacy key
+// layout, the unfused ablation, the scalar pipeline, the batched
+// pipeline at several chunk sizes, and every Parallelism/MemBudget
+// combination — asserting digit-identical results.
+//
+// The comparisons happen at two levels:
+//
+//   - against the interpreter, results are compared as decoded forests
+//     (the interpreter has no interval encoding, so forest equality is
+//     the strongest available check);
+//   - between DI variants, result relations are compared tuple-for-tuple
+//     including the physical digit count of every key. The variants are
+//     purely algorithmic switches, so nothing weaker than digit identity
+//     is acceptable: a batched, spilled, eight-worker run must be
+//     indistinguishable from the serial scalar run.
+//
+// Tests that need one engine pair live with their package; tests whose
+// point is "all engines agree on the shared corpus" live here, so the
+// corpus and the variant matrix exist exactly once.
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"dixq/internal/core"
+	"dixq/internal/interp"
+	"dixq/internal/interval"
+	"dixq/internal/xmark"
+	"dixq/internal/xmltree"
+	"dixq/internal/xq"
+)
+
+// Case is one corpus entry: a query over one of the shared documents.
+type Case struct {
+	Name  string
+	Query string
+	// Generated selects the generated XMark document ("auction.xml");
+	// false selects the small hand-written document ("d").
+	Generated bool
+}
+
+// Corpus is the shared query corpus. The first group is the end-to-end
+// fuzz seed corpus over a small hand-written document — queries chosen to
+// cover the breadth of the core language (paths, correlated loops,
+// let/where, order by, quantifiers, user functions). The second group is
+// the paper's benchmark queries plus sort/distinct-heavy queries over a
+// generated XMark instance, where the structural sorts and merge joins
+// have enough input to engage the parallel and spilling code paths.
+func Corpus() []Case {
+	return []Case{
+		{"seed-path-text", `document("d")/a/b/text()`, false},
+		{"seed-self-join", `for $x in document("d")/a return for $y in document("d")/a where $x = $y return <m>{$x}</m>`, false},
+		{"seed-let-count", `let $a := for $t in document("d")//b return $t where not(empty($a)) return count($a)`, false},
+		{"seed-order-by", `for $x at $i in document("d") order by $x descending return ($i, $x)`, false},
+		{"seed-some-sort", `if (some $v in document("d") satisfies contains($v, "x")) then "y" else sort(document("d"))`, false},
+		{"seed-function", `declare function f($v) { $v/b }; f(document("d"))`, false},
+		{"xmark-q8", xmark.Q8, true},
+		{"xmark-q9", xmark.Q9, true},
+		{"xmark-q13", xmark.Q13, true},
+		{"xmark-sort", `for $x in document("auction.xml")/site/people/person return sort($x/*)`, true},
+		{"xmark-distinct", `distinct(document("auction.xml")/site/regions/*/item/name)`, true},
+	}
+}
+
+// handDoc is the hand-written document of the fuzz seed corpus.
+const handDoc = `<a x="1"><b>t</b><b>u</b><c><b>t</b></c></a>`
+
+// Docs builds the shared document set: the hand-written document as "d"
+// and a generated XMark instance as "auction.xml", in both the DI
+// encoding and the interpreter's tree form.
+func Docs(tb testing.TB, scale float64, seed int64) (core.Catalog, interp.Catalog) {
+	tb.Helper()
+	hand, err := xmltree.Parse(handDoc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := xmark.Generate(xmark.Config{ScaleFactor: scale, Seed: seed})
+	forests := map[string]xmltree.Forest{"d": hand, "auction.xml": gen}
+	return core.EncodeCatalog(forests), interp.Catalog{"d": hand, "auction.xml": gen}
+}
+
+// Variant is one evaluation configuration of the DI engine.
+type Variant struct {
+	Name string
+	Opts core.Options
+}
+
+// Baseline is the reference DI configuration every variant is compared
+// against: serial, scalar, in-memory DI-MSJ — the most literal execution
+// of the compiled plan.
+func Baseline() core.Options {
+	return core.Options{Mode: core.ModeMSJ, Parallelism: 1, ScalarPipeline: true}
+}
+
+// Variants is the full configuration matrix: the plan-mode and
+// key-layout and fusion switches, then the batched pipeline crossed over
+// plan mode x chunk size x worker count x memory budget. spillDir
+// receives the external-sort runs of the budgeted variants.
+func Variants(spillDir string) []Variant {
+	vs := []Variant{
+		{"nlj-scalar", core.Options{Mode: core.ModeNLJ, Parallelism: 1, ScalarPipeline: true}},
+		{"legacy-keys", core.Options{Mode: core.ModeMSJ, Parallelism: 1, LegacyKeys: true}},
+		{"no-pipeline", core.Options{Mode: core.ModeMSJ, Parallelism: 1, NoPipeline: true}},
+		{"default", core.Options{Mode: core.ModeMSJ}},
+	}
+	for _, mode := range []core.Mode{core.ModeMSJ, core.ModeNLJ} {
+		for _, par := range []int{1, 4} {
+			for _, budget := range []int64{0, 256} {
+				for _, size := range []int{1, 3, 256} {
+					vs = append(vs, Variant{
+						Name: fmt.Sprintf("%s-batch%d-par%d-budget%d", mode, size, par, budget),
+						Opts: core.Options{
+							Mode:        mode,
+							BatchSize:   size,
+							Parallelism: par,
+							MemBudget:   budget,
+							SpillDir:    spillDir,
+						},
+					})
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// IdenticalRelations asserts two result relations match tuple-for-tuple
+// including the physical digit count of every key — a spilled, batched
+// or parallel run must be indistinguishable from the serial scalar run.
+func IdenticalRelations(tb testing.TB, what string, got, want *interval.Relation) {
+	tb.Helper()
+	if len(got.Tuples) != len(want.Tuples) {
+		tb.Fatalf("%s: %d tuples, want %d", what, len(got.Tuples), len(want.Tuples))
+	}
+	for i := range want.Tuples {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if g.S != w.S || !g.L.Equal(w.L) || !g.R.Equal(w.R) ||
+			len(g.L) != len(w.L) || len(g.R) != len(w.R) {
+			tb.Fatalf("%s: tuple %d is %s (digits %d/%d), want %s (digits %d/%d)",
+				what, i, g, len(g.L), len(g.R), w, len(w.L), len(w.R))
+		}
+	}
+}
+
+// RunCase evaluates one corpus case under the given options, returning
+// the result relation (parse errors are fatal: corpus entries must
+// always parse).
+func RunCase(tb testing.TB, c Case, cat core.Catalog, opts core.Options) (*interval.Relation, error) {
+	tb.Helper()
+	e, err := xq.Parse(c.Query)
+	if err != nil {
+		tb.Fatalf("%s: corpus query does not parse: %v", c.Name, err)
+	}
+	return core.Compile(e, opts).Eval(cat, opts)
+}

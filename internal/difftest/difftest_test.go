@@ -1,0 +1,56 @@
+package difftest
+
+import (
+	"testing"
+
+	"dixq/internal/interp"
+	"dixq/internal/interval"
+)
+
+// lowerSortThreshold makes the parallel structural sort engage on
+// test-sized inputs, so the Parallelism > 1 variants actually fan out
+// workers instead of silently taking the serial path.
+func lowerSortThreshold(tb testing.TB) {
+	old := interval.ParallelSortThreshold
+	interval.ParallelSortThreshold = 4
+	tb.Cleanup(func() { interval.ParallelSortThreshold = old })
+}
+
+// TestEnginesAgreeOnCorpus is the differential matrix: every corpus case
+// through the interpreter (the semantic oracle), the baseline DI
+// evaluation, and the full variant matrix. The interpreter comparison is
+// forest equality; the DI comparisons are digit-identical relations.
+func TestEnginesAgreeOnCorpus(t *testing.T) {
+	lowerSortThreshold(t)
+	cat, icat := Docs(t, 0.002, 17)
+	variants := Variants(t.TempDir())
+	for _, c := range Corpus() {
+		t.Run(c.Name, func(t *testing.T) {
+			oracle, oerr := interp.Run(c.Query, icat)
+			want, werr := RunCase(t, c, cat, Baseline())
+			if (oerr != nil) != (werr != nil) {
+				t.Fatalf("interpreter err %v, DI baseline err %v", oerr, werr)
+			}
+			if werr == nil {
+				got, err := interval.Decode(want)
+				if err != nil {
+					t.Fatalf("baseline result does not decode: %v", err)
+				}
+				if !got.Equal(oracle) {
+					t.Fatalf("DI baseline disagrees with the interpreter:\n got %d trees\nwant %d trees",
+						len(got), len(oracle))
+				}
+			}
+			for _, v := range variants {
+				got, gerr := RunCase(t, c, cat, v.Opts)
+				if (werr != nil) != (gerr != nil) {
+					t.Fatalf("%s: baseline err %v, variant err %v", v.Name, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				IdenticalRelations(t, v.Name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"dixq/internal/core"
+	"dixq/internal/interval"
+	"dixq/internal/xmark"
+	"dixq/internal/xq"
+)
+
+// FuzzParallelExecute fuzzes the parallel runtime's determinism claim:
+// for any query text, chunk size and worker count, the parallel batched
+// evaluation must produce the relation the serial evaluation produces,
+// digit for digit. The corpus is seeded with the paper's benchmark
+// queries, the end-to-end seed corpus, and generator-produced random
+// expressions, at chunk sizes around the morsel and batch boundaries.
+func FuzzParallelExecute(f *testing.F) {
+	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13} {
+		f.Add(q, uint8(64), uint8(4))
+	}
+	for _, c := range Corpus() {
+		f.Add(c.Query, uint8(1), uint8(2))
+		f.Add(c.Query, uint8(3), uint8(8))
+	}
+	for _, seed := range []int64{1, 7, 42, 20030609} {
+		rng := rand.New(rand.NewSource(seed))
+		e := xq.RandomExpr(rng, []string{"d", "auction.xml"}, 4)
+		f.Add(e.String(), uint8(seed%7+1), uint8(seed%5+2))
+	}
+
+	cat, _ := Docs(f, 0.0005, 17)
+
+	f.Fuzz(func(t *testing.T, src string, chunk, workers uint8) {
+		e, err := xq.Parse(src)
+		if err != nil {
+			return
+		}
+		// Map the raw fuzz bytes into the interesting ranges: chunk sizes
+		// 1..256 cover sub-morsel through default batches, worker counts
+		// 2..17 cover the whole label range of the pool.
+		batch := int(chunk)%256 + 1
+		par := int(workers)%16 + 2
+
+		old := interval.ParallelSortThreshold
+		interval.ParallelSortThreshold = 4
+		defer func() { interval.ParallelSortThreshold = old }()
+
+		q := core.Compile(e, core.Options{})
+		for _, mode := range []core.Mode{core.ModeMSJ, core.ModeNLJ} {
+			serialOpts := core.Options{Mode: mode, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
+			parOpts := core.Options{Mode: mode, BatchSize: batch, Parallelism: par, MaxTuples: 200_000}
+			want, werr := q.Eval(cat, serialOpts)
+			got, gerr := q.Eval(cat, parOpts)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%s on %q (batch=%d par=%d): serial err %v, parallel err %v",
+					mode, src, batch, par, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			IdenticalRelations(t, mode.String(), got, want)
+		}
+	})
+}

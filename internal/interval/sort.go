@@ -2,7 +2,8 @@ package interval
 
 import (
 	"slices"
-	"sync"
+
+	"dixq/internal/exec"
 )
 
 // ParallelSortThreshold is the minimum input length for which SortPerm
@@ -43,7 +44,11 @@ func SortPerm(n, parallelism int, cmp func(a, b int) int) []int {
 }
 
 // parallelSortPerm sorts positions with concurrently sorted chunks
-// followed by pairwise merge rounds.
+// followed by merge rounds whose pairwise merges also run concurrently.
+// Chunk boundaries depend only on the input length and the requested
+// parallelism — never on how many workers the process budget actually
+// grants — so the merged result is bit-identical at any grant, and the
+// worker goroutines themselves come from the shared exec pool.
 func parallelSortPerm(order []int, cmp func(a, b int) int, parallelism int) {
 	chunk := (len(order) + parallelism - 1) / parallelism
 	var chunks [][]int
@@ -51,24 +56,18 @@ func parallelSortPerm(order []int, cmp func(a, b int) int, parallelism int) {
 		hi := min(lo+chunk, len(order))
 		chunks = append(chunks, order[lo:hi])
 	}
-	var wg sync.WaitGroup
-	for _, c := range chunks {
-		wg.Add(1)
-		go func(c []int) {
-			defer wg.Done()
-			slices.SortFunc(c, cmp)
-		}(c)
-	}
-	wg.Wait()
+	exec.Run(len(chunks), parallelism, func(task, worker int) {
+		slices.SortFunc(chunks[task], cmp)
+	})
 	for len(chunks) > 1 {
-		var next [][]int
-		for i := 0; i < len(chunks); i += 2 {
-			if i+1 == len(chunks) {
-				next = append(next, chunks[i])
-				break
-			}
-			next = append(next, mergePerm(chunks[i], chunks[i+1], cmp))
+		pairs := len(chunks) / 2
+		next := make([][]int, (len(chunks)+1)/2)
+		if len(chunks)%2 == 1 {
+			next[pairs] = chunks[len(chunks)-1]
 		}
+		exec.Run(pairs, parallelism, func(task, worker int) {
+			next[task] = mergePerm(chunks[2*task], chunks[2*task+1], cmp)
+		})
 		chunks = next
 	}
 	copy(order, chunks[0])

@@ -59,6 +59,20 @@ var (
 	// TracesSampled counts queries that produced a trace.
 	TracesSampled = Default.NewCounter("dixq_traces_sampled_total",
 		"Queries sampled into the trace ring buffer.")
+	// ParallelWorkersActive is the number of extra intra-query workers
+	// (goroutines beyond the query's own) currently running across the
+	// process — bounded by the exec package's process-wide budget.
+	ParallelWorkersActive = Default.NewGauge("dixq_parallel_workers_active",
+		"Extra intra-query worker goroutines currently running.")
+	// ParallelTasks counts morsels (tasks) executed by the worker pool, by
+	// worker slot within a Run call — the per-worker view of how evenly
+	// morsel pulling balanced the work.
+	ParallelTasks = Default.NewCounterVec("dixq_parallel_tasks_total",
+		"Morsels executed by the intra-query worker pool, by worker slot.", "worker")
+	// ParallelChains counts fused path chains that executed morsel-parallel
+	// (as opposed to the serial chain path).
+	ParallelChains = Default.NewCounter("dixq_parallel_chains_total",
+		"Fused path chains executed by the parallel morsel runner.")
 )
 
 // AddBatches records one fused chain's chunk throughput.

@@ -20,6 +20,9 @@ type Span struct {
 	Batches int   `json:"batches,omitempty"`
 	Bytes   int64 `json:"bytes,omitempty"`
 	Spilled int64 `json:"spilled,omitempty"`
+	// Workers is the largest pool-worker count one of the operator's
+	// parallel phases observed (0: no parallel phase ran).
+	Workers int `json:"workers,omitempty"`
 	// Attrs carries small string annotations (e.g. plan-cache "hit").
 	Attrs    map[string]string `json:"attrs,omitempty"`
 	Children []Span            `json:"children,omitempty"`

@@ -36,6 +36,7 @@ type Batch interface {
 type RelationBatches struct {
 	rel   *interval.Relation
 	pos   int
+	end   int
 	size  int
 	chunk *interval.Flat
 }
@@ -60,6 +61,15 @@ func NewRelationBatchesWith(rel *interval.Relation, batchSize int, chunk *interv
 // executor keeps one RelationBatches value per evaluation and re-inits it
 // for each fused chain, so a chain's source costs no allocation at all.
 func (s *RelationBatches) Init(rel *interval.Relation, batchSize int, chunk *interval.Flat) {
+	s.InitRange(rel, 0, len(rel.Tuples), batchSize, chunk)
+}
+
+// InitRange is Init restricted to the half-open row range [lo, hi) of rel
+// — the morsel form used by the parallel chain runner, whose workers each
+// drain their own row range through a worker-owned chunk buffer. The
+// chunk stride still covers the whole relation so a buffer can be reused
+// across morsels of the same chain.
+func (s *RelationBatches) InitRange(rel *interval.Relation, lo, hi, batchSize int, chunk *interval.Flat) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
@@ -73,8 +83,8 @@ func (s *RelationBatches) Init(rel *interval.Relation, batchSize int, chunk *int
 		}
 	}
 	n := batchSize
-	if len(rel.Tuples) < n {
-		n = len(rel.Tuples)
+	if hi-lo < n {
+		n = hi - lo
 	}
 	if chunk == nil {
 		chunk = interval.NewFlat(stride, n)
@@ -82,7 +92,7 @@ func (s *RelationBatches) Init(rel *interval.Relation, batchSize int, chunk *int
 		chunk.Restride(stride)
 		chunk.Reserve(n)
 	}
-	*s = RelationBatches{rel: rel, size: batchSize, chunk: chunk}
+	*s = RelationBatches{rel: rel, pos: lo, end: hi, size: batchSize, chunk: chunk}
 }
 
 // Stride returns the fixed chunk stride (the relation's maximum physical
@@ -93,12 +103,12 @@ func (s *RelationBatches) Stride() int { return s.chunk.Stride }
 // Orig column, so the chain's materialization can hand back the original
 // tuples without copying digits.
 func (s *RelationBatches) Next() (*interval.Flat, bool) {
-	if s.pos >= len(s.rel.Tuples) {
+	if s.pos >= s.end {
 		return nil, false
 	}
 	end := s.pos + s.size
-	if end > len(s.rel.Tuples) {
-		end = len(s.rel.Tuples)
+	if end > s.end {
+		end = s.end
 	}
 	s.chunk.Reset()
 	if s.chunk.Orig == nil {

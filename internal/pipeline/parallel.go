@@ -1,0 +1,240 @@
+// Morsel-driven parallel execution of fused path chains. The batch chunks
+// of batch.go are the natural parallelism unit, but a fused chain's state
+// machines carry state across chunk boundaries, so chunks cannot be handed
+// to workers blindly. This file computes the input positions at which every
+// stage's state machine provably behaves as if freshly reset — the safe
+// split points — groups the segments between them into morsels, and runs
+// the morsels through the shared exec worker pool, each worker draining its
+// morsels through a worker-owned chunk buffer into sequence-numbered result
+// slots. Concatenating the slots in morsel order reproduces the serial
+// output tuple-for-tuple.
+//
+// Why the split points are safe: keys are compared digit-lexicographically,
+// and the chain input arrives in L-key order.
+//
+//   - A top-level tree boundary is a position whose L exceeds every R seen
+//     before it. The roots/children/select/seltext machines only consult
+//     the running "R of the current top-level tree" (max); at such a
+//     position the serial machine would open a new tree regardless of its
+//     carried state, so a freshly reset machine makes identical decisions
+//     from there on. Filtering by earlier stages preserves the dominance
+//     property (survivors are subsequences), so the argument holds at every
+//     position of the chain, not just the first stage.
+//   - An environment boundary (the depth-d prefix of L changes, d >= 1) is
+//     the reset point of the head/tail machines — and it is also a
+//     top-level tree boundary, because the differing prefix digit makes
+//     every key of the new environment exceed every key (including R) of
+//     the old ones. So chains containing head/tail stages split at
+//     environment boundaries, and chains without them split at the more
+//     frequent tree boundaries.
+//
+// A head/tail stage at depth 0 has a single environment and therefore no
+// safe split points; such chains stay serial.
+package pipeline
+
+import (
+	"dixq/internal/exec"
+	"dixq/internal/interval"
+	"dixq/internal/obs"
+)
+
+// maxMorselsPerChain caps how many morsels one chain is split into. The
+// morsel target size max(batchSize, n/maxMorselsPerChain) depends only on
+// the input size and the batch size — never on the worker count — so the
+// partitioning (and with it every per-morsel statistic) is deterministic
+// at any parallelism.
+const maxMorselsPerChain = 64
+
+// StageStat is one stage's aggregated actuals from a counted parallel
+// chain run: output rows, chunks and accounted chunk bytes, summed across
+// all morsels.
+type StageStat struct {
+	Rows    int
+	Batches int
+	Bytes   int64
+}
+
+// ParallelChainResult is the outcome of a parallel chain run.
+type ParallelChainResult struct {
+	// Rel is the materialized chain output, identical to the serial run.
+	Rel *interval.Relation
+	// Stats aggregates the source chunk counts and footprints of all
+	// morsels.
+	Stats BatchStats
+	// Workers is how many workers actually participated (>= 1; the process
+	// budget may grant fewer than requested).
+	Workers int
+	// Morsels is how many morsels the input was split into.
+	Morsels int
+	// Stages holds per-stage actuals when the run was counted (analyze
+	// mode); nil otherwise. Stages[i] corresponds to protos[i].
+	Stages []StageStat
+}
+
+// chainSplitPoints returns the safe split positions of rel for a chain
+// with the given stages: the starts of the segments between which every
+// stage's state machine resets. ok is false when the chain admits no safe
+// splits (a head/tail stage at depth 0).
+func chainSplitPoints(rel *interval.Relation, protos []Stage) (starts []int, ok bool) {
+	envDepth := 0
+	for _, s := range protos {
+		if s.kind == stageHead || s.kind == stageTail {
+			if s.depth == 0 {
+				return nil, false
+			}
+			if s.depth > envDepth {
+				envDepth = s.depth
+			}
+		}
+	}
+	n := len(rel.Tuples)
+	starts = append(starts, 0)
+	if envDepth > 0 {
+		for i := 1; i < n; i++ {
+			if rel.Tuples[i].L.ComparePrefix(rel.Tuples[i-1].L, envDepth) != 0 {
+				starts = append(starts, i)
+			}
+		}
+		return starts, true
+	}
+	maxR := rel.Tuples[0].R
+	for i := 1; i < n; i++ {
+		if interval.Compare(rel.Tuples[i].L, maxR) > 0 {
+			starts = append(starts, i)
+		}
+		if interval.Compare(rel.Tuples[i].R, maxR) > 0 {
+			maxR = rel.Tuples[i].R
+		}
+	}
+	return starts, true
+}
+
+// groupMorsels packs boundary-delimited segments into morsels of at least
+// target rows (except possibly the last), returning the morsel start
+// positions plus the final end position n.
+func groupMorsels(starts []int, n, target int) []int {
+	morsels := []int{0}
+	last := 0
+	for _, s := range starts[1:] {
+		if s-last >= target {
+			morsels = append(morsels, s)
+			last = s
+		}
+	}
+	return append(morsels, n)
+}
+
+// chainWorker is one worker's private execution state: a chunk buffer,
+// a stage list, and the source/chain scratch, reused across the morsels
+// the worker pulls.
+type chainWorker struct {
+	chunk  interval.Flat
+	stages []Stage
+	src    RelationBatches
+	chain  Chain
+	ctrs   []BatchCounter
+}
+
+// reset readies the worker's stage list for a fresh morsel.
+func (w *chainWorker) reset(protos []Stage) {
+	if w.stages == nil {
+		w.stages = make([]Stage, len(protos))
+	}
+	for i := range protos {
+		w.stages[i].Reuse(protos[i])
+	}
+}
+
+// RunChainParallel executes the fused stage chain over rel with up to
+// parallelism workers and returns the materialized output, which is
+// tuple-for-tuple identical to the serial chain at any parallelism and
+// any worker grant. ok is false when the chain is not worth (or not safe
+// to) parallelize — too few rows, too few safe split points, or a
+// depth-0 head/tail stage — and the caller should run the serial path.
+//
+// With counted set, the run additionally aggregates per-stage rows,
+// batches and bytes (the analyze-mode actuals) into Stages.
+func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, parallelism int, counted bool) (ParallelChainResult, bool) {
+	var res ParallelChainResult
+	if parallelism < 2 || len(protos) == 0 {
+		return res, false
+	}
+	size := batchSize
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	n := len(rel.Tuples)
+	if n < 2*size {
+		return res, false
+	}
+	starts, ok := chainSplitPoints(rel, protos)
+	if !ok || len(starts) < 2 {
+		return res, false
+	}
+	target := size
+	if t := (n + maxMorselsPerChain - 1) / maxMorselsPerChain; t > target {
+		target = t
+	}
+	morsels := groupMorsels(starts, n, target)
+	nm := len(morsels) - 1
+	if nm < 2 {
+		return res, false
+	}
+
+	outs := make([][]interval.Tuple, nm)
+	stats := make([]BatchStats, nm)
+	workers := make([]chainWorker, min(parallelism, nm))
+	res.Workers = exec.Run(nm, parallelism, func(task, worker int) {
+		w := &workers[worker]
+		w.reset(protos)
+		w.src.InitRange(rel, morsels[task], morsels[task+1], size, &w.chunk)
+		var b Batch
+		if !counted {
+			w.chain.Init(&w.src, w.stages)
+			b = &w.chain
+		} else {
+			// The counted form stacks one kernel per stage with a counter
+			// between stages, mirroring the serial analyze path; counters
+			// accumulate across the worker's morsels and are summed below.
+			if w.ctrs == nil {
+				w.ctrs = make([]BatchCounter, len(w.stages))
+			}
+			b = &w.src
+			for j := range w.stages {
+				b = NewKernel(b, w.stages[j])
+				if j < len(w.stages)-1 {
+					w.ctrs[j].In = b
+					b = &w.ctrs[j]
+				}
+			}
+		}
+		out, st := MaterializeBatches(b, rel)
+		outs[task] = out.Tuples
+		stats[task] = st
+	})
+	res.Morsels = nm
+
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	tuples := make([]interval.Tuple, 0, total)
+	for i, o := range outs {
+		tuples = append(tuples, o...)
+		res.Stats.Batches += stats[i].Batches
+		res.Stats.Bytes += stats[i].Bytes
+	}
+	res.Rel = &interval.Relation{Tuples: tuples}
+	if counted {
+		res.Stages = make([]StageStat, len(protos))
+		for wi := range workers {
+			for j, c := range workers[wi].ctrs {
+				res.Stages[j].Rows += c.Rows
+				res.Stages[j].Batches += c.Batches
+				res.Stages[j].Bytes += c.Bytes
+			}
+		}
+	}
+	obs.ParallelChains.Inc()
+	return res, true
+}

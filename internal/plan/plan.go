@@ -144,6 +144,11 @@ type Node struct {
 	// Streamable marks nodes the streaming pipeline backend can execute;
 	// the executor runs maximal Streamable chains as one fused pass.
 	Streamable bool
+	// ParallelSafe marks operators the parallel runtime can split across
+	// workers (morsel-parallel fused chains, parallel structural sorts,
+	// concurrent merge-join sort phases). A static capability mark: whether
+	// a run fans out depends on Options.Parallelism and the input size.
+	ParallelSafe bool
 	// Inputs are the child plans, in the per-operator order documented
 	// on the Op constants.
 	Inputs []*Node
@@ -303,12 +308,16 @@ func (n *Node) write(b *strings.Builder, indent int, role string, rs *RunStats) 
 	if n.Streamable {
 		b.WriteString(" [stream]")
 	}
+	if n.ParallelSafe {
+		b.WriteString(" [par]")
+	}
 	if rs != nil {
 		s := rs.Node(n.ID)
 		// Deterministic actuals first (locked by the analyze goldens), the
-		// run-dependent trio last so tests can mask it in one pass.
-		fmt.Fprintf(b, " (calls=%d rows=%d batches=%d spilled=%d time=%s allocs=%d bytes=%d)",
-			s.Calls, s.Rows, s.Batches, s.Spilled, s.Time, s.Allocs, s.Bytes)
+		// run-dependent group last so tests can mask it in one pass
+		// (workers depends on the process worker budget at run time).
+		fmt.Fprintf(b, " (calls=%d rows=%d batches=%d spilled=%d workers=%d time=%s allocs=%d bytes=%d)",
+			s.Calls, s.Rows, s.Batches, s.Spilled, s.Workers, s.Time, s.Allocs, s.Bytes)
 	}
 	b.WriteByte('\n')
 	labels := n.inputLabels()

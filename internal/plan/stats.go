@@ -27,6 +27,12 @@ type NodeStats struct {
 	// Spilled counts external-sort runs the operator wrote to disk while
 	// staying under the memory budget.
 	Spilled int64
+	// Workers is the largest number of pool workers that participated in
+	// one of the operator's parallel phases (morsel chains, concurrent
+	// merge-join sorts); 0 for operators that ran no parallel phase. The
+	// process-wide worker budget may grant fewer workers than
+	// Options.Parallelism requested, so this is an observed actual.
+	Workers int
 }
 
 // RunStats holds one execution's per-node actuals, indexed by Node.ID.
@@ -73,6 +79,7 @@ type OperatorStat struct {
 	Batches int
 	Bytes   int64
 	Spilled int64
+	Workers int
 }
 
 // Operators flattens a plan and its run stats into report rows in
@@ -95,6 +102,7 @@ func Operators(root *Node, rs *RunStats) []OperatorStat {
 			Batches: s.Batches,
 			Bytes:   s.Bytes,
 			Spilled: s.Spilled,
+			Workers: s.Workers,
 		})
 	})
 	return out

@@ -41,18 +41,16 @@ func newPlanCache(capacity int) *planCache {
 
 // planKey builds the cache key for a request: the query text, the engine,
 // and every option that affects the plan or its execution strategy. The
-// options are canonicalized first — all parallelism values below 2 mean
-// "serial" and must share one entry — so equivalent requests hit the same
-// slot while requests differing in any effective knob never collide.
-// (Before options were part of the key, a cached entry served requests
-// whose options differed from the ones it was first compiled under.)
-func planKey(req *QueryRequest) string {
-	par := req.Parallelism
-	if par < 2 {
-		par = 1
-	}
+// options are canonicalized first — the parallelism component is the
+// fully resolved worker bound (request value, else server default, with
+// 0 resolving to runtime.GOMAXPROCS(0), exactly as the executor resolves
+// it) — so equivalent requests hit the same slot while requests differing
+// in any effective knob never collide. (Before options were part of the
+// key, a cached entry served requests whose options differed from the
+// ones it was first compiled under.)
+func planKey(req *QueryRequest, cfg Config) string {
 	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d",
-		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, par)
+		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg))
 }
 
 // get returns the cached plan for key and promotes it to most-recent.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dixq"
+	"dixq/internal/exec"
 	"dixq/internal/obs"
 )
 
@@ -37,6 +38,13 @@ type Config struct {
 	// SpillDir is where external-sort runs are written under MemBudget;
 	// empty means the OS temp directory.
 	SpillDir string
+	// Parallelism is the per-query worker bound applied when a request
+	// leaves its parallelism field 0: it resolves like dixq.Options
+	// (0 → runtime.GOMAXPROCS(0), 1 → serial, larger → that many
+	// workers). Whatever each query requests, the workers of all
+	// concurrent queries are drawn from one process-wide budget (package
+	// exec), so total parallel workers never exceed that budget.
+	Parallelism int
 	// PlanCacheSize caps the LRU cache of compiled query plans, keyed by
 	// (query text, engine). 0 means the default of 128; negative disables
 	// caching.
@@ -131,8 +139,25 @@ type QueryRequest struct {
 	// NoPipeline disables streaming fusion of path-operator chains (DI
 	// engines).
 	NoPipeline bool `json:"no_pipeline,omitempty"`
-	// Parallelism bounds sort goroutines (DI engines); < 2 means serial.
+	// Parallelism bounds the query's intra-query workers (DI engines):
+	// 1 means serial, larger values bound the workers directly, and 0
+	// falls back to the server's configured default (which itself
+	// resolves 0 to runtime.GOMAXPROCS(0)). Results are identical at
+	// any setting.
 	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// effectiveParallelism resolves the worker bound for a request: an
+// explicit request value wins, 0 falls back to the server default, and
+// the canonical resolution (<= 0 → runtime.GOMAXPROCS(0)) applies last —
+// the same resolution the executor performs, so the value is also usable
+// as a cache-key component and a trace attribute.
+func effectiveParallelism(req *QueryRequest, cfg Config) int {
+	par := req.Parallelism
+	if par == 0 {
+		par = cfg.Parallelism
+	}
+	return exec.Resolve(par)
 }
 
 // options maps the request's engine knobs onto dixq.Options.
@@ -145,7 +170,7 @@ func (req *QueryRequest) options(engine dixq.Engine, cfg Config) *dixq.Options {
 		SpillDir:    cfg.SpillDir,
 		LegacyKeys:  req.LegacyKeys,
 		NoPipeline:  req.NoPipeline,
-		Parallelism: req.Parallelism,
+		Parallelism: effectiveParallelism(req, cfg),
 	}
 }
 
@@ -260,7 +285,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
 		return nil, nil, info, false
 	}
-	key := planKey(&req)
+	key := planKey(&req, s.cfg)
 	if q, ok := s.plans.get(key); ok {
 		info.cacheHit = true
 		return &req, q, info, true
@@ -355,9 +380,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = q.Run(s.cat, req.options(eng, s.cfg))
 	}
 	if tr != nil {
-		exec := obs.Span{Name: "execute", DurationNS: int64(time.Since(execStart))}
+		span := obs.Span{
+			Name:       "execute",
+			DurationNS: int64(time.Since(execStart)),
+			Attrs: map[string]string{
+				"parallel_workers": strconv.Itoa(effectiveParallelism(req, s.cfg)),
+			},
+		}
 		for _, op := range ops {
-			exec.Children = append(exec.Children, obs.Span{
+			span.Children = append(span.Children, obs.Span{
 				Name:       op.Op,
 				DurationNS: int64(op.Time),
 				Calls:      op.Calls,
@@ -365,12 +396,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Batches:    op.Batches,
 				Bytes:      op.Bytes,
 				Spilled:    op.Spilled,
+				Workers:    op.Workers,
 			})
 		}
 		if err != nil {
-			exec.Attrs = map[string]string{"error": err.Error()}
+			span.Attrs["error"] = err.Error()
 		}
-		tr.Spans = append(tr.Spans, exec)
+		tr.Spans = append(tr.Spans, span)
 	}
 	if err != nil {
 		status := http.StatusUnprocessableEntity
@@ -454,6 +486,7 @@ type OperatorJSON struct {
 	Batches int     `json:"batches"`
 	Bytes   int64   `json:"bytes"`
 	Spilled int64   `json:"spilled"`
+	Workers int     `json:"workers,omitempty"`
 	TimeMS  float64 `json:"time_ms"`
 	Allocs  int64   `json:"allocs"`
 }
@@ -489,6 +522,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				Batches: op.Batches,
 				Bytes:   op.Bytes,
 				Spilled: op.Spilled,
+				Workers: op.Workers,
 				TimeMS:  ms(op.Time),
 				Allocs:  op.Allocs,
 			}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,8 @@ import (
 	"time"
 
 	"dixq"
+	"dixq/internal/exec"
+	"dixq/internal/obs"
 )
 
 func testServer(t *testing.T, cfg Config) *httptest.Server {
@@ -180,6 +183,69 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 }
 
+// TestSharedWorkerBudget locks the process-wide parallelism contract:
+// however many queries run concurrently and whatever Parallelism each
+// requests, the extra workers drawn at any instant never exceed the one
+// process budget — concurrent requests degrade toward serial instead of
+// multiplying goroutines. It also checks the worker gauge drains to zero
+// and every parallel result matches the serial one digit for digit.
+func TestSharedWorkerBudget(t *testing.T) {
+	const budget = 3
+	prev := exec.SetLimit(budget)
+	defer exec.SetLimit(prev)
+	exec.ResetHighWater()
+
+	ts := testServer(t, Config{})
+	serialResp, serialBody := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8, Parallelism: 1})
+	if serialResp.StatusCode != http.StatusOK {
+		t.Fatalf("serial query failed: %s", serialBody)
+	}
+	var serial QueryResponse
+	if err := json.Unmarshal(serialBody, &serial); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	type outcome struct {
+		xml string
+		err error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, body := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8, Parallelism: 4})
+			if resp.StatusCode != http.StatusOK {
+				results <- outcome{err: fmt.Errorf("status %d: %s", resp.StatusCode, body)}
+				return
+			}
+			var out QueryResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			results <- outcome{xml: out.XML}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		got := <-results
+		if got.err != nil {
+			t.Fatal(got.err)
+		}
+		if got.xml != serial.XML {
+			t.Fatal("parallel result diverged from the serial result")
+		}
+	}
+	if hw := exec.HighWater(); hw > budget {
+		t.Errorf("extra workers peaked at %d, over the process budget %d", hw, budget)
+	}
+	if in := exec.InFlight(); in != 0 {
+		t.Errorf("%d worker slots still held after all queries finished", in)
+	}
+	if g := obs.ParallelWorkersActive.Value(); g != 0 {
+		t.Errorf("dixq_parallel_workers_active = %d after all queries finished, want 0", g)
+	}
+}
+
 func TestPlanCache(t *testing.T) {
 	ts := testServer(t, Config{})
 	query := `for $x in document("auction.xml")/site/regions return count($x/*)`
@@ -218,38 +284,54 @@ func TestPlanCache(t *testing.T) {
 // TestPlanCacheKeyIncludesOptions is the regression test for the cache
 // key: requests that differ in any plan-affecting option must occupy
 // distinct cache slots, while requests that differ only in a
-// non-canonical spelling of the same option (parallelism 0 vs 1, both
-// serial) must share one.
+// non-canonical spelling of the same option (parallelism 0 and -1 both
+// resolve to the machine default) must share one. The explicit
+// parallelism values are derived from the resolved default so the test
+// holds at any GOMAXPROCS (the CI matrix runs -cpu=1,4).
 func TestPlanCacheKeyIncludesOptions(t *testing.T) {
+	def := exec.Resolve(0)
 	base := QueryRequest{Query: "q", Engine: "di-msj"}
 	distinct := []QueryRequest{
 		base,
 		{Query: "q", Engine: "di-nlj"},
 		{Query: "q", Engine: "di-msj", LegacyKeys: true},
 		{Query: "q", Engine: "di-msj", NoPipeline: true},
-		{Query: "q", Engine: "di-msj", Parallelism: 4},
+		{Query: "q", Engine: "di-msj", Parallelism: def + 1},
+		{Query: "q", Engine: "di-msj", Parallelism: def + 2},
 	}
 	seen := map[string]int{}
 	for i, req := range distinct {
-		key := planKey(&req)
+		key := planKey(&req, Config{})
 		if j, dup := seen[key]; dup {
 			t.Errorf("requests %d and %d share cache key %q", j, i, key)
 		}
 		seen[key] = i
 	}
-	for _, par := range []int{-1, 0, 1} {
+	// Non-canonical spellings of the machine default collapse onto it.
+	for _, par := range []int{-1, 0, def} {
 		req := base
 		req.Parallelism = par
-		if got, want := planKey(&req), planKey(&base); got != want {
-			t.Errorf("parallelism %d key = %q, want the serial key %q", par, got, want)
+		if got, want := planKey(&req, Config{}), planKey(&base, Config{}); got != want {
+			t.Errorf("parallelism %d key = %q, want the default key %q", par, got, want)
 		}
+	}
+	// The server default fills an unset request value: an unset request
+	// under Config{Parallelism: n} shares the slot of an explicit n.
+	explicit := base
+	explicit.Parallelism = def + 1
+	if got, want := planKey(&base, Config{Parallelism: def + 1}), planKey(&explicit, Config{}); got != want {
+		t.Errorf("config-default key = %q, want the explicit key %q", got, want)
+	}
+	// ... and an explicit request value overrides the server default.
+	if got, want := planKey(&explicit, Config{Parallelism: def + 2}), planKey(&explicit, Config{}); got != want {
+		t.Errorf("request override key = %q, want %q", got, want)
 	}
 	// Analyze and Indent shape the response, not the plan.
 	for _, req := range []QueryRequest{
 		{Query: "q", Engine: "di-msj", Analyze: true},
 		{Query: "q", Engine: "di-msj", Indent: true},
 	} {
-		if got, want := planKey(&req), planKey(&base); got != want {
+		if got, want := planKey(&req, Config{}), planKey(&base, Config{}); got != want {
 			t.Errorf("response-only option changed the key: %q vs %q", got, want)
 		}
 	}
