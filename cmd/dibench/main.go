@@ -37,7 +37,9 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write before/after key-layout micro-benchmarks (Q8/Q9/Q13) to this JSON file and exit")
 	benchJSON3 := flag.String("benchjson3", "", "write scalar-vs-batched pipeline micro-benchmarks (Q8/Q9/Q13, plus bounded-memory spill runs) to this JSON file and exit")
 	benchJSON5 := flag.String("benchjson5", "", "write parallel scale-up micro-benchmarks (Q8/Q9/Q13 at 1/2/4/8 workers) to this JSON file and exit")
+	benchJSON6 := flag.String("benchjson6", "", "write scan-vs-index access-path micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
 	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson, -benchjson3 and -benchjson5")
+	benchScales := flag.String("benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6")
 	metricsDump := flag.String("metricsdump", "", "write cumulative runtime metrics (Prometheus text format) to this file on exit")
 	parallelism := flag.Int("parallelism", 1, "intra-query worker bound for DI harness runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
@@ -64,6 +66,20 @@ func main() {
 	}
 	if *benchJSON5 != "" {
 		if err := bench.WriteBenchPR5JSON(*benchJSON5, *benchScale, os.Stderr); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if *benchJSON6 != "" {
+		var sfs []float64
+		for _, s := range strings.Split(*benchScales, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fatal("bad -benchscales factor %q", s)
+			}
+			sfs = append(sfs, v)
+		}
+		if err := bench.WriteBenchPR6JSON(*benchJSON6, sfs, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"dixq/internal/index"
 	"dixq/internal/interval"
 	"dixq/internal/store"
 	"dixq/internal/xmark"
@@ -26,7 +27,8 @@ func main() {
 	doc := xmark.Generate(xmark.Config{ScaleFactor: *sf, Seed: *seed})
 
 	if *encode != "" {
-		if err := store.Save(*encode, interval.Encode(doc)); err != nil {
+		rel := interval.Encode(doc)
+		if err := store.SaveIndexed(*encode, rel, index.Build(rel)); err != nil {
 			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -30,6 +30,7 @@ import (
 
 	"dixq/internal/core"
 	"dixq/internal/engine"
+	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
 	"dixq/internal/plan"
@@ -43,6 +44,11 @@ import (
 // Document is a parsed XML document or fragment: an ordered forest.
 type Document struct {
 	forest xmltree.Forest
+	// enc and idx cache the interval encoding and structural index of a
+	// document loaded from a .dixq store, so Catalog.Add reuses them
+	// instead of re-shredding and re-indexing.
+	enc *interval.Relation
+	idx *index.DocIndex
 }
 
 // ParseDocument parses XML text into a Document.
@@ -61,7 +67,7 @@ func ParseDocument(xmlText string) (*Document, error) {
 // anything else is parsed as XML text.
 func LoadDocumentFile(path string) (*Document, error) {
 	if strings.HasSuffix(path, ".dixq") {
-		rel, err := store.Load(path)
+		rel, ix, err := store.LoadIndexed(path)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +75,7 @@ func LoadDocumentFile(path string) (*Document, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return &Document{forest: f}, nil
+		return &Document{forest: f, enc: rel, idx: ix}, nil
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -78,10 +84,17 @@ func LoadDocumentFile(path string) (*Document, error) {
 	return ParseDocument(string(data))
 }
 
-// SaveEncoded writes the document's interval encoding to a ".dixq" file:
-// shred once, query many times without reparsing.
+// SaveEncoded writes the document's interval encoding and structural index
+// to a ".dixq" file (the DIXQS2 format): shred and index once, query many
+// times without reparsing. Pre-index files (DIXQS1) still load — saving
+// again upgrades them.
 func (d *Document) SaveEncoded(path string) error {
-	return store.Save(path, interval.Encode(d.forest))
+	rel, ix := d.enc, d.idx
+	if rel == nil || ix == nil {
+		rel = interval.Encode(d.forest)
+		ix = index.Build(rel)
+	}
+	return store.SaveIndexed(path, rel, ix)
 }
 
 // GenerateXMark generates an XMark-like benchmark document at the given
@@ -126,9 +139,14 @@ func (d *Document) Equal(o *Document) bool { return d.forest.Equal(o.forest) }
 func (d *Document) Encoding() string { return interval.Encode(d.forest).String() }
 
 // Catalog supplies the documents a query's document(...) calls reference.
+// Every document is indexed as it is added (or arrives pre-indexed from a
+// .dixq store), so DI plans can serve path chains as index seeks and prune
+// provably empty paths at plan time.
 type Catalog struct {
-	docs map[string]*Document
-	enc  core.Catalog
+	docs  map[string]*Document
+	enc   core.Catalog
+	idx   *index.Set
+	epoch uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -137,10 +155,38 @@ func NewCatalog() *Catalog {
 }
 
 // Add registers a document under a name; it replaces a previous entry.
+// Adding (re-)indexes the catalog under a new epoch, so plan caches keyed
+// on IndexEpoch never serve a plan whose index pointers went stale.
 func (c *Catalog) Add(name string, d *Document) {
 	c.docs[name] = d
-	c.enc[name] = interval.Encode(d.forest)
+	if d.enc != nil && d.idx != nil {
+		c.enc[name] = d.enc
+	} else {
+		c.enc[name] = interval.Encode(d.forest)
+	}
+	// Build a fresh immutable Set (older sets may still be referenced by
+	// memoized plans; the executor's pointer-identity check keeps those
+	// correct, and the epoch bump keeps caches from reusing them).
+	docs := make(map[string]*index.DocIndex, len(c.enc))
+	if c.idx != nil {
+		for k, v := range c.idx.Docs {
+			docs[k] = v
+		}
+	}
+	if d.idx != nil && d.enc != nil {
+		docs[name] = d.idx
+	} else {
+		docs[name] = index.Build(c.enc[name])
+	}
+	c.epoch++
+	c.idx = &index.Set{Docs: docs, Epoch: c.epoch}
 }
+
+// IndexEpoch identifies the current generation of the catalog's structural
+// indexes: it changes whenever a document is added or replaced. Plan caches
+// that key on the catalog should fold this in, so re-loading a document
+// invalidates plans holding the old index.
+func (c *Catalog) IndexEpoch() uint64 { return c.epoch }
 
 // Engine selects how a query is evaluated.
 type Engine int
@@ -221,10 +267,12 @@ type Options struct {
 }
 
 // coreOptions maps the public Options onto the internal executor's
-// options for a DI plan mode.
-func (opts *Options) coreOptions(mode core.Mode) core.Options {
+// options for a DI plan mode, attaching the catalog's structural indexes
+// so the compiler can plan index seeks and dataguide pruning.
+func (opts *Options) coreOptions(mode core.Mode, cat *Catalog) core.Options {
 	return core.Options{
 		Mode:           mode,
+		Indexes:        cat.idx,
 		Timeout:        opts.Timeout,
 		MaxTuples:      opts.MaxTuples,
 		Trace:          opts.Trace,
@@ -322,7 +370,7 @@ func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorS
 	if !ok {
 		return "", nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
 	}
-	copts := opts.coreOptions(mode)
+	copts := opts.coreOptions(mode, cat)
 	text, rs, err := q.q.ExplainAnalyze(cat.enc, copts)
 	if err != nil {
 		return "", nil, err
@@ -347,7 +395,7 @@ func (q *Query) RunAnalyzed(cat *Catalog, opts *Options) (*Result, []OperatorSta
 	}
 	start := time.Now()
 	stats := &core.Stats{}
-	copts := opts.coreOptions(mode)
+	copts := opts.coreOptions(mode, cat)
 	copts.Stats = stats
 	rs := &plan.RunStats{}
 	copts.Analyze = rs
@@ -423,7 +471,7 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 	case MergeJoin, NestedLoop:
 		mode, _ := diMode(opts.Engine)
 		stats := &core.Stats{}
-		copts := opts.coreOptions(mode)
+		copts := opts.coreOptions(mode, cat)
 		copts.Stats = stats
 		f, err := q.q.EvalForest(cat.enc, copts)
 		if err != nil {

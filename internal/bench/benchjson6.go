@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dixq/internal/core"
+	"dixq/internal/index"
+	"dixq/internal/interval"
+	"dixq/internal/plan"
+	"dixq/internal/xmark"
+)
+
+// AccessPoint is one scale factor on a query's scan-vs-index comparison:
+// wall time and tuples read through the source access paths under both
+// plans, plus the digit-identity check of the index-backed result.
+type AccessPoint struct {
+	ScaleFactor  float64 `json:"scale_factor"`
+	ScanNsPerOp  int64   `json:"scan_ns_per_op"`
+	IndexNsPerOp int64   `json:"index_ns_per_op"`
+	// Speedup is scan ns/op over index ns/op (above 1 = index faster).
+	Speedup float64 `json:"speedup_vs_scan"`
+	// ScanTuplesRead / IndexTuplesRead sum the rows the plan's source
+	// access paths emitted (relation scans, index seeks); TuplesSkipped is
+	// what the index seeks and pruned chains provably never touched.
+	ScanTuplesRead  int64 `json:"scan_tuples_read"`
+	IndexTuplesRead int64 `json:"index_tuples_read"`
+	TuplesSkipped   int64 `json:"index_tuples_skipped"`
+	// Identical reports whether the index-backed result matched the
+	// scan-backed result tuple-for-tuple, including physical key lengths.
+	Identical bool `json:"identical_to_scan"`
+}
+
+// AccessCurve is the scan-vs-index curve of one query across scales.
+type AccessCurve struct {
+	Query  string        `json:"query"`
+	Points []AccessPoint `json:"points"`
+}
+
+// BenchReport6 is the schema of BENCH_PR6.json.
+type BenchReport6 struct {
+	Mode         string        `json:"mode"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	ScaleFactors []float64     `json:"scale_factors"`
+	Results      []AccessCurve `json:"results"`
+}
+
+// accessTuples runs one instrumented evaluation and sums, over the plan's
+// source nodes, the tuples that came through each access path: rows
+// emitted by relation scans and index seeks (read) and the rows the index
+// proved skippable (skipped).
+func accessTuples(w *Workload, opts core.Options) (read, skipped int64, err error) {
+	rs := &plan.RunStats{}
+	o := opts
+	o.Analyze = rs
+	if _, err := w.compiled.Eval(w.enc, o); err != nil {
+		return 0, 0, err
+	}
+	for _, op := range plan.Operators(w.compiled.Plan(o), rs) {
+		// Operator names carry the node detail ("scan [document(...)]").
+		if strings.HasPrefix(op.Op, "scan") || strings.HasPrefix(op.Op, "index-seek") ||
+			strings.HasPrefix(op.Op, "index-prune") {
+			read += op.Rows
+			skipped += op.Skipped
+		}
+	}
+	return read, skipped, nil
+}
+
+// WriteBenchPR6JSON measures the structural-index access paths: XMark Q8,
+// Q9 and Q13 on the DI-MSJ path with and without the document index at
+// each scale factor, reporting wall time, the tuples each plan's source
+// access paths read, the tuples the index skipped, the scan-over-index
+// speedup, and a digit-identity check of every index-backed result.
+// Timing rounds alternate scan and index runs so drift cannot bias one
+// side, and shrink at large scales where single runs are seconds long.
+// Progress lines go to log.
+func WriteBenchPR6JSON(path string, sfs []float64, log io.Writer) error {
+	report := BenchReport6{
+		Mode:         core.ModeMSJ.String(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		ScaleFactors: sfs,
+	}
+	queries := []struct{ name, text string }{
+		{"Q8", xmark.Q8},
+		{"Q9", xmark.Q9},
+		{"Q13", xmark.Q13},
+	}
+	curves := make(map[string]*AccessCurve, len(queries))
+	for _, q := range queries {
+		c := &AccessCurve{Query: q.name}
+		curves[q.name] = c
+		report.Results = append(report.Results, AccessCurve{})
+	}
+	for _, sf := range sfs {
+		doc := xmark.Generate(xmark.Config{ScaleFactor: sf, Seed: 1})
+		rounds := 5
+		if sf >= 0.5 {
+			rounds = 2
+		}
+		for _, q := range queries {
+			w, err := NewWorkload(q.text, doc)
+			if err != nil {
+				return fmt.Errorf("bench: %s: %w", q.name, err)
+			}
+			scanOpts := core.Options{Mode: core.ModeMSJ, Parallelism: 1}
+			idxOpts := scanOpts
+			idxOpts.Indexes = index.BuildSet(w.enc)
+
+			run := func(opts core.Options) (*interval.Relation, error) {
+				return w.compiled.Eval(w.enc, opts)
+			}
+			// Warm both paths once (plan memoization, allocator steady
+			// state) and keep the results for the identity check.
+			scanRel, err := run(scanOpts)
+			if err != nil {
+				return fmt.Errorf("bench: %s sf %g scan: %w", q.name, sf, err)
+			}
+			idxRel, err := run(idxOpts)
+			if err != nil {
+				return fmt.Errorf("bench: %s sf %g index: %w", q.name, sf, err)
+			}
+			time1 := func(opts core.Options) (int64, error) {
+				runtime.GC()
+				start := time.Now()
+				if _, err := run(opts); err != nil {
+					return 0, err
+				}
+				return time.Since(start).Nanoseconds(), nil
+			}
+			p := AccessPoint{
+				ScaleFactor:  sf,
+				ScanNsPerOp:  math.MaxInt64,
+				IndexNsPerOp: math.MaxInt64,
+				Identical:    sameResult(idxRel, scanRel),
+			}
+			for r := 0; r < rounds; r++ {
+				s, err := time1(scanOpts)
+				if err != nil {
+					return err
+				}
+				i, err := time1(idxOpts)
+				if err != nil {
+					return err
+				}
+				p.ScanNsPerOp = min(p.ScanNsPerOp, s)
+				p.IndexNsPerOp = min(p.IndexNsPerOp, i)
+			}
+			if p.IndexNsPerOp > 0 {
+				p.Speedup = float64(p.ScanNsPerOp) / float64(p.IndexNsPerOp)
+			}
+			if p.ScanTuplesRead, _, err = accessTuples(w, scanOpts); err != nil {
+				return err
+			}
+			if p.IndexTuplesRead, p.TuplesSkipped, err = accessTuples(w, idxOpts); err != nil {
+				return err
+			}
+			curves[q.name].Points = append(curves[q.name].Points, p)
+			fmt.Fprintf(log, "%s sf=%g: scan %d ns/op (%d tuples), index %d ns/op (%d tuples, %d skipped), speedup %.2fx identical=%v\n",
+				q.name, sf, p.ScanNsPerOp, p.ScanTuplesRead,
+				p.IndexNsPerOp, p.IndexTuplesRead, p.TuplesSkipped, p.Speedup, p.Identical)
+		}
+	}
+	for i, q := range queries {
+		report.Results[i] = *curves[q.name]
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

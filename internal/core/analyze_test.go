@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"dixq/internal/index"
 	"dixq/internal/xmark"
 	"dixq/internal/xq"
 )
@@ -47,37 +48,49 @@ func TestAnalyzeGoldenPlans(t *testing.T) {
 		{"msj", ModeMSJ},
 		{"nlj", ModeNLJ},
 	}
+	// The indexed variants rerun each query with the catalog's structural
+	// indexes attached, locking the access-path marks ([access=index],
+	// [access=pruned]) and the skipped-tuple actuals of the seek plans.
+	variants := []struct {
+		suffix  string
+		indexes *index.Set
+	}{
+		{"", nil},
+		{"_idx", index.BuildSet(cat)},
+	}
 	for _, qq := range queries {
 		for _, mm := range modes {
-			t.Run(qq.name+"-"+mm.name, func(t *testing.T) {
-				q := Compile(xq.MustParse(qq.query), Options{})
-				// Parallelism is pinned to 1 so the batch counts locked by
-				// the goldens cannot shift with GOMAXPROCS (the parallel
-				// chain runner chunks the input per morsel).
-				text, rs, err := q.ExplainAnalyze(cat, Options{Mode: mm.mode, Parallelism: 1})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if rs.Total() <= 0 {
-					t.Error("analyze run recorded no time at all")
-				}
-				got := scrubAnalyze(text)
-				path := filepath.Join("testdata", "analyze_"+qq.name+"_"+mm.name+".golden")
-				if *updateGolden {
-					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			for _, vv := range variants {
+				t.Run(qq.name+"-"+mm.name+vv.suffix, func(t *testing.T) {
+					q := Compile(xq.MustParse(qq.query), Options{})
+					// Parallelism is pinned to 1 so the batch counts locked by
+					// the goldens cannot shift with GOMAXPROCS (the parallel
+					// chain runner chunks the input per morsel).
+					text, rs, err := q.ExplainAnalyze(cat, Options{Mode: mm.mode, Parallelism: 1, Indexes: vv.indexes})
+					if err != nil {
 						t.Fatal(err)
 					}
-					return
-				}
-				want, err := os.ReadFile(path)
-				if err != nil {
-					t.Fatalf("missing golden (run with -update to create): %v", err)
-				}
-				if got != string(want) {
-					t.Errorf("analyze plan drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
-						path, got, want)
-				}
-			})
+					if rs.Total() <= 0 {
+						t.Error("analyze run recorded no time at all")
+					}
+					got := scrubAnalyze(text)
+					path := filepath.Join("testdata", "analyze_"+qq.name+"_"+mm.name+vv.suffix+".golden")
+					if *updateGolden {
+						if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden (run with -update to create): %v", err)
+					}
+					if got != string(want) {
+						t.Errorf("analyze plan drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+							path, got, want)
+					}
+				})
+			}
 		}
 	}
 }

@@ -47,6 +47,13 @@ func buildPlan(e xq.Expr, opts Options) *plan.Node {
 			n.ParallelSafe = n.Streamable
 		}
 	})
+	// With structural indexes available, resolve depth-0 path chains against
+	// the dataguide: chains over indexed paths become index range reads,
+	// chains over absent paths collapse to empty plans (rewrite.go). The
+	// rewrite records the access-path decision on every source node.
+	if opts.Indexes != nil {
+		root = applyIndexes(root, opts.Indexes)
+	}
 	plan.AssignIDs(root)
 	return root
 }

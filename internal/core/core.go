@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"dixq/internal/index"
 	"dixq/internal/interval"
 	"dixq/internal/plan"
 	"dixq/internal/xmltree"
@@ -108,6 +109,14 @@ type Options struct {
 	// of the analyze form of Explain. The caller passes an empty RunStats;
 	// Eval sizes it to the executed plan.
 	Analyze *plan.RunStats
+	// Indexes, when non-nil, lets the compiler resolve depth-0 path chains
+	// against the documents' structural indexes: chains over indexed paths
+	// become range reads, chains over absent paths collapse to empty plans
+	// (see rewrite.go). The indexes must be built over the very relations
+	// of the evaluation catalog — the executor re-checks pointer identity
+	// at run time and silently falls back to scans otherwise, so results
+	// are digit-identical with and without indexes.
+	Indexes *index.Set
 }
 
 // Stats is the per-phase cost breakdown reported in Figure 10 of the
@@ -166,17 +175,24 @@ type Query struct {
 }
 
 // planVariant keys the memoized plans: the join mode changes loop
-// strategies, and pipelining changes the Streamable marking.
+// strategies, pipelining changes the Streamable marking, and an index set
+// changes the access paths. The epoch guards against an index set being
+// rebuilt in place between evaluations.
 type planVariant struct {
 	mode       Mode
 	noPipeline bool
+	indexes    *index.Set
+	epoch      uint64
 }
 
 // Plan returns the physical plan the query executes under the given
 // options — the same tree Eval runs, so Explain cannot diverge from the
 // execution. The returned plan is immutable and shared.
 func (q *Query) Plan(opts Options) *plan.Node {
-	key := planVariant{mode: opts.Mode, noPipeline: opts.NoPipeline}
+	key := planVariant{mode: opts.Mode, noPipeline: opts.NoPipeline, indexes: opts.Indexes}
+	if opts.Indexes != nil {
+		key.epoch = opts.Indexes.Epoch
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if p, ok := q.plans[key]; ok {

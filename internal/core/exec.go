@@ -88,6 +88,7 @@ type evaluator struct {
 	chunk  *interval.Flat
 	stages []pipeline.Stage
 	src    pipeline.RelationBatches
+	rsrc   pipeline.RangeBatches
 	chainB pipeline.Chain
 }
 
@@ -335,6 +336,8 @@ func (ev *evaluator) execNode(n *plan.Node, en *env) (*table, error) {
 			return ev.execStreamChain(n, en)
 		}
 		return ev.execCall(n, en)
+	case plan.OpIndexPath:
+		return ev.execIndexPath(n, en)
 	case plan.OpStructuralSort, plan.OpReverse, plan.OpDistinct, plan.OpSubtreesDFS,
 		plan.OpConstruct, plan.OpConcat, plan.OpCount:
 		return ev.execCall(n, en)
@@ -385,6 +388,47 @@ func (ev *evaluator) evalVar(name string, en *env) (*table, error) {
 	return t, nil
 }
 
+// execIndexPath serves a compile-time index resolution (see applyIndexes
+// in rewrite.go). The resolution only describes the initial environment of
+// the very relation it was built over, so before serving, the node
+// re-checks that the runtime document binding is that relation (pointer
+// identity) and — for seeks — that the chain runs in the single unfiltered
+// depth-0 environment. Anything else falls back to the scan-backed chain
+// kept in Inputs[0]; pruned paths serve at any depth, because an absent
+// path is empty in every environment.
+func (ev *evaluator) execIndexPath(n *plan.Node, en *env) (*table, error) {
+	if sk := n.Seek; sk != nil {
+		if b, ok := en.lookup("doc:" + sk.Doc); ok && b.depth == 0 && b.tab.rel == sk.Rel {
+			if sk.Pruned {
+				obs.IndexPrunedPaths.Inc()
+				ev.addSkipped(n, int64(len(sk.Rel.Tuples)))
+				return &table{rel: &interval.Relation{}, local: b.tab.local + sk.WidenBy}, nil
+			}
+			if en.depth == 0 && len(en.index) == 1 {
+				defer track(ev.phaseDur(&ev.stats.Paths))()
+				start := ev.now()
+				out := &interval.Relation{Tuples: make([]interval.Tuple, 0, sk.Rows)}
+				for _, r := range sk.Ranges {
+					out.Tuples = append(out.Tuples, sk.Rel.Tuples[r[0]:r[1]]...)
+				}
+				obs.IndexSeeks.Inc()
+				ev.addSkipped(n, int64(len(sk.Rel.Tuples))-sk.Rows)
+				ev.note("index-seek", start, out.Len())
+				return &table{rel: out, local: b.tab.local}, nil
+			}
+		}
+	}
+	obs.IndexScanFallbacks.Inc()
+	return ev.exec(n.Inputs[0], en)
+}
+
+// addSkipped records the tuples an index-backed source never read.
+func (ev *evaluator) addSkipped(n *plan.Node, skipped int64) {
+	if ev.an != nil && n.ID >= 0 && n.ID < len(ev.an.stats.Nodes) {
+		ev.an.stats.Nodes[n.ID].Skipped += skipped
+	}
+}
+
 // execStreamChain executes a maximal chain of Streamable path operators
 // through package pipeline — the "sequence of linear time operations" plan
 // fragments of Section 5 — materializing only the chain's final output.
@@ -405,6 +449,9 @@ func (ev *evaluator) execStreamChain(head *plan.Node, en *env) (*table, error) {
 		}
 		cur = next
 	}
+	if out, ok, err := ev.tryIndexedChain(chain, en); ok {
+		return out, err
+	}
 	input, err := ev.exec(chain[len(chain)-1].Inputs[0], en)
 	if err != nil {
 		return nil, err
@@ -414,6 +461,73 @@ func (ev *evaluator) execStreamChain(head *plan.Node, en *env) (*table, error) {
 		return ev.runScalarChain(chain, input, en)
 	}
 	return ev.runBatchChain(chain, input, en)
+}
+
+// tryIndexedChain is the fused fast path for a chain whose source is a
+// servable index seek: the resolved row ranges stream straight into the
+// chain's batch chunks, so neither the seek result nor any intermediate
+// relation is materialized. The path is restricted to the plain serial
+// batch runtime; the scalar, analyze, and parallel variants materialize
+// the seek through execIndexPath instead, which counts the seek the same
+// way, so the choice is purely mechanical.
+func (ev *evaluator) tryIndexedChain(chain []*plan.Node, en *env) (*table, bool, error) {
+	bottom := chain[len(chain)-1].Inputs[0]
+	if bottom.Op != plan.OpIndexPath || ev.an != nil || ev.opts.Trace != nil ||
+		ev.opts.ScalarPipeline || ev.opts.LegacyKeys || ev.opts.Parallelism >= 2 {
+		return nil, false, nil
+	}
+	sk := bottom.Seek
+	if sk == nil || sk.Pruned {
+		return nil, false, nil
+	}
+	b, ok := en.lookup("doc:" + sk.Doc)
+	if !ok || b.depth != 0 || b.tab.rel != sk.Rel || en.depth != 0 || len(en.index) != 1 {
+		return nil, false, nil
+	}
+	defer track(ev.phaseDur(&ev.stats.Paths))()
+	obs.IndexSeeks.Inc()
+	if ev.chunk == nil {
+		ev.chunk = &interval.Flat{}
+	}
+	stages := ev.buildStages(chain, en)
+	ev.rsrc.Init(sk.Rel, sk.Ranges, ev.opts.BatchSize, ev.chunk)
+	ev.chainB.Init(&ev.rsrc, stages)
+	out, st := pipeline.MaterializeBatches(&ev.chainB, sk.Rel)
+	obs.AddBatches(st.Batches, st.Bytes)
+	return &table{rel: out, local: b.tab.local}, true, nil
+}
+
+// buildStages lowers a chain's operators into the evaluator's recycled
+// stage list (execution order: chain[len-1] first).
+func (ev *evaluator) buildStages(chain []*plan.Node, en *env) []pipeline.Stage {
+	n := 0
+	for i := len(chain) - 1; i >= 0; i-- {
+		op := chain[i]
+		var proto pipeline.Stage
+		switch {
+		case op.Op == plan.OpRoots:
+			proto = pipeline.RootsStage()
+		case op.Step == plan.StepSelect:
+			proto = pipeline.SelectLabelStage(op.Label)
+		case op.Step == plan.StepSelText:
+			proto = pipeline.SelectTextStage()
+		case op.Step == plan.StepChildren:
+			proto = pipeline.ChildrenStage()
+		case op.Step == plan.StepData:
+			proto = pipeline.DataStage()
+		case op.Step == plan.StepHead:
+			proto = pipeline.HeadStage(en.depth)
+		case op.Step == plan.StepTail:
+			proto = pipeline.TailStage(en.depth)
+		}
+		if n < len(ev.stages) {
+			ev.stages[n].Reuse(proto)
+		} else {
+			ev.stages = append(ev.stages, proto)
+		}
+		n++
+	}
+	return ev.stages[:n]
 }
 
 // runScalarChain is the tuple-at-a-time execution of a fused chain,
@@ -481,34 +595,7 @@ func (ev *evaluator) runBatchChain(chain []*plan.Node, input *table, en *env) (*
 	}
 	// ev.stages keeps its high-water entries so each recycled Stage hands
 	// its key buffers to this chain's stage of the same position.
-	n := 0
-	for i := len(chain) - 1; i >= 0; i-- {
-		op := chain[i]
-		var proto pipeline.Stage
-		switch {
-		case op.Op == plan.OpRoots:
-			proto = pipeline.RootsStage()
-		case op.Step == plan.StepSelect:
-			proto = pipeline.SelectLabelStage(op.Label)
-		case op.Step == plan.StepSelText:
-			proto = pipeline.SelectTextStage()
-		case op.Step == plan.StepChildren:
-			proto = pipeline.ChildrenStage()
-		case op.Step == plan.StepData:
-			proto = pipeline.DataStage()
-		case op.Step == plan.StepHead:
-			proto = pipeline.HeadStage(en.depth)
-		case op.Step == plan.StepTail:
-			proto = pipeline.TailStage(en.depth)
-		}
-		if n < len(ev.stages) {
-			ev.stages[n].Reuse(proto)
-		} else {
-			ev.stages = append(ev.stages, proto)
-		}
-		n++
-	}
-	stages := ev.stages[:n]
+	stages := ev.buildStages(chain, en)
 	// With Parallelism >= 2 the chain runs morsel-parallel when the input
 	// offers safe split points (see pipeline/parallel.go); the runner's
 	// output is tuple-for-tuple the serial chain's, so falling back below

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"dixq/internal/index"
+	"dixq/internal/plan"
+	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
 
@@ -283,5 +286,240 @@ func collectCondVars(c xq.Cond, out map[string]bool) {
 func addFree(e xq.Expr, out map[string]bool) {
 	for v := range xq.FreeVars(e) {
 		out[v] = true
+	}
+}
+
+// applyIndexes is the access-path phase of compilation: with structural
+// indexes available (Options.Indexes), every path chain rooted at a depth-0
+// scan of an indexed document is resolved against that document's dataguide
+// (see internal/index). Two rewrites apply, both recorded on the plan:
+//
+//   - seek (form a): the maximal absorbable prefix of the chain — select,
+//     seltext, children, roots — resolves to exact row ranges, and the
+//     prefix is replaced by an OpIndexPath node that serves those ranges
+//     directly. The replaced sub-chain is kept as Inputs[0], the runtime
+//     fallback for environments the resolution does not describe.
+//   - prune (form b): a select whose element/attribute label appears
+//     nowhere in the document can only produce the empty forest, even
+//     through non-absorbable steps (subtrees-dfs, head, tail), because all
+//     of those only subset or preserve the document's labels. The whole
+//     chain collapses to a pruned OpIndexPath.
+//
+// Every remaining OpScan of an indexed document is marked AccessScan, so
+// Explain always shows an explicit index-vs-scan decision per source.
+// DESIGN.md §4.11 gives the soundness argument for both forms.
+func applyIndexes(root *plan.Node, set *index.Set) *plan.Node {
+	return rewriteAccess(root, set)
+}
+
+func rewriteAccess(n *plan.Node, set *index.Set) *plan.Node {
+	if n.Op == plan.OpRoots || n.Op == plan.OpPathStep {
+		return rewriteChain(n, set)
+	}
+	for i, c := range n.Inputs {
+		n.Inputs[i] = rewriteAccess(c, set)
+	}
+	if n.Op == plan.OpScan && n.Access == "" {
+		n.Access = plan.AccessScan
+	}
+	return n
+}
+
+// rewriteChain applies the two index rewrites to a maximal path chain.
+func rewriteChain(head *plan.Node, set *index.Set) *plan.Node {
+	var chain []*plan.Node
+	cur := head
+	for {
+		chain = append(chain, cur)
+		next := cur.Inputs[0]
+		if next.Op != plan.OpRoots && next.Op != plan.OpPathStep {
+			break
+		}
+		cur = next
+	}
+	bottom := chain[len(chain)-1]
+	bottom.Inputs[0] = rewriteAccess(bottom.Inputs[0], set)
+	src := bottom.Inputs[0]
+	if src.Op == plan.OpScan && src.Depth == 0 {
+		if ix := set.Docs[src.Label]; ix != nil {
+			if n := absorbChain(head, chain, src, ix); n != nil {
+				return n
+			}
+		}
+	}
+	if n := pruneAbsent(head, chain, set); n != nil {
+		return n
+	}
+	return head
+}
+
+// absorbStep maps a chain node to its dataguide step, reporting false for
+// the steps the resolver cannot absorb (data, head, tail).
+func absorbStep(n *plan.Node) (index.Step, bool) {
+	switch {
+	case n.Op == plan.OpRoots:
+		return index.Step{Kind: index.StepRoots}, true
+	case n.Op == plan.OpPathStep && n.Step == plan.StepSelect:
+		return index.Step{Kind: index.StepSelect, Label: n.Label}, true
+	case n.Op == plan.OpPathStep && n.Step == plan.StepSelText:
+		return index.Step{Kind: index.StepSelText}, true
+	case n.Op == plan.OpPathStep && n.Step == plan.StepChildren:
+		return index.Step{Kind: index.StepChildren}, true
+	}
+	return index.Step{}, false
+}
+
+// absorbChain is form (a): resolve the maximal absorbable prefix of the
+// chain (in execution order, from the scan upward) against the dataguide.
+func absorbChain(head *plan.Node, chain []*plan.Node, src *plan.Node, ix *index.DocIndex) *plan.Node {
+	var steps []index.Step
+	for i := len(chain) - 1; i >= 0; i-- {
+		st, ok := absorbStep(chain[i])
+		if !ok {
+			break
+		}
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return nil
+	}
+	res := ix.Resolve(steps)
+	steps = steps[:res.Consumed]
+	if res.Pruned {
+		// The resolved prefix is empty, and every remaining chain step
+		// preserves emptiness, so the whole chain is.
+		return prunedNode(head, src.Label, ix, 0, renderPath(steps))
+	}
+	absorbed := res.Consumed
+	if absorbed == 0 {
+		return nil
+	}
+	ipn := &plan.Node{
+		Op:     plan.OpIndexPath,
+		Access: plan.AccessIndex,
+		Depth:  src.Depth,
+		Digits: src.Digits,
+		Card:   res.Rows,
+		Seek: &plan.Seek{Doc: src.Label, Path: renderPath(steps), Rel: ix.Rel,
+			Ranges: res.Ranges, Rows: res.Rows},
+		Inputs: []*plan.Node{chain[len(chain)-absorbed]},
+	}
+	if absorbed == len(chain) {
+		return ipn
+	}
+	chain[len(chain)-absorbed-1].Inputs[0] = ipn
+	return head
+}
+
+// pruneAbsent is form (b): walk below the chain through label-preserving
+// operators to a depth-0 document, then prune the chain if any of its
+// selects names an element/attribute label absent from that document.
+// WidenBy accumulates the subtrees-dfs widenings on the walk so the pruned
+// node reports the local key width the chain's (empty) output would have.
+func pruneAbsent(head *plan.Node, chain []*plan.Node, set *index.Set) *plan.Node {
+	widen := 0
+	cur := chain[len(chain)-1].Inputs[0]
+	var ix *index.DocIndex
+	var doc string
+walk:
+	for {
+		switch {
+		case cur.Op == plan.OpScan && cur.Depth == 0:
+			ix = set.Docs[cur.Label]
+			doc = cur.Label
+			break walk
+		case cur.Op == plan.OpIndexPath && cur.Seek != nil:
+			sk := cur.Seek
+			if sk.Pruned {
+				// The source is already proven empty; so is this chain.
+				return prunedNode(head, sk.Doc, set.Docs[sk.Doc], widen+sk.WidenBy, sk.Path)
+			}
+			ix = set.Docs[sk.Doc]
+			doc = sk.Doc
+			widen += sk.WidenBy
+			break walk
+		case cur.Op == plan.OpSubtreesDFS:
+			widen++
+			cur = cur.Inputs[0]
+		case cur.Op == plan.OpRoots:
+			cur = cur.Inputs[0]
+		case cur.Op == plan.OpPathStep && cur.Step != plan.StepData:
+			// data() manufactures new text labels, so labels above it are
+			// not the document's; every other step only subsets them.
+			cur = cur.Inputs[0]
+		default:
+			return nil
+		}
+	}
+	if ix == nil {
+		return nil
+	}
+	dataSeen := false
+	for i := len(chain) - 1; i >= 0; i-- {
+		n := chain[i]
+		if n.Op == plan.OpPathStep && n.Step == plan.StepData {
+			dataSeen = true
+		}
+		if dataSeen {
+			continue
+		}
+		if n.Op == plan.OpPathStep && n.Step == plan.StepSelect &&
+			xmltree.LabelKind(n.Label) != xmltree.Text && !ix.HasLabel(n.Label) {
+			return prunedNode(head, doc, ix, widen, "//"+trimLabel(n.Label))
+		}
+	}
+	return nil
+}
+
+func prunedNode(head *plan.Node, doc string, ix *index.DocIndex, widen int, path string) *plan.Node {
+	return &plan.Node{
+		Op:     plan.OpIndexPath,
+		Access: plan.AccessPruned,
+		Depth:  head.Depth,
+		Digits: head.Digits,
+		Card:   0,
+		Seek: &plan.Seek{Doc: doc, Path: path, Rel: ix.Rel,
+			Pruned: true, WidenBy: widen},
+		Inputs: []*plan.Node{head},
+	}
+}
+
+// renderPath renders an absorbed step chain for Explain.
+func renderPath(steps []index.Step) string {
+	var b strings.Builder
+	pendingChild := false
+	flush := func() {
+		if pendingChild {
+			b.WriteString("/*")
+			pendingChild = false
+		}
+	}
+	for _, st := range steps {
+		switch st.Kind {
+		case index.StepChildren:
+			flush()
+			pendingChild = true
+		case index.StepSelect:
+			pendingChild = false
+			b.WriteString("/")
+			b.WriteString(trimLabel(st.Label))
+		case index.StepSelText:
+			pendingChild = false
+			b.WriteString("/text()")
+		case index.StepRoots:
+			flush()
+			b.WriteString("!roots")
+		}
+	}
+	flush()
+	return b.String()
+}
+
+func trimLabel(label string) string {
+	switch xmltree.LabelKind(label) {
+	case xmltree.Element:
+		return label[1 : len(label)-1]
+	default:
+		return label
 	}
 }

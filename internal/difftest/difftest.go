@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	"dixq/internal/core"
+	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
 	"dixq/internal/xmark"
@@ -126,6 +127,20 @@ func Variants(spillDir string) []Variant {
 		}
 	}
 	return vs
+}
+
+// WithIndexes clones every variant with the catalog's structural indexes
+// attached (name suffix "-idx") — the index-on half of the matrix. Index
+// seeks and dataguide pruning are pure access-path substitutions, so an
+// indexed run must be digit-identical to its scan-backed twin.
+func WithIndexes(vs []Variant, set *index.Set) []Variant {
+	out := make([]Variant, 0, len(vs))
+	for _, v := range vs {
+		v.Name += "-idx"
+		v.Opts.Indexes = set
+		out = append(out, v)
+	}
+	return out
 }
 
 // IdenticalRelations asserts two result relations match tuple-for-tuple

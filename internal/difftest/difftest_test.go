@@ -3,6 +3,7 @@ package difftest
 import (
 	"testing"
 
+	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
 )
@@ -24,6 +25,7 @@ func TestEnginesAgreeOnCorpus(t *testing.T) {
 	lowerSortThreshold(t)
 	cat, icat := Docs(t, 0.002, 17)
 	variants := Variants(t.TempDir())
+	variants = append(variants, WithIndexes(variants, index.BuildSet(cat))...)
 	for _, c := range Corpus() {
 		t.Run(c.Name, func(t *testing.T) {
 			oracle, oerr := interp.Run(c.Query, icat)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dixq/internal/core"
+	"dixq/internal/index"
 	"dixq/internal/interval"
 	"dixq/internal/xmark"
 	"dixq/internal/xq"
@@ -62,5 +63,59 @@ func FuzzParallelExecute(f *testing.F) {
 			}
 			IdenticalRelations(t, mode.String(), got, want)
 		}
+	})
+}
+
+// FuzzIndexedExecute fuzzes the access-path substitution claim: for any
+// query text, batch size and plan mode, the index-backed evaluation (seeks
+// and dataguide pruning on) must produce the relation the scan-backed
+// evaluation produces, digit for digit. The corpus seeds cover the
+// benchmark queries — whose hoisted document chains actually seek — plus
+// the end-to-end seed corpus and generated random expressions, which
+// exercise pruning (absent labels) and the runtime scan fallback (chains
+// under refined environments).
+func FuzzIndexedExecute(f *testing.F) {
+	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13} {
+		f.Add(q, uint8(64), false)
+	}
+	for _, c := range Corpus() {
+		f.Add(c.Query, uint8(1), false)
+		f.Add(c.Query, uint8(255), true)
+	}
+	f.Add(`document("d")/nosuch/b`, uint8(4), false)
+	f.Add(`document("d")//nosuch`, uint8(4), true)
+	for _, seed := range []int64{3, 11, 99, 20030609} {
+		rng := rand.New(rand.NewSource(seed))
+		e := xq.RandomExpr(rng, []string{"d", "auction.xml"}, 4)
+		f.Add(e.String(), uint8(seed%9+1), seed%2 == 0)
+	}
+
+	cat, _ := Docs(f, 0.0005, 17)
+	set := index.BuildSet(cat)
+
+	f.Fuzz(func(t *testing.T, src string, chunk uint8, nlj bool) {
+		e, err := xq.Parse(src)
+		if err != nil {
+			return
+		}
+		batch := int(chunk)%256 + 1
+		mode := core.ModeMSJ
+		if nlj {
+			mode = core.ModeNLJ
+		}
+		q := core.Compile(e, core.Options{})
+		scanOpts := core.Options{Mode: mode, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
+		idxOpts := scanOpts
+		idxOpts.Indexes = set
+		want, werr := q.Eval(cat, scanOpts)
+		got, gerr := q.Eval(cat, idxOpts)
+		if werr != nil || gerr != nil {
+			// A pruned or seeked plan can skip work a scan-backed run spends
+			// its MaxTuples budget on, so budget errors may legitimately hit
+			// one side only; both results are unavailable then, and there is
+			// nothing to compare.
+			return
+		}
+		IdenticalRelations(t, mode.String()+"-idx", got, want)
 	})
 }

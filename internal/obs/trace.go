@@ -20,6 +20,9 @@ type Span struct {
 	Batches int   `json:"batches,omitempty"`
 	Bytes   int64 `json:"bytes,omitempty"`
 	Spilled int64 `json:"spilled,omitempty"`
+	// Skipped is the number of relation tuples an index access path never
+	// read (index seeks and dataguide-pruned chains).
+	Skipped int64 `json:"skipped,omitempty"`
 	// Workers is the largest pool-worker count one of the operator's
 	// parallel phases observed (0: no parallel phase ran).
 	Workers int `json:"workers,omitempty"`

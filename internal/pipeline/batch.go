@@ -70,9 +70,14 @@ func (s *RelationBatches) Init(rel *interval.Relation, batchSize int, chunk *int
 // chunk stride still covers the whole relation so a buffer can be reused
 // across morsels of the same chain.
 func (s *RelationBatches) InitRange(rel *interval.Relation, lo, hi, batchSize int, chunk *interval.Flat) {
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
-	}
+	s.InitRangeStride(rel, lo, hi, batchSize, RelStride(rel), chunk)
+}
+
+// RelStride returns the chunk stride for rel: its maximum physical key
+// length. The parallel chain runner computes it once per run and hands it
+// to InitRangeStride, so per-morsel source setup stops paying a full
+// relation scan.
+func RelStride(rel *interval.Relation) int {
 	stride := 1
 	for _, t := range rel.Tuples {
 		if len(t.L) > stride {
@@ -81,6 +86,15 @@ func (s *RelationBatches) InitRange(rel *interval.Relation, lo, hi, batchSize in
 		if len(t.R) > stride {
 			stride = len(t.R)
 		}
+	}
+	return stride
+}
+
+// InitRangeStride is InitRange with a caller-computed chunk stride (see
+// RelStride). The stride must cover every key of rel, not just the range.
+func (s *RelationBatches) InitRangeStride(rel *interval.Relation, lo, hi, batchSize, stride int, chunk *interval.Flat) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
 	}
 	n := batchSize
 	if hi-lo < n {
@@ -117,6 +131,86 @@ func (s *RelationBatches) Next() (*interval.Flat, bool) {
 	for ; s.pos < end; s.pos++ {
 		s.chunk.AppendTuple(s.rel.Tuples[s.pos])
 		s.chunk.Orig = append(s.chunk.Orig, int32(s.pos))
+	}
+	return s.chunk, true
+}
+
+// RangeBatches chunks the row ranges of an index resolution into a reused
+// columnar buffer — the batch source that reads index seek results straight
+// into pipeline chunks, touching no row outside the ranges and never
+// materializing an intermediate relation. As with RelationBatches, each
+// chunk row records its absolute relation index in Orig, so the chain's
+// materialization hands back the original tuples without copying digits.
+type RangeBatches struct {
+	rel    *interval.Relation
+	ranges [][2]int32
+	ri     int
+	pos    int
+	size   int
+	chunk  *interval.Flat
+}
+
+// Init readies s to chunk the sorted disjoint [start, end) row ranges of
+// rel, reusing s and the given chunk buffer like (*RelationBatches).Init.
+// The chunk stride covers the whole relation so the buffer interchanges
+// with the other sources of the same evaluation.
+func (s *RangeBatches) Init(rel *interval.Relation, ranges [][2]int32, batchSize int, chunk *interval.Flat) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	stride := 1
+	for _, t := range rel.Tuples {
+		if len(t.L) > stride {
+			stride = len(t.L)
+		}
+		if len(t.R) > stride {
+			stride = len(t.R)
+		}
+	}
+	total := 0
+	for _, r := range ranges {
+		total += int(r[1] - r[0])
+	}
+	n := batchSize
+	if total < n {
+		n = total
+	}
+	if chunk == nil {
+		chunk = interval.NewFlat(stride, n)
+	} else {
+		chunk.Restride(stride)
+		chunk.Reserve(n)
+	}
+	*s = RangeBatches{rel: rel, ranges: ranges, size: batchSize, chunk: chunk}
+	if len(ranges) > 0 {
+		s.pos = int(ranges[0][0])
+	}
+}
+
+// Next implements Batch, packing rows from consecutive ranges into full
+// chunks.
+func (s *RangeBatches) Next() (*interval.Flat, bool) {
+	s.chunk.Reset()
+	if s.chunk.Orig == nil {
+		s.chunk.Orig = make([]int32, 0, s.size)
+	}
+	n := 0
+	for s.ri < len(s.ranges) && n < s.size {
+		end := int(s.ranges[s.ri][1])
+		for ; s.pos < end && n < s.size; s.pos++ {
+			s.chunk.AppendTuple(s.rel.Tuples[s.pos])
+			s.chunk.Orig = append(s.chunk.Orig, int32(s.pos))
+			n++
+		}
+		if s.pos >= end {
+			s.ri++
+			if s.ri < len(s.ranges) {
+				s.pos = int(s.ranges[s.ri][0])
+			}
+		}
+	}
+	if n == 0 {
+		return nil, false
 	}
 	return s.chunk, true
 }

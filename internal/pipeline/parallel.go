@@ -33,17 +33,25 @@
 package pipeline
 
 import (
+	"sync"
+
 	"dixq/internal/exec"
 	"dixq/internal/interval"
 	"dixq/internal/obs"
 )
 
 // maxMorselsPerChain caps how many morsels one chain is split into. The
-// morsel target size max(batchSize, n/maxMorselsPerChain) depends only on
-// the input size and the batch size — never on the worker count — so the
-// partitioning (and with it every per-morsel statistic) is deterministic
-// at any parallelism.
+// morsel target size max(morselBatches*batchSize, n/maxMorselsPerChain)
+// depends only on the input size and the batch size — never on the worker
+// count — so the partitioning (and with it every per-morsel statistic) is
+// deterministic at any parallelism.
 const maxMorselsPerChain = 64
+
+// morselBatches is the minimum morsel size in batches. Per-morsel overhead
+// (stage resets, source re-init, a result slot) is paid regardless of how
+// full the morsel is, so a morsel holds several chunks' worth of rows —
+// single-batch morsels spent a measurable share of their time on setup.
+const morselBatches = 4
 
 // StageStat is one stage's aggregated actuals from a counted parallel
 // chain run: output rows, chunks and accounted chunk bytes, summed across
@@ -126,7 +134,7 @@ func groupMorsels(starts []int, n, target int) []int {
 
 // chainWorker is one worker's private execution state: a chunk buffer,
 // a stage list, and the source/chain scratch, reused across the morsels
-// the worker pulls.
+// the worker pulls — and, via workerPool, across runs.
 type chainWorker struct {
 	chunk  interval.Flat
 	stages []Stage
@@ -135,11 +143,30 @@ type chainWorker struct {
 	ctrs   []BatchCounter
 }
 
+// workerPool recycles chainWorker scratch (chunk buffers, stage lists,
+// counters) across RunChainParallel calls, so steady-state parallel runs
+// stop paying per-run worker-state allocations.
+var workerPool = sync.Pool{New: func() any { return new(chainWorker) }}
+
+// prepare readies a pooled worker for a run over a chain of nStages
+// stages: it sizes the stage and counter lists for this chain's length and
+// zeroes the counters carried over from whatever run used the worker last.
+func (w *chainWorker) prepare(nStages int, counted bool) {
+	if len(w.stages) != nStages {
+		w.stages = make([]Stage, nStages)
+	}
+	if counted {
+		if len(w.ctrs) != nStages {
+			w.ctrs = make([]BatchCounter, nStages)
+		}
+		for i := range w.ctrs {
+			w.ctrs[i] = BatchCounter{}
+		}
+	}
+}
+
 // reset readies the worker's stage list for a fresh morsel.
 func (w *chainWorker) reset(protos []Stage) {
-	if w.stages == nil {
-		w.stages = make([]Stage, len(protos))
-	}
 	for i := range protos {
 		w.stages[i].Reuse(protos[i])
 	}
@@ -171,7 +198,7 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 	if !ok || len(starts) < 2 {
 		return res, false
 	}
-	target := size
+	target := morselBatches * size
 	if t := (n + maxMorselsPerChain - 1) / maxMorselsPerChain; t > target {
 		target = t
 	}
@@ -183,11 +210,16 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 
 	outs := make([][]interval.Tuple, nm)
 	stats := make([]BatchStats, nm)
-	workers := make([]chainWorker, min(parallelism, nm))
+	stride := RelStride(rel)
+	workers := make([]*chainWorker, min(parallelism, nm))
+	for i := range workers {
+		workers[i] = workerPool.Get().(*chainWorker)
+		workers[i].prepare(len(protos), counted)
+	}
 	res.Workers = exec.Run(nm, parallelism, func(task, worker int) {
-		w := &workers[worker]
+		w := workers[worker]
 		w.reset(protos)
-		w.src.InitRange(rel, morsels[task], morsels[task+1], size, &w.chunk)
+		w.src.InitRangeStride(rel, morsels[task], morsels[task+1], size, stride, &w.chunk)
 		var b Batch
 		if !counted {
 			w.chain.Init(&w.src, w.stages)
@@ -196,9 +228,6 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 			// The counted form stacks one kernel per stage with a counter
 			// between stages, mirroring the serial analyze path; counters
 			// accumulate across the worker's morsels and are summed below.
-			if w.ctrs == nil {
-				w.ctrs = make([]BatchCounter, len(w.stages))
-			}
 			b = &w.src
 			for j := range w.stages {
 				b = NewKernel(b, w.stages[j])
@@ -234,6 +263,9 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 				res.Stages[j].Bytes += c.Bytes
 			}
 		}
+	}
+	for _, w := range workers {
+		workerPool.Put(w)
 	}
 	obs.ParallelChains.Inc()
 	return res, true

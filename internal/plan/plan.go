@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dixq/internal/interval"
 	"dixq/internal/xmltree"
 )
 
@@ -91,6 +92,11 @@ const (
 	OpAnd
 	// OpOr disjoins Inputs[0] and Inputs[1].
 	OpOr
+	// OpIndexPath serves a depth-0 path chain from a document's structural
+	// index: Seek carries the resolved row ranges (or the pruned-empty
+	// proof) and Inputs[0] is the original scan-backed chain, kept as the
+	// runtime fallback for environments the index does not describe.
+	OpIndexPath
 )
 
 // Step names for OpPathStep, matching the XFn operator names.
@@ -102,6 +108,42 @@ const (
 	StepHead     = "head"
 	StepTail     = "tail"
 )
+
+// Access-path values recorded on source nodes by the compiler's index
+// rewrite, rendered by Explain and reported per node in analyze output.
+const (
+	// AccessScan marks a document source left as a full relation scan.
+	AccessScan = "scan"
+	// AccessIndex marks a path chain served as index range reads.
+	AccessIndex = "index"
+	// AccessPruned marks a chain the dataguide proved empty.
+	AccessPruned = "pruned"
+)
+
+// Seek is the compile-time resolution of a path chain against a document's
+// structural index: the exact row ranges of the answer forest, or the proof
+// that it is empty. The executor serves it only after re-checking that the
+// runtime document binding is the very relation the ranges index into
+// (pointer identity); otherwise it falls back to the scan-backed chain.
+type Seek struct {
+	// Doc is the document name whose binding must match Rel.
+	Doc string
+	// Path renders the resolved chain for Explain, e.g. "/site/people".
+	Path string
+	// Rel is the relation the ranges index into.
+	Rel *interval.Relation
+	// Ranges are sorted disjoint [start, end) row ranges of the answer.
+	Ranges [][2]int32
+	// Rows is the total rows covered by Ranges.
+	Rows int64
+	// Pruned reports a dataguide-proven empty answer (Ranges is nil).
+	Pruned bool
+	// WidenBy counts the subtrees-dfs operators between the document scan
+	// and this node: each widens the local key width by one digit, and a
+	// pruned node must report the widened width for its (empty) output so
+	// downstream construction keeps digit-identical keys.
+	WidenBy int
+}
 
 // Node is one operator of a compiled physical plan. A Node and its
 // subtree are immutable after compilation; concurrent executions of the
@@ -149,6 +191,11 @@ type Node struct {
 	// concurrent merge-join sort phases). A static capability mark: whether
 	// a run fans out depends on Options.Parallelism and the input size.
 	ParallelSafe bool
+	// Seek is the index resolution of an OpIndexPath node.
+	Seek *Seek
+	// Access is the compiler's access-path decision for source nodes:
+	// AccessScan, AccessIndex or AccessPruned ("" for non-sources).
+	Access string
 	// Inputs are the child plans, in the per-operator order documented
 	// on the Op constants.
 	Inputs []*Node
@@ -217,6 +264,11 @@ func (n *Node) OpName() string {
 		return "and"
 	case OpOr:
 		return "or"
+	case OpIndexPath:
+		if n.Seek != nil && n.Seek.Pruned {
+			return "index-prune"
+		}
+		return "index-seek"
 	default:
 		return fmt.Sprintf("op(%d)", int(n.Op))
 	}
@@ -249,6 +301,15 @@ func (n *Node) Detail() string {
 		return n.Label
 	case OpInvalid:
 		return n.Label
+	case OpIndexPath:
+		if n.Seek == nil {
+			return ""
+		}
+		if n.Seek.Pruned {
+			return fmt.Sprintf("document(%q)%s: no such path", n.Seek.Doc, n.Seek.Path)
+		}
+		return fmt.Sprintf("document(%q)%s: %d ranges, %d rows",
+			n.Seek.Doc, n.Seek.Path, len(n.Seek.Ranges), n.Seek.Rows)
 	default:
 		return ""
 	}
@@ -266,6 +327,8 @@ func (n *Node) inputLabels() []string {
 		return []string{"domain", "body"}
 	case OpMSJ:
 		return []string{"domain", "outer-key", "inner-key", "body"}
+	case OpIndexPath:
+		return []string{"fallback"}
 	}
 	return nil
 }
@@ -311,13 +374,16 @@ func (n *Node) write(b *strings.Builder, indent int, role string, rs *RunStats) 
 	if n.ParallelSafe {
 		b.WriteString(" [par]")
 	}
+	if n.Access != "" {
+		fmt.Fprintf(b, " [access=%s]", n.Access)
+	}
 	if rs != nil {
 		s := rs.Node(n.ID)
 		// Deterministic actuals first (locked by the analyze goldens), the
 		// run-dependent group last so tests can mask it in one pass
 		// (workers depends on the process worker budget at run time).
-		fmt.Fprintf(b, " (calls=%d rows=%d batches=%d spilled=%d workers=%d time=%s allocs=%d bytes=%d)",
-			s.Calls, s.Rows, s.Batches, s.Spilled, s.Workers, s.Time, s.Allocs, s.Bytes)
+		fmt.Fprintf(b, " (calls=%d rows=%d batches=%d spilled=%d skipped=%d workers=%d time=%s allocs=%d bytes=%d)",
+			s.Calls, s.Rows, s.Batches, s.Spilled, s.Skipped, s.Workers, s.Time, s.Allocs, s.Bytes)
 	}
 	b.WriteByte('\n')
 	labels := n.inputLabels()

@@ -27,6 +27,10 @@ type NodeStats struct {
 	// Spilled counts external-sort runs the operator wrote to disk while
 	// staying under the memory budget.
 	Spilled int64
+	// Skipped counts the relation tuples an index-backed source never read
+	// — document rows outside the served ranges (the whole document for a
+	// pruned path). 0 for scan-backed and non-source operators.
+	Skipped int64
 	// Workers is the largest number of pool workers that participated in
 	// one of the operator's parallel phases (morsel chains, concurrent
 	// merge-join sorts); 0 for operators that ran no parallel phase. The
@@ -79,6 +83,7 @@ type OperatorStat struct {
 	Batches int
 	Bytes   int64
 	Spilled int64
+	Skipped int64
 	Workers int
 }
 
@@ -102,6 +107,7 @@ func Operators(root *Node, rs *RunStats) []OperatorStat {
 			Batches: s.Batches,
 			Bytes:   s.Bytes,
 			Spilled: s.Spilled,
+			Skipped: s.Skipped,
 			Workers: s.Workers,
 		})
 	})

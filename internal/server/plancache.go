@@ -40,17 +40,20 @@ func newPlanCache(capacity int) *planCache {
 }
 
 // planKey builds the cache key for a request: the query text, the engine,
-// and every option that affects the plan or its execution strategy. The
-// options are canonicalized first — the parallelism component is the
-// fully resolved worker bound (request value, else server default, with
-// 0 resolving to runtime.GOMAXPROCS(0), exactly as the executor resolves
-// it) — so equivalent requests hit the same slot while requests differing
-// in any effective knob never collide. (Before options were part of the
-// key, a cached entry served requests whose options differed from the
-// ones it was first compiled under.)
-func planKey(req *QueryRequest, cfg Config) string {
-	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d",
-		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg))
+// every option that affects the plan or its execution strategy, and the
+// catalog's index epoch. The options are canonicalized first — the
+// parallelism component is the fully resolved worker bound (request value,
+// else server default, with 0 resolving to runtime.GOMAXPROCS(0), exactly
+// as the executor resolves it) — so equivalent requests hit the same slot
+// while requests differing in any effective knob never collide. (Before
+// options were part of the key, a cached entry served requests whose
+// options differed from the ones it was first compiled under.) The index
+// epoch folds document reloads into the key: a document re-added to the
+// catalog rebuilds its structural index, and plans compiled against the
+// old index must not be reused.
+func planKey(req *QueryRequest, cfg Config, epoch uint64) string {
+	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d\x00idx=%d",
+		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg), epoch)
 }
 
 // get returns the cached plan for key and promotes it to most-recent.

@@ -285,7 +285,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
 		return nil, nil, info, false
 	}
-	key := planKey(&req, s.cfg)
+	key := planKey(&req, s.cfg, s.cat.IndexEpoch())
 	if q, ok := s.plans.get(key); ok {
 		info.cacheHit = true
 		return &req, q, info, true
@@ -396,6 +396,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Batches:    op.Batches,
 				Bytes:      op.Bytes,
 				Spilled:    op.Spilled,
+				Skipped:    op.Skipped,
 				Workers:    op.Workers,
 			})
 		}
@@ -479,13 +480,16 @@ type ExplainResponse struct {
 
 // OperatorJSON is one operator's execution actuals.
 type OperatorJSON struct {
-	ID      int     `json:"id"`
-	Op      string  `json:"op"`
-	Calls   int     `json:"calls"`
-	Rows    int64   `json:"rows"`
-	Batches int     `json:"batches"`
-	Bytes   int64   `json:"bytes"`
-	Spilled int64   `json:"spilled"`
+	ID      int    `json:"id"`
+	Op      string `json:"op"`
+	Calls   int    `json:"calls"`
+	Rows    int64  `json:"rows"`
+	Batches int    `json:"batches"`
+	Bytes   int64  `json:"bytes"`
+	Spilled int64  `json:"spilled"`
+	// Skipped is the number of relation tuples an index access path never
+	// read (index seeks and dataguide-pruned chains).
+	Skipped int64   `json:"skipped,omitempty"`
 	Workers int     `json:"workers,omitempty"`
 	TimeMS  float64 `json:"time_ms"`
 	Allocs  int64   `json:"allocs"`
@@ -522,6 +526,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				Batches: op.Batches,
 				Bytes:   op.Bytes,
 				Spilled: op.Spilled,
+				Skipped: op.Skipped,
 				Workers: op.Workers,
 				TimeMS:  ms(op.Time),
 				Allocs:  op.Allocs,

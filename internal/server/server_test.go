@@ -301,7 +301,7 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	}
 	seen := map[string]int{}
 	for i, req := range distinct {
-		key := planKey(&req, Config{})
+		key := planKey(&req, Config{}, 0)
 		if j, dup := seen[key]; dup {
 			t.Errorf("requests %d and %d share cache key %q", j, i, key)
 		}
@@ -311,7 +311,7 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	for _, par := range []int{-1, 0, def} {
 		req := base
 		req.Parallelism = par
-		if got, want := planKey(&req, Config{}), planKey(&base, Config{}); got != want {
+		if got, want := planKey(&req, Config{}, 0), planKey(&base, Config{}, 0); got != want {
 			t.Errorf("parallelism %d key = %q, want the default key %q", par, got, want)
 		}
 	}
@@ -319,19 +319,24 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	// under Config{Parallelism: n} shares the slot of an explicit n.
 	explicit := base
 	explicit.Parallelism = def + 1
-	if got, want := planKey(&base, Config{Parallelism: def + 1}), planKey(&explicit, Config{}); got != want {
+	if got, want := planKey(&base, Config{Parallelism: def + 1}, 0), planKey(&explicit, Config{}, 0); got != want {
 		t.Errorf("config-default key = %q, want the explicit key %q", got, want)
 	}
 	// ... and an explicit request value overrides the server default.
-	if got, want := planKey(&explicit, Config{Parallelism: def + 2}), planKey(&explicit, Config{}); got != want {
+	if got, want := planKey(&explicit, Config{Parallelism: def + 2}, 0), planKey(&explicit, Config{}, 0); got != want {
 		t.Errorf("request override key = %q, want %q", got, want)
+	}
+	// A new index epoch — a document reloaded into the catalog — must not
+	// reuse plans compiled against the old index.
+	if got, want := planKey(&base, Config{}, 1), planKey(&base, Config{}, 0); got == want {
+		t.Errorf("index epoch change kept cache key %q", got)
 	}
 	// Analyze and Indent shape the response, not the plan.
 	for _, req := range []QueryRequest{
 		{Query: "q", Engine: "di-msj", Analyze: true},
 		{Query: "q", Engine: "di-msj", Indent: true},
 	} {
-		if got, want := planKey(&req, Config{}), planKey(&base, Config{}); got != want {
+		if got, want := planKey(&req, Config{}, 0), planKey(&base, Config{}, 0); got != want {
 			t.Errorf("response-only option changed the key: %q vs %q", got, want)
 		}
 	}

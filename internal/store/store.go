@@ -9,6 +9,11 @@
 // — element tags, attribute names) followed by tuples referencing labels
 // by index, all integers varint-encoded. Keys store their digit vectors
 // verbatim, so documents at any environment depth round-trip.
+//
+// Format (DIXQS2) appends the document's structural index (see
+// internal/index) after the same body, so a loaded document comes with its
+// dataguide and subtree ranges at no rebuild cost. DIXQS1 files still
+// load; their index is rebuilt lazily from the relation.
 package store
 
 import (
@@ -20,26 +25,53 @@ import (
 	"os"
 	"path/filepath"
 
+	"dixq/internal/index"
 	"dixq/internal/interval"
 )
 
 // magic identifies the file format and its version.
 const magic = "DIXQS1\n"
 
+// magic2 identifies the indexed format: the DIXQS1 body followed by the
+// document's structural index.
+const magic2 = "DIXQS2\n"
+
 // maxSaneLen bounds length fields while decoding, so corrupt or hostile
 // files fail fast instead of allocating wildly.
 const maxSaneLen = 1 << 31
 
 // ErrFormat reports a malformed or foreign file.
-var ErrFormat = errors.New("store: not a DIXQS1 file")
+var ErrFormat = errors.New("store: not a DIXQS1/DIXQS2 file")
 
-// Write serializes a relation.
+// Write serializes a relation in the unindexed DIXQS1 format.
 func Write(w io.Writer, rel *interval.Relation) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
+	if err := writeBody(bw, rel); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
 
+// WriteIndexed serializes a relation together with its structural index in
+// the DIXQS2 format. The index must have been built over rel.
+func WriteIndexed(w io.Writer, rel *interval.Relation, ix *index.DocIndex) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic2); err != nil {
+		return err
+	}
+	if err := writeBody(bw, rel); err != nil {
+		return err
+	}
+	if err := ix.Write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeBody(bw *bufio.Writer, rel *interval.Relation) error {
 	labelIdx := map[string]uint64{}
 	var labels []string
 	for _, t := range rel.Tuples {
@@ -93,16 +125,55 @@ func Write(w io.Writer, rel *interval.Relation) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// Read deserializes a relation written by Write.
+// Read deserializes a relation written by Write or WriteIndexed, dropping
+// the index section of a DIXQS2 file.
 func Read(r io.Reader) (*interval.Relation, error) {
+	rel, _, err := readAny(r, false)
+	return rel, err
+}
+
+// ReadIndexed deserializes a relation together with its structural index.
+// For DIXQS1 files — which carry no index — the index is rebuilt from the
+// relation, so old stores keep working and upgrade on their next save.
+func ReadIndexed(r io.Reader) (*interval.Relation, *index.DocIndex, error) {
+	return readAny(r, true)
+}
+
+func readAny(r io.Reader, wantIndex bool) (*interval.Relation, *index.DocIndex, error) {
 	dec := &decoder{br: bufio.NewReader(r)}
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(dec.br, head); err != nil || string(head) != magic {
-		return nil, ErrFormat
+	if _, err := io.ReadFull(dec.br, head); err != nil {
+		return nil, nil, ErrFormat
 	}
+	indexed := string(head) == magic2
+	if !indexed && string(head) != magic {
+		return nil, nil, ErrFormat
+	}
+	rel, err := dec.body()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ix *index.DocIndex
+	if indexed {
+		ix, err = index.Read(dec.br, rel)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Exactly at end?
+	if _, err := dec.br.ReadByte(); err != io.EOF {
+		return nil, nil, fmt.Errorf("store: trailing bytes after %d tuples", len(rel.Tuples))
+	}
+	if wantIndex && ix == nil {
+		ix = index.Build(rel)
+	}
+	return rel, ix, nil
+}
+
+func (dec *decoder) body() (*interval.Relation, error) {
 	nLabels, err := dec.uvarint()
 	if err != nil {
 		return nil, err
@@ -141,10 +212,6 @@ func Read(r io.Reader) (*interval.Relation, error) {
 			return nil, err
 		}
 		rel.Tuples = append(rel.Tuples, interval.Tuple{S: labels[li], L: l, R: rk})
-	}
-	// Exactly at end?
-	if _, err := dec.br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("store: trailing bytes after %d tuples", nTuples)
 	}
 	return rel, nil
 }
@@ -207,6 +274,42 @@ func Save(path string, rel *interval.Relation) error {
 		return fmt.Errorf("store: rename %s to %s: %w", tmp.Name(), path, err)
 	}
 	return nil
+}
+
+// SaveIndexed writes a relation and its structural index to a file,
+// atomically via a temporary sibling.
+func SaveIndexed(path string, rel *interval.Relation, ix *index.DocIndex) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".dixq-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteIndexed(tmp, rel, ix); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename %s to %s: %w", tmp.Name(), path, err)
+	}
+	return nil
+}
+
+// LoadIndexed reads a relation and its structural index from a file. For
+// DIXQS1 files the index is rebuilt from the relation.
+func LoadIndexed(path string) (*interval.Relation, *index.DocIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rel, ix, err := ReadIndexed(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rel, ix, nil
 }
 
 // Load reads a relation from a file.

@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"dixq/internal/index"
 	"dixq/internal/interval"
 	"dixq/internal/xmark"
 	"dixq/internal/xmltree"
@@ -101,6 +103,80 @@ func TestSaveLoad(t *testing.T) {
 		t.Fatal("Save/Load mismatch")
 	}
 	// No temp files left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+// TestIndexedRoundTrip covers the DIXQS2 format: WriteIndexed/ReadIndexed
+// preserve both the relation and the structural index; plain Read skips
+// the index section of an indexed file; and ReadIndexed of a plain DIXQS1
+// file rebuilds the index lazily.
+func TestIndexedRoundTrip(t *testing.T) {
+	rel := interval.Encode(xmark.Generate(xmark.Config{ScaleFactor: 0.001, Seed: 4}))
+	ix := index.Build(rel)
+
+	var buf bytes.Buffer
+	if err := WriteIndexed(&buf, rel, ix); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	gotRel, gotIx, err := ReadIndexed(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, gotRel) {
+		t.Fatal("indexed round trip changed the relation")
+	}
+	if !reflect.DeepEqual(gotIx.Paths(), ix.Paths()) {
+		t.Fatal("indexed round trip changed the dataguide")
+	}
+	if gotIx.Rel != gotRel {
+		t.Fatal("decoded index is not bound to the decoded relation")
+	}
+
+	// Plain Read drops the index section cleanly.
+	plainRel, err := Read(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, plainRel) {
+		t.Fatal("plain Read of an indexed file changed the relation")
+	}
+
+	// DIXQS1 input: the index is rebuilt, not read.
+	var v1 bytes.Buffer
+	if err := Write(&v1, rel); err != nil {
+		t.Fatal(err)
+	}
+	v1Rel, v1Ix, err := ReadIndexed(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, v1Rel) || v1Ix == nil {
+		t.Fatal("DIXQS1 upgrade read failed")
+	}
+	if !reflect.DeepEqual(v1Ix.Paths(), ix.Paths()) {
+		t.Fatal("lazily rebuilt index disagrees with the persisted one")
+	}
+}
+
+func TestSaveLoadIndexed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.dixq")
+	rel := interval.Encode(xmark.Figure1Forest())
+	if err := SaveIndexed(path, rel, index.Build(rel)); err != nil {
+		t.Fatal(err)
+	}
+	got, ix, err := LoadIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, got) || ix == nil || ix.Rel != got {
+		t.Fatal("SaveIndexed/LoadIndexed mismatch")
+	}
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 1 {
 		t.Fatalf("directory has %d entries, want 1", len(entries))
