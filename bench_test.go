@@ -187,7 +187,7 @@ func BenchmarkAblationRewrites(b *testing.B) {
 				q := core.Compile(e, variant.opts)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := q.Eval(cat, core.Options{Mode: core.ModeNLJ}); err != nil {
+					if _, err := q.Eval(cat, core.Options{ForceJoinMode: core.ModeNLJ}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -370,7 +370,7 @@ func BenchmarkBatchChain(b *testing.B) {
 		scalar bool
 	}{{"batched", false}, {"scalar", true}} {
 		b.Run(v.name, func(b *testing.B) {
-			opts := core.Options{Mode: core.ModeMSJ, ScalarPipeline: v.scalar}
+			opts := core.Options{ForceJoinMode: core.ModeMSJ, ScalarPipeline: v.scalar}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := q.Eval(cat, opts); err != nil {

@@ -38,8 +38,9 @@ func main() {
 	benchJSON3 := flag.String("benchjson3", "", "write scalar-vs-batched pipeline micro-benchmarks (Q8/Q9/Q13, plus bounded-memory spill runs) to this JSON file and exit")
 	benchJSON5 := flag.String("benchjson5", "", "write parallel scale-up micro-benchmarks (Q8/Q9/Q13 at 1/2/4/8 workers) to this JSON file and exit")
 	benchJSON6 := flag.String("benchjson6", "", "write scan-vs-index access-path micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
+	benchJSON7 := flag.String("benchjson7", "", "write cost-based-vs-forced-mode micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
 	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson, -benchjson3 and -benchjson5")
-	benchScales := flag.String("benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6")
+	benchScales := flag.String("benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6 and -benchjson7")
 	metricsDump := flag.String("metricsdump", "", "write cumulative runtime metrics (Prometheus text format) to this file on exit")
 	parallelism := flag.Int("parallelism", 1, "intra-query worker bound for DI harness runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
@@ -70,7 +71,7 @@ func main() {
 		}
 		return
 	}
-	if *benchJSON6 != "" {
+	if *benchJSON6 != "" || *benchJSON7 != "" {
 		var sfs []float64
 		for _, s := range strings.Split(*benchScales, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -79,8 +80,15 @@ func main() {
 			}
 			sfs = append(sfs, v)
 		}
-		if err := bench.WriteBenchPR6JSON(*benchJSON6, sfs, os.Stderr); err != nil {
-			fatal("%v", err)
+		if *benchJSON6 != "" {
+			if err := bench.WriteBenchPR6JSON(*benchJSON6, sfs, os.Stderr); err != nil {
+				fatal("%v", err)
+			}
+		}
+		if *benchJSON7 != "" {
+			if err := bench.WriteBenchPR7JSON(*benchJSON7, sfs, os.Stderr); err != nil {
+				fatal("%v", err)
+			}
 		}
 		return
 	}

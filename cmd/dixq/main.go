@@ -10,7 +10,7 @@
 //	dixq -f query.xq -doc d=doc.xml -explain   # print the plan description
 //	dixq -i -doc d=doc.xml                     # interactive session
 //
-// Engines: di-msj (default), di-nlj, interp, generic-sql.
+// Engines: di-opt (the cost-based default), di-msj, di-nlj, interp, generic-sql.
 package main
 
 import (
@@ -46,7 +46,7 @@ func main() {
 	queryFile := flag.String("f", "", "file holding the query")
 	var docs docFlags
 	flag.Var(&docs, "doc", "document binding name=path.xml or name=path.dixq (repeatable)")
-	engineName := flag.String("engine", "di-msj", "di-msj, di-nlj, interp, or generic-sql")
+	engineName := flag.String("engine", "di-opt", "di-opt, di-msj, di-nlj, interp, or generic-sql")
 	explain := flag.Bool("explain", false, "print the plan description and exit")
 	showSQL := flag.Bool("sql", false, "print the SQL translation and exit")
 	showCore := flag.Bool("core", false, "print the desugared core expression and exit")
@@ -128,6 +128,8 @@ func main() {
 
 func parseEngine(name string) (dixq.Engine, error) {
 	switch name {
+	case "di-opt":
+		return dixq.CostBased, nil
 	case "di-msj":
 		return dixq.MergeJoin, nil
 	case "di-nlj":

@@ -12,6 +12,7 @@ import (
 
 	"dixq/internal/index"
 	"dixq/internal/interval"
+	"dixq/internal/stats"
 	"dixq/internal/store"
 	"dixq/internal/xmark"
 )
@@ -20,15 +21,15 @@ func main() {
 	sf := flag.Float64("sf", 0.001, "scale factor (1.0 ≈ XMark's full size)")
 	seed := flag.Int64("seed", 0, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
-	encode := flag.String("encode", "", "also write the interval encoding to this .dixq file")
-	stats := flag.Bool("stats", false, "print node counts to stderr")
+	encode := flag.String("encode", "", "also write the interval encoding, index and statistics to this .dixq file")
+	counts := flag.Bool("stats", false, "print node counts to stderr")
 	flag.Parse()
 
 	doc := xmark.Generate(xmark.Config{ScaleFactor: *sf, Seed: *seed})
 
 	if *encode != "" {
 		rel := interval.Encode(doc)
-		if err := store.SaveIndexed(*encode, rel, index.Build(rel)); err != nil {
+		if err := store.SaveFull(*encode, rel, index.Build(rel), stats.Collect(rel)); err != nil {
 			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -55,7 +56,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
 		os.Exit(1)
 	}
-	if *stats {
+	if *counts {
 		persons, open, closed, items, cats := xmark.Counts(*sf)
 		fmt.Fprintf(os.Stderr, "nodes: %d (persons %d, open auctions %d, closed auctions %d, items %d, categories %d)\n",
 			doc.Size(), persons, open, closed, items, cats)

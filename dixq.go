@@ -33,8 +33,10 @@ import (
 	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
+	"dixq/internal/opt"
 	"dixq/internal/plan"
 	"dixq/internal/sqlgen"
+	"dixq/internal/stats"
 	"dixq/internal/store"
 	"dixq/internal/xmark"
 	"dixq/internal/xmltree"
@@ -44,11 +46,12 @@ import (
 // Document is a parsed XML document or fragment: an ordered forest.
 type Document struct {
 	forest xmltree.Forest
-	// enc and idx cache the interval encoding and structural index of a
-	// document loaded from a .dixq store, so Catalog.Add reuses them
-	// instead of re-shredding and re-indexing.
+	// enc, idx and st cache the interval encoding, structural index and
+	// statistics of a document loaded from a .dixq store, so Catalog.Add
+	// reuses them instead of re-shredding, re-indexing and re-collecting.
 	enc *interval.Relation
 	idx *index.DocIndex
+	st  *stats.DocStats
 }
 
 // ParseDocument parses XML text into a Document.
@@ -64,10 +67,12 @@ func ParseDocument(xmlText string) (*Document, error) {
 // extension: ".dixq" files hold a stored interval encoding (see
 // (*Document).SaveEncoded) and skip XML parsing entirely — the paper's
 // "XML data already stored in a relational system" workflow — while
-// anything else is parsed as XML text.
+// anything else is parsed as XML text. Statistics persisted in the store
+// (the DIXQS3 section) ride along, so the cost-based optimizer gets real
+// cardinalities without a collection pass.
 func LoadDocumentFile(path string) (*Document, error) {
 	if strings.HasSuffix(path, ".dixq") {
-		rel, ix, err := store.LoadIndexed(path)
+		rel, ix, st, err := store.LoadFull(path)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +80,7 @@ func LoadDocumentFile(path string) (*Document, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return &Document{forest: f, enc: rel, idx: ix}, nil
+		return &Document{forest: f, enc: rel, idx: ix, st: st}, nil
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -84,17 +89,22 @@ func LoadDocumentFile(path string) (*Document, error) {
 	return ParseDocument(string(data))
 }
 
-// SaveEncoded writes the document's interval encoding and structural index
-// to a ".dixq" file (the DIXQS2 format): shred and index once, query many
-// times without reparsing. Pre-index files (DIXQS1) still load — saving
-// again upgrades them.
+// SaveEncoded writes the document's interval encoding, structural index
+// and statistics to a ".dixq" file (the DIXQS3 format): shred, index and
+// collect once, query many times without reparsing. Older files (DIXQS1
+// without the index, DIXQS2 without statistics) still load — saving again
+// upgrades them.
 func (d *Document) SaveEncoded(path string) error {
-	rel, ix := d.enc, d.idx
+	rel, ix, st := d.enc, d.idx, d.st
 	if rel == nil || ix == nil {
 		rel = interval.Encode(d.forest)
 		ix = index.Build(rel)
+		st = nil
 	}
-	return store.SaveIndexed(path, rel, ix)
+	if st == nil {
+		st = stats.Collect(rel)
+	}
+	return store.SaveFull(path, rel, ix, st)
 }
 
 // GenerateXMark generates an XMark-like benchmark document at the given
@@ -139,14 +149,19 @@ func (d *Document) Equal(o *Document) bool { return d.forest.Equal(o.forest) }
 func (d *Document) Encoding() string { return interval.Encode(d.forest).String() }
 
 // Catalog supplies the documents a query's document(...) calls reference.
-// Every document is indexed as it is added (or arrives pre-indexed from a
-// .dixq store), so DI plans can serve path chains as index seeks and prune
-// provably empty paths at plan time.
+// Every document is indexed and statistics-profiled as it is added (or
+// arrives pre-indexed from a .dixq store), so DI plans can serve path
+// chains as index seeks, prune provably empty paths at plan time, and
+// feed the cost-based optimizer real cardinalities.
 type Catalog struct {
 	docs  map[string]*Document
 	enc   core.Catalog
 	idx   *index.Set
+	st    *stats.Set
 	epoch uint64
+	// statsEpoch advances independently of the index epoch: statistics can
+	// be recollected (RefreshStats) without rebuilding any index.
+	statsEpoch uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -180,6 +195,21 @@ func (c *Catalog) Add(name string, d *Document) {
 	}
 	c.epoch++
 	c.idx = &index.Set{Docs: docs, Epoch: c.epoch}
+	// Statistics follow the same immutable-set discipline, under their own
+	// epoch: adding a document changes the catalog's statistics even when
+	// a cached plan's index pointers would otherwise still be valid.
+	if d.st == nil {
+		d.st = stats.Collect(c.enc[name])
+	}
+	sts := make(map[string]*stats.DocStats, len(c.enc))
+	if c.st != nil {
+		for k, v := range c.st.Docs {
+			sts[k] = v
+		}
+	}
+	sts[name] = d.st
+	c.statsEpoch++
+	c.st = &stats.Set{Docs: sts, Epoch: c.statsEpoch}
 }
 
 // IndexEpoch identifies the current generation of the catalog's structural
@@ -188,14 +218,43 @@ func (c *Catalog) Add(name string, d *Document) {
 // invalidates plans holding the old index.
 func (c *Catalog) IndexEpoch() uint64 { return c.epoch }
 
+// StatsEpoch identifies the current generation of the catalog's
+// per-document statistics: it changes whenever a document is added or
+// replaced and whenever RefreshStats runs. Plan caches must fold it in
+// alongside IndexEpoch — the two advance independently, and a plan the
+// cost-based optimizer shaped around stale statistics must not be reused
+// after they change, even if no index was rebuilt.
+func (c *Catalog) StatsEpoch() uint64 { return c.statsEpoch }
+
+// RefreshStats recollects every document's statistics from its current
+// interval encoding and publishes them under a new stats epoch, leaving
+// the structural indexes and the index epoch untouched. Plans cached
+// against the old statistics are thereby invalidated without forcing an
+// index rebuild.
+func (c *Catalog) RefreshStats() {
+	sts := make(map[string]*stats.DocStats, len(c.enc))
+	for name, rel := range c.enc {
+		sts[name] = stats.Collect(rel)
+	}
+	c.statsEpoch++
+	c.st = &stats.Set{Docs: sts, Epoch: c.statsEpoch}
+}
+
 // Engine selects how a query is evaluated.
 type Engine int
 
 const (
-	// MergeJoin is the paper's DI-MSJ strategy: dynamic interval plans
-	// with decorrelated structural merge joins (the default).
-	MergeJoin Engine = iota
-	// NestedLoop is DI-NLJ: the literal translation, nested-loop joins.
+	// CostBased is DI-OPT, the default: dynamic interval plans whose join
+	// algorithm is chosen per loop by the cost-based optimizer, fed by the
+	// catalog's per-document statistics. Every choice is between the same
+	// two digit-identical strategies the forced engines pin, so the result
+	// never depends on what the optimizer picked.
+	CostBased Engine = iota
+	// MergeJoin is the paper's DI-MSJ strategy, forced: dynamic interval
+	// plans with decorrelated structural merge joins on every loop.
+	MergeJoin
+	// NestedLoop is DI-NLJ, forced: the literal translation, nested-loop
+	// joins on every loop.
 	NestedLoop
 	// Interpreter is the direct denotational-semantics evaluator — the
 	// stand-in for the Galax/Kweelt-class systems of the evaluation.
@@ -207,6 +266,8 @@ const (
 
 func (e Engine) String() string {
 	switch e {
+	case CostBased:
+		return "DI-OPT"
 	case MergeJoin:
 		return "DI-MSJ"
 	case NestedLoop:
@@ -220,7 +281,7 @@ func (e Engine) String() string {
 	}
 }
 
-// Options configures a run. The zero value (or nil) selects the MergeJoin
+// Options configures a run. The zero value (or nil) selects the CostBased
 // engine with no limits.
 type Options struct {
 	Engine Engine
@@ -268,11 +329,14 @@ type Options struct {
 
 // coreOptions maps the public Options onto the internal executor's
 // options for a DI plan mode, attaching the catalog's structural indexes
-// so the compiler can plan index seeks and dataguide pruning.
+// and statistics so the compiler can plan index seeks and dataguide
+// pruning and the cost-based optimizer can estimate from real
+// cardinalities.
 func (opts *Options) coreOptions(mode core.Mode, cat *Catalog) core.Options {
 	return core.Options{
-		Mode:           mode,
+		ForceJoinMode:  mode,
 		Indexes:        cat.idx,
+		DocStats:       cat.st,
 		Timeout:        opts.Timeout,
 		MaxTuples:      opts.MaxTuples,
 		Trace:          opts.Trace,
@@ -290,6 +354,8 @@ func (opts *Options) coreOptions(mode core.Mode, cat *Catalog) core.Options {
 // non-DI engines, which have no plans.
 func diMode(e Engine) (mode core.Mode, ok bool) {
 	switch e {
+	case CostBased:
+		return core.ModeAuto, true
 	case MergeJoin:
 		return core.ModeMSJ, true
 	case NestedLoop:
@@ -417,7 +483,29 @@ func (q *Query) PlanText(opts *Options) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("dixq: plans exist for the DI engines only, got %s", opts.Engine)
 	}
-	return q.q.Plan(core.Options{Mode: mode, NoPipeline: opts.NoPipeline}).Tree(), nil
+	return q.q.Plan(core.Options{ForceJoinMode: mode, NoPipeline: opts.NoPipeline}).Tree(), nil
+}
+
+// OptimizerReport is the cost-based optimizer's account of one planning
+// run: the join graph it extracted from the plan (vertices with their
+// row estimates, equality edges with their selectivities, the costed
+// loop order), and every decision it took with both candidates' costs.
+// The struct marshals to JSON; the server's POST /explain includes it.
+type OptimizerReport = opt.Report
+
+// OptimizerReport returns the cost-based optimizer's report for the plan
+// the query would execute under the given options, or nil when the
+// options select a forced or non-DI engine (those runs bypass the
+// optimizer — they are the oracles it is measured against).
+func (q *Query) OptimizerReport(cat *Catalog, opts *Options) *OptimizerReport {
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode, ok := diMode(opts.Engine)
+	if !ok || mode != core.ModeAuto {
+		return nil
+	}
+	return q.q.OptReport(opts.coreOptions(mode, cat))
 }
 
 // Documents lists the document names the query references.
@@ -468,7 +556,7 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 	}
 	start := time.Now()
 	switch opts.Engine {
-	case MergeJoin, NestedLoop:
+	case CostBased, MergeJoin, NestedLoop:
 		mode, _ := diMode(opts.Engine)
 		stats := &core.Stats{}
 		copts := opts.coreOptions(mode, cat)

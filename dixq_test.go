@@ -41,7 +41,7 @@ func TestQuickstartFlow(t *testing.T) {
 func TestAllEnginesAgreeOnQ8(t *testing.T) {
 	cat := figureCatalog(t)
 	want := `<item person="Cong Rosca">1</item>`
-	for _, eng := range []Engine{MergeJoin, NestedLoop, Interpreter, GenericSQL} {
+	for _, eng := range []Engine{CostBased, MergeJoin, NestedLoop, Interpreter, GenericSQL} {
 		res, err := Run(XMarkQ8, cat, &Options{Engine: eng})
 		if err != nil {
 			t.Fatalf("%s: %v", eng, err)
@@ -218,7 +218,10 @@ func TestDocumentFileRoundTrip(t *testing.T) {
 func TestTraceOption(t *testing.T) {
 	cat := figureCatalog(t)
 	trace := &Trace{}
-	if _, err := Run(XMarkQ8, cat, &Options{Trace: trace}); err != nil {
+	// MergeJoin is forced: under the cost-based default the optimizer
+	// demotes the merge joins on a document this small, and the test
+	// asserts merge-join trace entries.
+	if _, err := Run(XMarkQ8, cat, &Options{Engine: MergeJoin, Trace: trace}); err != nil {
 		t.Fatal(err)
 	}
 	if len(trace.Entries()) == 0 {
@@ -226,5 +229,83 @@ func TestTraceOption(t *testing.T) {
 	}
 	if !strings.Contains(trace.String(), "merge-join") {
 		t.Errorf("trace:\n%s", trace.String())
+	}
+}
+
+// TestCatalogStatsEpochs pins the two-epoch contract of the catalog:
+// adding a document advances both the index and stats epochs, while
+// RefreshStats advances only the stats epoch.
+func TestCatalogStatsEpochs(t *testing.T) {
+	cat := figureCatalog(t)
+	idx, st := cat.IndexEpoch(), cat.StatsEpoch()
+	if st == 0 {
+		t.Fatal("adding a document left the stats epoch at zero")
+	}
+	cat.RefreshStats()
+	if cat.IndexEpoch() != idx {
+		t.Errorf("RefreshStats moved the index epoch %d -> %d", idx, cat.IndexEpoch())
+	}
+	if cat.StatsEpoch() != st+1 {
+		t.Errorf("RefreshStats stats epoch %d, want %d", cat.StatsEpoch(), st+1)
+	}
+	doc, err := ParseDocument(XMarkFigure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Add("other.xml", doc)
+	if cat.IndexEpoch() != idx+1 || cat.StatsEpoch() != st+2 {
+		t.Errorf("Add epochs = %d/%d, want %d/%d", cat.IndexEpoch(), cat.StatsEpoch(), idx+1, st+2)
+	}
+}
+
+// TestOptimizerReportSurface: the cost-based engine exposes its report;
+// the forced and non-DI engines return nil (they bypass the optimizer).
+func TestOptimizerReportSurface(t *testing.T) {
+	cat := figureCatalog(t)
+	q, err := ParseQuery(XMarkQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := q.OptimizerReport(cat, nil)
+	if rep == nil {
+		t.Fatal("no report under the cost-based default")
+	}
+	if len(rep.Graph.Vertices) == 0 || len(rep.Decisions) == 0 {
+		t.Fatalf("report is empty: %+v", rep)
+	}
+	for _, eng := range []Engine{MergeJoin, NestedLoop, Interpreter, GenericSQL} {
+		if r := q.OptimizerReport(cat, &Options{Engine: eng}); r != nil {
+			t.Errorf("%s: report = %+v, want nil", eng, r)
+		}
+	}
+}
+
+// TestStoreStatsRideAlong: a .dixq store written by SaveEncoded carries
+// the document's statistics, and Catalog.Add reuses them instead of
+// recollecting.
+func TestStoreStatsRideAlong(t *testing.T) {
+	dir := t.TempDir()
+	doc := GenerateXMark(0.0005, 3)
+	path := dir + "/doc.dixq"
+	if err := doc.SaveEncoded(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDocumentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.st == nil {
+		t.Fatal("loaded document carries no statistics")
+	}
+	cat := NewCatalog()
+	cat.Add("doc", loaded)
+	if cat.st.Docs["doc"] != loaded.st {
+		t.Error("Add recollected statistics instead of reusing the stored ones")
+	}
+	// The stored statistics match a fresh collection pass.
+	fresh := NewCatalog()
+	fresh.Add("doc", GenerateXMark(0.0005, 3))
+	if got, want := loaded.st.Tuples, fresh.st.Docs["doc"].Tuples; got != want {
+		t.Errorf("stored stats count %d tuples, fresh collection %d", got, want)
 	}
 }

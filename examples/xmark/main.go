@@ -32,7 +32,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(qq.name)
-		for _, engine := range []dixq.Engine{dixq.NestedLoop, dixq.MergeJoin} {
+		for _, engine := range []dixq.Engine{dixq.NestedLoop, dixq.MergeJoin, dixq.CostBased} {
 			res, err := q.Run(cat, &dixq.Options{Engine: engine, Timeout: time.Minute})
 			if err != nil {
 				log.Fatal(err)

@@ -118,12 +118,12 @@ func (w *Workload) Run(sys System, cfg Config) Outcome {
 		}
 		stats := &core.Stats{}
 		forest, err = w.compiled.EvalForest(w.enc, core.Options{
-			Mode:        mode,
-			Stats:       stats,
-			Timeout:     cfg.Timeout,
-			MaxTuples:   cfg.MaxTuples,
-			LegacyKeys:  cfg.LegacyKeys,
-			Parallelism: cfg.Parallelism,
+			ForceJoinMode: mode,
+			Stats:         stats,
+			Timeout:       cfg.Timeout,
+			MaxTuples:     cfg.MaxTuples,
+			LegacyKeys:    cfg.LegacyKeys,
+			Parallelism:   cfg.Parallelism,
 		})
 		out.Stats = stats
 	case SysSQL:

@@ -55,7 +55,7 @@ func WriteBenchJSON(path string, sf float64, log io.Writer) error {
 			return fmt.Errorf("bench: %s: %w", q.name, err)
 		}
 		measure := func(legacy bool) Measurement {
-			opts := core.Options{Mode: core.ModeMSJ, LegacyKeys: legacy}
+			opts := core.Options{ForceJoinMode: core.ModeMSJ, LegacyKeys: legacy}
 			// Best of three rounds: ns/op is scheduler-noisy at the
 			// millisecond scale, allocs/op is deterministic.
 			var best Measurement

@@ -108,8 +108,8 @@ func WriteBenchPR3JSON(path string, sf float64, log io.Writer) error {
 		// Best of five interleaved rounds: ns/op is scheduler-noisy at the
 		// millisecond scale (allocs/op is deterministic), and alternating
 		// the variants keeps drift from biasing one side.
-		scalarOpts := core.Options{Mode: core.ModeMSJ, ScalarPipeline: true}
-		batchedOpts := core.Options{Mode: core.ModeMSJ}
+		scalarOpts := core.Options{ForceJoinMode: core.ModeMSJ, ScalarPipeline: true}
+		batchedOpts := core.Options{ForceJoinMode: core.ModeMSJ}
 		c := Comparison3{Query: q.name}
 		for round := 0; round < 5; round++ {
 			mb, ma := measureOnce(scalarOpts), measureOnce(batchedOpts)
@@ -127,19 +127,19 @@ func WriteBenchPR3JSON(path string, sf float64, log io.Writer) error {
 			c.NsRatio = float64(c.After.NsPerOp) / float64(c.Before.NsPerOp)
 		}
 
-		want, err := w.compiled.Eval(w.enc, core.Options{Mode: core.ModeMSJ})
+		want, err := w.compiled.Eval(w.enc, core.Options{ForceJoinMode: core.ModeMSJ})
 		if err != nil {
 			return fmt.Errorf("bench: %s unbudgeted: %w", q.name, err)
 		}
 		stats := &core.Stats{}
 		budgetOpts := core.Options{
-			Mode: core.ModeMSJ, MemBudget: memBudget, SpillDir: spillDir, Stats: stats,
+			ForceJoinMode: core.ModeMSJ, MemBudget: memBudget, SpillDir: spillDir, Stats: stats,
 		}
 		got, err := w.compiled.Eval(w.enc, budgetOpts)
 		if err != nil {
 			return fmt.Errorf("bench: %s budgeted: %w", q.name, err)
 		}
-		budgeted := measureOnce(core.Options{Mode: core.ModeMSJ, MemBudget: memBudget, SpillDir: spillDir})
+		budgeted := measureOnce(core.Options{ForceJoinMode: core.ModeMSJ, MemBudget: memBudget, SpillDir: spillDir})
 		c.Budgeted = BudgetedRun{
 			MemBudgetBytes: memBudget,
 			NsPerOp:        budgeted.NsPerOp,

@@ -76,7 +76,7 @@ func WriteBenchPR5JSON(path string, sf float64, log io.Writer) error {
 			prev := exec.SetLimit(workers)
 			defer exec.SetLimit(prev)
 			runtime.GC()
-			opts := core.Options{Mode: core.ModeMSJ, Parallelism: workers}
+			opts := core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: workers}
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -91,7 +91,7 @@ func WriteBenchPR5JSON(path string, sf float64, log io.Writer) error {
 				BytesPerOp:  r.AllocedBytesPerOp(),
 			}
 		}
-		serialRel, err := w.compiled.Eval(w.enc, core.Options{Mode: core.ModeMSJ, Parallelism: 1})
+		serialRel, err := w.compiled.Eval(w.enc, core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1})
 		if err != nil {
 			return fmt.Errorf("bench: %s serial: %w", q.name, err)
 		}
@@ -110,7 +110,7 @@ func WriteBenchPR5JSON(path string, sf float64, log io.Writer) error {
 		curve := ParallelCurve{Query: q.name}
 		for i, workers := range workerCounts {
 			prev := exec.SetLimit(workers)
-			rel, err := w.compiled.Eval(w.enc, core.Options{Mode: core.ModeMSJ, Parallelism: workers})
+			rel, err := w.compiled.Eval(w.enc, core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: workers})
 			exec.SetLimit(prev)
 			if err != nil {
 				return fmt.Errorf("bench: %s at %d workers: %w", q.name, workers, err)

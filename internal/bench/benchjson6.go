@@ -109,7 +109,7 @@ func WriteBenchPR6JSON(path string, sfs []float64, log io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("bench: %s: %w", q.name, err)
 			}
-			scanOpts := core.Options{Mode: core.ModeMSJ, Parallelism: 1}
+			scanOpts := core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1}
 			idxOpts := scanOpts
 			idxOpts.Indexes = index.BuildSet(w.enc)
 

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"dixq/internal/core"
+	"dixq/internal/engine"
+	"dixq/internal/stats"
+	"dixq/internal/xmark"
+)
+
+// OptPoint is one query's cost-based-vs-forced comparison at one scale:
+// wall times of the DI-OPT plan (statistics attached) and both forced
+// oracle modes, the optimizer's join-algorithm choices, identity checks
+// of the optimized result against both oracles, and the headline ratio —
+// how much slower the worse forced mode is than the optimizer's pick.
+type OptPoint struct {
+	Query      string `json:"query"`
+	OptNsPerOp int64  `json:"opt_ns_per_op"`
+	MsjNsPerOp int64  `json:"msj_ns_per_op"`
+	NljNsPerOp int64  `json:"nlj_ns_per_op"`
+	// NljDNF marks a forced-NLJ run that exceeded the per-run budget; its
+	// ns/op is then the budget it burned, so the speedups below are lower
+	// bounds.
+	NljDNF bool `json:"nlj_dnf,omitempty"`
+	// MergeJoinChoices / NestedLoopChoices count the optimizer's per-loop
+	// join-algorithm decisions in the plan.
+	MergeJoinChoices  int `json:"merge_join_choices"`
+	NestedLoopChoices int `json:"nested_loop_choices"`
+	// SpeedupVsWorse is (worse forced mode ns/op) / (opt ns/op): how much
+	// the cost-based choice saves over guessing wrong. SpeedupVsBest is
+	// the same against the better forced mode — at 1.0 the optimizer
+	// matched the oracle; below 1.0 it paid overhead.
+	SpeedupVsWorse float64 `json:"speedup_vs_worse_forced"`
+	SpeedupVsBest  float64 `json:"speedup_vs_best_forced"`
+	// Identical* report tuple-for-tuple (digit-identical) equality of the
+	// optimized result against each completed forced run.
+	IdenticalToMSJ bool `json:"identical_to_msj"`
+	IdenticalToNLJ bool `json:"identical_to_nlj,omitempty"`
+}
+
+// OptScale is the comparison at one XMark scale factor.
+type OptScale struct {
+	ScaleFactor float64    `json:"scale_factor"`
+	Points      []OptPoint `json:"points"`
+}
+
+// BenchReport7 is the schema of BENCH_PR7.json.
+type BenchReport7 struct {
+	Mode       string     `json:"mode"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	TimeoutSec float64    `json:"per_run_timeout_sec"`
+	Results    []OptScale `json:"results"`
+}
+
+// benchPR7Timeout bounds each forced-mode run: at benchmark scales a
+// forced nested-loop join can be quadratically slow, and the point of
+// the comparison is made as soon as it has burned this budget.
+const benchPR7Timeout = 60 * time.Second
+
+// WriteBenchPR7JSON measures the cost-based optimizer against its two
+// oracles: XMark Q8, Q9 and Q13 under DI-OPT (with collected statistics),
+// forced DI-MSJ and forced DI-NLJ at each scale factor. Timing rounds
+// alternate the three plans so drift cannot bias one, taking the minimum;
+// every completed pair is checked digit-identical. Progress lines go to
+// log.
+func WriteBenchPR7JSON(path string, sfs []float64, log io.Writer) error {
+	report := BenchReport7{
+		Mode:       core.ModeAuto.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		TimeoutSec: benchPR7Timeout.Seconds(),
+	}
+	queries := []struct{ name, text string }{
+		{"Q8", xmark.Q8},
+		{"Q9", xmark.Q9},
+		{"Q13", xmark.Q13},
+	}
+	for _, sf := range sfs {
+		doc := xmark.Generate(xmark.Config{ScaleFactor: sf, Seed: 1})
+		rounds := 5
+		if sf >= 0.5 {
+			rounds = 2
+		}
+		scale := OptScale{ScaleFactor: sf}
+		for _, q := range queries {
+			w, err := NewWorkload(q.text, doc)
+			if err != nil {
+				return fmt.Errorf("bench: %s: %w", q.name, err)
+			}
+			st := stats.CollectSet(w.enc)
+			optOpts := core.Options{ForceJoinMode: core.ModeAuto, DocStats: st, Parallelism: 1, Timeout: benchPR7Timeout}
+			msjOpts := core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1, Timeout: benchPR7Timeout}
+			nljOpts := core.Options{ForceJoinMode: core.ModeNLJ, Parallelism: 1, Timeout: benchPR7Timeout}
+
+			// Warm every plan once (plan memoization, allocator steady
+			// state); the warm results feed the identity checks.
+			optRel, err := w.compiled.Eval(w.enc, optOpts)
+			if err != nil {
+				return fmt.Errorf("bench: %s sf %g opt: %w", q.name, sf, err)
+			}
+			msjRel, err := w.compiled.Eval(w.enc, msjOpts)
+			if err != nil {
+				return fmt.Errorf("bench: %s sf %g msj: %w", q.name, sf, err)
+			}
+			nljRel, nljErr := w.compiled.Eval(w.enc, nljOpts)
+			nljDNF := nljErr != nil
+			if nljErr != nil && !errors.Is(nljErr, engine.ErrBudgetExceeded) {
+				return fmt.Errorf("bench: %s sf %g nlj: %w", q.name, sf, nljErr)
+			}
+
+			p := OptPoint{
+				Query:          q.name,
+				OptNsPerOp:     math.MaxInt64,
+				MsjNsPerOp:     math.MaxInt64,
+				NljNsPerOp:     math.MaxInt64,
+				NljDNF:         nljDNF,
+				IdenticalToMSJ: sameResult(optRel, msjRel),
+				IdenticalToNLJ: !nljDNF && sameResult(optRel, nljRel),
+			}
+			if rep := w.compiled.OptReport(optOpts); rep != nil {
+				for _, d := range rep.Decisions {
+					if d.Kind != "join-algorithm" {
+						continue
+					}
+					switch d.Choice {
+					case "merge-join":
+						p.MergeJoinChoices++
+					case "nested-loop":
+						p.NestedLoopChoices++
+					}
+				}
+			}
+			time1 := func(opts core.Options) (int64, error) {
+				runtime.GC()
+				start := time.Now()
+				_, err := w.compiled.Eval(w.enc, opts)
+				elapsed := time.Since(start).Nanoseconds()
+				if errors.Is(err, engine.ErrBudgetExceeded) {
+					// A DNF run's time is the budget it burned: a usable
+					// lower bound for the headline ratio.
+					return elapsed, nil
+				}
+				return elapsed, err
+			}
+			for r := 0; r < rounds; r++ {
+				o, err := time1(optOpts)
+				if err != nil {
+					return err
+				}
+				m, err := time1(msjOpts)
+				if err != nil {
+					return err
+				}
+				p.OptNsPerOp = min(p.OptNsPerOp, o)
+				p.MsjNsPerOp = min(p.MsjNsPerOp, m)
+				// One timed NLJ round suffices when it cannot finish: every
+				// further round would burn the full budget again.
+				if r == 0 || !nljDNF {
+					n, err := time1(nljOpts)
+					if err != nil {
+						return err
+					}
+					p.NljNsPerOp = min(p.NljNsPerOp, n)
+				}
+			}
+			worse := max(p.MsjNsPerOp, p.NljNsPerOp)
+			best := min(p.MsjNsPerOp, p.NljNsPerOp)
+			if p.OptNsPerOp > 0 {
+				p.SpeedupVsWorse = float64(worse) / float64(p.OptNsPerOp)
+				p.SpeedupVsBest = float64(best) / float64(p.OptNsPerOp)
+			}
+			scale.Points = append(scale.Points, p)
+			fmt.Fprintf(log, "%s sf=%g: opt %d ns/op (%d msj / %d nlj choices), msj %d ns/op, nlj %d ns/op (dnf=%v), vs-worse %.2fx vs-best %.2fx identical=%v/%v\n",
+				q.name, sf, p.OptNsPerOp, p.MergeJoinChoices, p.NestedLoopChoices,
+				p.MsjNsPerOp, p.NljNsPerOp, p.NljDNF,
+				p.SpeedupVsWorse, p.SpeedupVsBest, p.IdenticalToMSJ, p.IdenticalToNLJ)
+		}
+		report.Results = append(report.Results, scale)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -41,7 +41,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.Run(q.name+"/"+variant.name, func(b *testing.B) {
 				obs.SetEnabled(variant.enabled)
 				defer obs.SetEnabled(true)
-				opts := core.Options{Mode: core.ModeMSJ}
+				opts := core.Options{ForceJoinMode: core.ModeMSJ}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

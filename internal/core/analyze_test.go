@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"dixq/internal/index"
+	"dixq/internal/stats"
 	"dixq/internal/xmark"
 	"dixq/internal/xq"
 )
@@ -26,9 +27,11 @@ func scrubAnalyze(s string) string {
 }
 
 // TestAnalyzeGoldenPlans locks the analyze-mode plan renderings for the
-// paper's three benchmark queries under both join modes: the plan shape,
-// the static annotations, and the per-operator calls/rows actuals. A
-// diff here means the compiler, the executor's dispatch, or the
+// paper's three benchmark queries under both forced join modes and the
+// cost-based optimizer (fed real statistics): the plan shape, the static
+// annotations — including the optimizer's per-operator row estimates —
+// and the per-operator calls/rows actuals. A diff here means the
+// compiler, the optimizer's costing, the executor's dispatch, or the
 // instrumentation changed — regenerate with `go test -run Golden -update`
 // and review the diff consciously.
 func TestAnalyzeGoldenPlans(t *testing.T) {
@@ -42,11 +45,13 @@ func TestAnalyzeGoldenPlans(t *testing.T) {
 		{"q13", xmark.Q13},
 	}
 	modes := []struct {
-		name string
-		mode Mode
+		name  string
+		mode  Mode
+		stats *stats.Set
 	}{
-		{"msj", ModeMSJ},
-		{"nlj", ModeNLJ},
+		{"msj", ModeMSJ, nil},
+		{"nlj", ModeNLJ, nil},
+		{"opt", ModeAuto, stats.CollectSet(cat)},
 	}
 	// The indexed variants rerun each query with the catalog's structural
 	// indexes attached, locking the access-path marks ([access=index],
@@ -66,7 +71,7 @@ func TestAnalyzeGoldenPlans(t *testing.T) {
 					// Parallelism is pinned to 1 so the batch counts locked by
 					// the goldens cannot shift with GOMAXPROCS (the parallel
 					// chain runner chunks the input per morsel).
-					text, rs, err := q.ExplainAnalyze(cat, Options{Mode: mm.mode, Parallelism: 1, Indexes: vv.indexes})
+					text, rs, err := q.ExplainAnalyze(cat, Options{ForceJoinMode: mm.mode, DocStats: mm.stats, Parallelism: 1, Indexes: vv.indexes})
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"dixq/internal/opt"
 	"dixq/internal/plan"
 	"dixq/internal/xq"
 )
@@ -19,11 +20,15 @@ const nominalDocTuples = 1000
 // buildPlan lowers a core expression into the physical plan the evaluator
 // executes. The compiler mirrors the environment-depth analysis of §4.3
 // (each binder records the static depth and digit width of its variable),
-// chooses the §5 merge-join strategy per loop in MSJ mode, and — unless
-// pipelining is disabled — marks the order-preserving path operators
-// Streamable so the executor can fuse maximal chains into single
-// streaming passes.
-func buildPlan(e xq.Expr, opts Options) *plan.Node {
+// compiles every eligible loop to the §5 merge join unless the nested
+// loop is forced, and — unless pipelining is disabled — marks the
+// order-preserving path operators Streamable so the executor can fuse
+// maximal chains into single streaming passes. Under ModeAuto the
+// cost-based optimizer then revisits each merge join against the
+// catalog's statistics and demotes the ones whose inputs are too small to
+// amortize the sorts; the returned report records its decisions (nil for
+// the forced modes).
+func buildPlan(e xq.Expr, opts Options) (*plan.Node, *opt.Report) {
 	c := &compiler{opts: opts, depths: map[string]varInfo{}}
 	root := c.expr(e, 0)
 	if !opts.NoPipeline {
@@ -54,8 +59,16 @@ func buildPlan(e xq.Expr, opts Options) *plan.Node {
 	if opts.Indexes != nil {
 		root = applyIndexes(root, opts.Indexes)
 	}
+	// Est carries the optimizer's statistics-fed row estimates; -1 marks
+	// nodes no optimizer saw (plan rendering then falls back to the
+	// compile-time Card heuristics).
+	plan.ResetEst(root)
+	var report *opt.Report
+	if opts.ForceJoinMode == ModeAuto {
+		root, report = opt.Optimize(root, opts.DocStats)
+	}
 	plan.AssignIDs(root)
-	return root
+	return root, report
 }
 
 // compiler tracks the static environment state: for every visible
@@ -126,7 +139,7 @@ func (c *compiler) expr(e xq.Expr, depth int) *plan.Node {
 }
 
 func (c *compiler) forLoop(e xq.For, depth int) *plan.Node {
-	if c.opts.Mode == ModeMSJ {
+	if c.opts.ForceJoinMode != ModeNLJ {
 		if n, ok := c.mergeJoin(e, depth); ok {
 			return n
 		}

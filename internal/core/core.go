@@ -26,7 +26,9 @@ import (
 
 	"dixq/internal/index"
 	"dixq/internal/interval"
+	"dixq/internal/opt"
 	"dixq/internal/plan"
+	"dixq/internal/stats"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
@@ -35,14 +37,22 @@ import (
 type Mode int
 
 const (
-	// ModeMSJ enables the decorrelated merge-sort join evaluation (DI-MSJ).
-	ModeMSJ Mode = iota
+	// ModeAuto (the default) lets the cost-based optimizer choose the join
+	// algorithm per loop against the catalog's statistics (internal/opt):
+	// loops compile to the decorrelated merge join and are demoted to the
+	// literal nested loop where the estimated input is too small to
+	// amortize the sorts. All three modes are digit-identical.
+	ModeAuto Mode = iota
+	// ModeMSJ forces the decorrelated merge-sort join evaluation (DI-MSJ).
+	ModeMSJ
 	// ModeNLJ forces the literal nested-loop translation (DI-NLJ).
 	ModeNLJ
 )
 
 func (m Mode) String() string {
 	switch m {
+	case ModeAuto:
+		return "DI-OPT"
 	case ModeMSJ:
 		return "DI-MSJ"
 	case ModeNLJ:
@@ -54,8 +64,11 @@ func (m Mode) String() string {
 
 // Options configures evaluation.
 type Options struct {
-	// Mode selects DI-MSJ (default) or DI-NLJ plans.
-	Mode Mode
+	// ForceJoinMode pins the join strategy of every loop: ModeMSJ or
+	// ModeNLJ bypass the cost-based optimizer entirely — the oracle modes
+	// the differential tests compare against. The zero value (ModeAuto)
+	// lets the optimizer choose per loop using DocStats.
+	ForceJoinMode Mode
 	// MaxTuples aborts evaluation once the environment-embedding operators
 	// have produced this many tuples (0 = unlimited) — the analogue of the
 	// paper's experiment cutoffs.
@@ -117,6 +130,13 @@ type Options struct {
 	// at run time and silently falls back to scans otherwise, so results
 	// are digit-identical with and without indexes.
 	Indexes *index.Set
+	// DocStats, when non-nil, feeds the cost-based optimizer real
+	// per-document statistics (cardinalities, posting counts, distinct
+	// values). Only consulted under ModeAuto; nil degrades every estimate
+	// to the compiler's nominal document. The set's Epoch keys the plan
+	// cache, so reloading a document's statistics invalidates plans
+	// optimized against the old numbers.
+	DocStats *stats.Set
 }
 
 // Stats is the per-phase cost breakdown reported in Figure 10 of the
@@ -169,41 +189,70 @@ type Query struct {
 	Original xq.Expr
 
 	// plans memoizes the physical plans per variant; compiled plans are
-	// immutable, so concurrent evaluations share them.
-	mu    sync.Mutex
-	plans map[planVariant]*plan.Node
+	// immutable, so concurrent evaluations share them. reports carries the
+	// optimizer report of each ModeAuto plan (nil for forced modes).
+	mu      sync.Mutex
+	plans   map[planVariant]*plan.Node
+	reports map[planVariant]*opt.Report
 }
 
 // planVariant keys the memoized plans: the join mode changes loop
-// strategies, pipelining changes the Streamable marking, and an index set
-// changes the access paths. The epoch guards against an index set being
-// rebuilt in place between evaluations.
+// strategies, pipelining changes the Streamable marking, an index set
+// changes the access paths, and a statistics set changes the optimizer's
+// choices. The epochs guard against an index or stats set being rebuilt
+// in place between evaluations.
 type planVariant struct {
 	mode       Mode
 	noPipeline bool
 	indexes    *index.Set
 	epoch      uint64
+	stats      *stats.Set
+	statsEpoch uint64
+}
+
+func variantKey(opts Options) planVariant {
+	key := planVariant{mode: opts.ForceJoinMode, noPipeline: opts.NoPipeline, indexes: opts.Indexes}
+	if opts.Indexes != nil {
+		key.epoch = opts.Indexes.Epoch
+	}
+	if opts.ForceJoinMode == ModeAuto && opts.DocStats != nil {
+		key.stats = opts.DocStats
+		key.statsEpoch = opts.DocStats.Epoch
+	}
+	return key
 }
 
 // Plan returns the physical plan the query executes under the given
 // options — the same tree Eval runs, so Explain cannot diverge from the
 // execution. The returned plan is immutable and shared.
 func (q *Query) Plan(opts Options) *plan.Node {
-	key := planVariant{mode: opts.Mode, noPipeline: opts.NoPipeline, indexes: opts.Indexes}
-	if opts.Indexes != nil {
-		key.epoch = opts.Indexes.Epoch
-	}
+	p, _ := q.planReport(opts)
+	return p
+}
+
+// OptReport returns the cost-based optimizer's report for the plan the
+// query executes under the given options — nil for the forced modes,
+// which bypass the optimizer.
+func (q *Query) OptReport(opts Options) *opt.Report {
+	_, r := q.planReport(opts)
+	return r
+}
+
+func (q *Query) planReport(opts Options) (*plan.Node, *opt.Report) {
+	key := variantKey(opts)
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if p, ok := q.plans[key]; ok {
-		return p
+		return p, q.reports[key]
 	}
-	p := buildPlan(q.Expr, opts)
+	p, r := buildPlan(q.Expr, opts)
 	if q.plans == nil {
 		q.plans = map[planVariant]*plan.Node{}
+		q.reports = map[planVariant]*opt.Report{}
 	}
 	q.plans[key] = p
-	return p
+	q.reports[key] = r
+	return p, r
 }
 
 // Compile prepares a core expression for evaluation, applying the

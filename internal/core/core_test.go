@@ -38,11 +38,11 @@ func runBoth(t *testing.T, query string, cat Catalog) xmltree.Forest {
 	}
 	q := Compile(e, Options{})
 	msjStats := &Stats{}
-	msjRel, err := q.Eval(cat, Options{Mode: ModeMSJ, Stats: msjStats})
+	msjRel, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Stats: msjStats})
 	if err != nil {
 		t.Fatalf("MSJ eval: %v", err)
 	}
-	nljRel, err := q.Eval(cat, Options{Mode: ModeNLJ})
+	nljRel, err := q.Eval(cat, Options{ForceJoinMode: ModeNLJ})
 	if err != nil {
 		t.Fatalf("NLJ eval: %v", err)
 	}
@@ -55,7 +55,7 @@ func runBoth(t *testing.T, query string, cat Catalog) xmltree.Forest {
 			t.Fatalf("tuple %d differs: MSJ %s, NLJ %s", i, a, b)
 		}
 	}
-	f, err := q.EvalForest(cat, Options{Mode: ModeMSJ})
+	f, err := q.EvalForest(cat, Options{ForceJoinMode: ModeMSJ})
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestQ8UsesMergeJoinInMSJMode(t *testing.T) {
 	e := xq.MustParse(xmark.Q8)
 	q := Compile(e, Options{})
 	stats := &Stats{}
-	if _, err := q.Eval(cat, Options{Mode: ModeMSJ, Stats: stats}); err != nil {
+	if _, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Stats: stats}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.MergeJoins != 1 {
@@ -87,7 +87,7 @@ func TestQ8UsesMergeJoinInMSJMode(t *testing.T) {
 	}
 
 	nlj := &Stats{}
-	if _, err := q.Eval(cat, Options{Mode: ModeNLJ, Stats: nlj}); err != nil {
+	if _, err := q.Eval(cat, Options{ForceJoinMode: ModeNLJ, Stats: nlj}); err != nil {
 		t.Fatal(err)
 	}
 	if nlj.MergeJoins != 0 || nlj.NestedLoops != 2 {
@@ -104,7 +104,7 @@ func TestQ9UsesTwoMergeJoins(t *testing.T) {
 	e := xq.MustParse(xmark.Q9)
 	q := Compile(e, Options{})
 	stats := &Stats{}
-	if _, err := q.Eval(cat, Options{Mode: ModeMSJ, Stats: stats}); err != nil {
+	if _, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Stats: stats}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.MergeJoins != 2 {
@@ -154,7 +154,7 @@ func TestDifferentialRandomQueries(t *testing.T) {
 		}
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
 			q := Compile(e, Options{})
-			got, err := q.EvalForest(cat, Options{Mode: mode})
+			got, err := q.EvalForest(cat, Options{ForceJoinMode: mode})
 			if err != nil {
 				t.Fatalf("trial %d (%s): eval error on %s: %v", trial, mode, e, err)
 			}
@@ -166,7 +166,7 @@ func TestDifferentialRandomQueries(t *testing.T) {
 		// The literal translation (no rewrites, no streaming fusion) must
 		// agree too.
 		q := Compile(e, Options{NoRewrites: true})
-		got, err := q.EvalForest(cat, Options{Mode: ModeNLJ, NoPipeline: true})
+		got, err := q.EvalForest(cat, Options{ForceJoinMode: ModeNLJ, NoPipeline: true})
 		if err != nil {
 			t.Fatalf("trial %d (literal): %v", trial, err)
 		}
@@ -231,12 +231,12 @@ func TestBudgetAbortsNLJ(t *testing.T) {
 	cat, _ := generatedCatalog(0.01, 1)
 	e := xq.MustParse(xmark.Q8)
 	q := Compile(e, Options{})
-	_, err := q.Eval(cat, Options{Mode: ModeNLJ, MaxTuples: 10_000})
+	_, err := q.Eval(cat, Options{ForceJoinMode: ModeNLJ, MaxTuples: 10_000})
 	if !errors.Is(err, engine.ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want budget exceeded", err)
 	}
 	// MSJ evaluates the same query within the same budget.
-	if _, err := q.Eval(cat, Options{Mode: ModeMSJ, MaxTuples: 10_000}); err != nil {
+	if _, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, MaxTuples: 10_000}); err != nil {
 		t.Fatalf("MSJ within budget failed: %v", err)
 	}
 }
@@ -251,7 +251,7 @@ func TestEvalErrors(t *testing.T) {
 	}
 	for name, e := range bad {
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-			if _, err := Compile(e, Options{}).Eval(cat, Options{Mode: mode}); err == nil {
+			if _, err := Compile(e, Options{}).Eval(cat, Options{ForceJoinMode: mode}); err == nil {
 				t.Errorf("%s (%s): expected error", name, mode)
 			}
 		}
@@ -263,7 +263,7 @@ func TestStatsPhases(t *testing.T) {
 	e := xq.MustParse(xmark.Q8)
 	q := Compile(e, Options{})
 	stats := &Stats{}
-	if _, err := q.EvalForest(cat, Options{Mode: ModeMSJ, Stats: stats}); err != nil {
+	if _, err := q.EvalForest(cat, Options{ForceJoinMode: ModeMSJ, Stats: stats}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Paths <= 0 || stats.Join <= 0 || stats.Construction <= 0 {
@@ -310,7 +310,7 @@ func TestOrderByAcrossEngines(t *testing.T) {
 	// The ordering equijoin should run as a merge join in MSJ mode.
 	stats := &Stats{}
 	q := Compile(xq.MustParse(query), Options{})
-	if _, err := q.Eval(cat, Options{Mode: ModeMSJ, Stats: stats}); err != nil {
+	if _, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Stats: stats}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.MergeJoins == 0 {
@@ -367,11 +367,11 @@ func TestPipelineFusionMatchesMaterialized(t *testing.T) {
 	cat, _ := generatedCatalog(0.002, 21)
 	for _, query := range []string{xmark.Q8, xmark.Q9, xmark.Q13, xmark.Q1, xmark.Q17} {
 		q := Compile(xq.MustParse(query), Options{})
-		fused, err := q.Eval(cat, Options{Mode: ModeMSJ})
+		fused, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ})
 		if err != nil {
 			t.Fatal(err)
 		}
-		plain, err := q.Eval(cat, Options{Mode: ModeMSJ, NoPipeline: true})
+		plain, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, NoPipeline: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -407,7 +407,7 @@ func TestTrace(t *testing.T) {
 	for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
 		trace := &Trace{}
 		q := Compile(xq.MustParse(xmark.Q8), Options{})
-		if _, err := q.Eval(cat, Options{Mode: mode, Trace: trace}); err != nil {
+		if _, err := q.Eval(cat, Options{ForceJoinMode: mode, Trace: trace}); err != nil {
 			t.Fatal(err)
 		}
 		entries := trace.Entries()
@@ -445,14 +445,14 @@ func TestTrace(t *testing.T) {
 
 func TestPlanTree(t *testing.T) {
 	q := Compile(xq.MustParse(xmark.Q8), Options{})
-	msj := q.Plan(Options{Mode: ModeMSJ}).Tree()
+	msj := q.Plan(Options{ForceJoinMode: ModeMSJ}).Tree()
 	if !strings.Contains(msj, "for-merge-join") {
 		t.Errorf("MSJ plan missing merge join:\n%s", msj)
 	}
 	if !strings.Contains(msj, "[stream]") || !strings.Contains(msj, `scan [document("auction.xml")]`) {
 		t.Errorf("plan tree:\n%s", msj)
 	}
-	nlj := q.Plan(Options{Mode: ModeNLJ}).Tree()
+	nlj := q.Plan(Options{ForceJoinMode: ModeNLJ}).Tree()
 	if strings.Contains(nlj, "for-merge-join") {
 		t.Errorf("NLJ plan should not merge join:\n%s", nlj)
 	}
@@ -470,7 +470,7 @@ func TestPlanTree(t *testing.T) {
 	}
 	// Without pipelining, no operator is marked streamable; the same path
 	// operators run through the materializing engine instead.
-	raw := q.Plan(Options{Mode: ModeMSJ, NoPipeline: true}).Tree()
+	raw := q.Plan(Options{ForceJoinMode: ModeMSJ, NoPipeline: true}).Tree()
 	if strings.Contains(raw, "[stream]") || !strings.Contains(raw, "select") {
 		t.Errorf("NoPipeline plan:\n%s", raw)
 	}
@@ -482,10 +482,10 @@ func TestPlanMatchesRuntimeStrategy(t *testing.T) {
 	queries := []string{xmark.Q8, xmark.Q9, xmark.Q13, xmark.Q17}
 	for _, query := range queries {
 		q := Compile(xq.MustParse(query), Options{})
-		plan := q.Plan(Options{Mode: ModeMSJ}).Tree()
+		plan := q.Plan(Options{ForceJoinMode: ModeMSJ}).Tree()
 		staticMJ := strings.Count(plan, "for-merge-join")
 		stats := &Stats{}
-		if _, err := q.Eval(cat, Options{Mode: ModeMSJ, Stats: stats}); err != nil {
+		if _, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Stats: stats}); err != nil {
 			t.Fatal(err)
 		}
 		if staticMJ != stats.MergeJoins {
@@ -525,7 +525,7 @@ func TestQueryingUpdatedRelations(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-		got, err := Run(query, cat, Options{Mode: mode})
+		got, err := Run(query, cat, Options{ForceJoinMode: mode})
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}

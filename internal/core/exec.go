@@ -389,13 +389,17 @@ func (ev *evaluator) evalVar(name string, en *env) (*table, error) {
 }
 
 // execIndexPath serves a compile-time index resolution (see applyIndexes
-// in rewrite.go). The resolution only describes the initial environment of
-// the very relation it was built over, so before serving, the node
-// re-checks that the runtime document binding is that relation (pointer
-// identity) and — for seeks — that the chain runs in the single unfiltered
-// depth-0 environment. Anything else falls back to the scan-backed chain
-// kept in Inputs[0]; pruned paths serve at any depth, because an absent
-// path is empty in every environment.
+// in rewrite.go). The resolution only describes the very relation it was
+// built over, so before serving, the node re-checks that the runtime
+// document binding is that relation (pointer identity). In the single
+// unfiltered depth-0 environment the resolved ranges are the answer and
+// are served directly; under refined or deeper environments the chain is
+// still loop-invariant (its source is a document scan), so the ranges are
+// materialized once and embedded into the current environments — exactly
+// what the scan-backed chain would compute by embedding the whole
+// document first and filtering after. A replaced document binding falls
+// back to the scan-backed chain kept in Inputs[0]; pruned paths serve at
+// any depth, because an absent path is empty in every environment.
 func (ev *evaluator) execIndexPath(n *plan.Node, en *env) (*table, error) {
 	if sk := n.Seek; sk != nil {
 		if b, ok := en.lookup("doc:" + sk.Doc); ok && b.depth == 0 && b.tab.rel == sk.Rel {
@@ -404,18 +408,24 @@ func (ev *evaluator) execIndexPath(n *plan.Node, en *env) (*table, error) {
 				ev.addSkipped(n, int64(len(sk.Rel.Tuples)))
 				return &table{rel: &interval.Relation{}, local: b.tab.local + sk.WidenBy}, nil
 			}
-			if en.depth == 0 && len(en.index) == 1 {
-				defer track(ev.phaseDur(&ev.stats.Paths))()
-				start := ev.now()
-				out := &interval.Relation{Tuples: make([]interval.Tuple, 0, sk.Rows)}
-				for _, r := range sk.Ranges {
-					out.Tuples = append(out.Tuples, sk.Rel.Tuples[r[0]:r[1]]...)
-				}
-				obs.IndexSeeks.Inc()
-				ev.addSkipped(n, int64(len(sk.Rel.Tuples))-sk.Rows)
-				ev.note("index-seek", start, out.Len())
-				return &table{rel: out, local: b.tab.local}, nil
+			defer track(ev.phaseDur(&ev.stats.Paths))()
+			start := ev.now()
+			out := &interval.Relation{Tuples: make([]interval.Tuple, 0, sk.Rows)}
+			for _, r := range sk.Ranges {
+				out.Tuples = append(out.Tuples, sk.Rel.Tuples[r[0]:r[1]]...)
 			}
+			if en.depth != 0 || len(en.index) != 1 {
+				embedded, err := ev.ops.embedOuter(en.index, 0, en.depth, out, ev.budget)
+				if err != nil {
+					return nil, err
+				}
+				ev.stats.EmbeddedTuples += int64(embedded.Len())
+				out = embedded
+			}
+			obs.IndexSeeks.Inc()
+			ev.addSkipped(n, int64(len(sk.Rel.Tuples))-sk.Rows)
+			ev.note("index-seek", start, out.Len())
+			return &table{rel: out, local: b.tab.local}, nil
 		}
 	}
 	obs.IndexScanFallbacks.Inc()

@@ -42,11 +42,11 @@ func TestFlatMatchesLegacyKeys(t *testing.T) {
 		e := xq.RandomExpr(rng, docNames, 4)
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
 			q := Compile(e, Options{})
-			flat, err := q.Eval(cat, Options{Mode: mode})
+			flat, err := q.Eval(cat, Options{ForceJoinMode: mode})
 			if err != nil {
 				t.Fatalf("trial %d (%s, flat): %v on %s", trial, mode, err, e)
 			}
-			legacy, err := q.Eval(cat, Options{Mode: mode, LegacyKeys: true})
+			legacy, err := q.Eval(cat, Options{ForceJoinMode: mode, LegacyKeys: true})
 			if err != nil {
 				t.Fatalf("trial %d (%s, legacy): %v on %s", trial, mode, err, e)
 			}
@@ -69,9 +69,9 @@ func BenchmarkMSJ(b *testing.B) {
 		name string
 		opts Options
 	}{
-		{"flat", Options{Mode: ModeMSJ}},
-		{"legacy", Options{Mode: ModeMSJ, LegacyKeys: true}},
-		{"flat-parallel", Options{Mode: ModeMSJ, Parallelism: 8}},
+		{"flat", Options{ForceJoinMode: ModeMSJ}},
+		{"legacy", Options{ForceJoinMode: ModeMSJ, LegacyKeys: true}},
+		{"flat-parallel", Options{ForceJoinMode: ModeMSJ, Parallelism: 8}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()

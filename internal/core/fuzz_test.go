@@ -39,7 +39,7 @@ func FuzzEndToEnd(f *testing.F) {
 		want, werr := interp.EvalBudget(e, nil, icat, &interp.Budget{MaxSteps: 50_000})
 		q := Compile(e, Options{})
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-			got, gerr := q.EvalForest(cat, Options{Mode: mode, MaxTuples: 200_000})
+			got, gerr := q.EvalForest(cat, Options{ForceJoinMode: mode, MaxTuples: 200_000})
 			if werr != nil || gerr != nil {
 				continue // budget or semantic error paths; no agreement claim
 			}

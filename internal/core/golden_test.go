@@ -38,7 +38,7 @@ func TestGoldenOutputs(t *testing.T) {
 		}
 		q := Compile(e, Options{})
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-			f, err := q.EvalForest(cat, Options{Mode: mode})
+			f, err := q.EvalForest(cat, Options{ForceJoinMode: mode})
 			if err != nil {
 				t.Fatalf("%s (%s): %v", g.name, mode, err)
 			}

@@ -279,7 +279,7 @@ func (ev *evaluator) legacyEvalCond(c xq.Cond, en *env) ([]bool, error) {
 }
 
 func (ev *evaluator) legacyEvalFor(e xq.For, en *env) (*table, error) {
-	if ev.opts.Mode == ModeMSJ {
+	if ev.opts.ForceJoinMode == ModeMSJ {
 		if tab, ok, err := ev.legacyTryMergeJoin(e, en); err != nil {
 			return nil, err
 		} else if ok {
@@ -508,10 +508,10 @@ func FuzzCompileExecute(f *testing.F) {
 		e := xq.RandomExpr(rng, []string{"d1", "d2"}, 3)
 		q := Compile(e, Options{})
 		for _, opts := range []Options{
-			{Mode: ModeMSJ},
-			{Mode: ModeNLJ},
-			{Mode: ModeMSJ, LegacyKeys: true},
-			{Mode: ModeMSJ, NoPipeline: true},
+			{ForceJoinMode: ModeMSJ},
+			{ForceJoinMode: ModeNLJ},
+			{ForceJoinMode: ModeMSJ, LegacyKeys: true},
+			{ForceJoinMode: ModeMSJ, NoPipeline: true},
 		} {
 			want, werr := legacyWalk(q.Expr, cat, opts)
 			got, gerr := q.Eval(cat, opts)

@@ -81,7 +81,7 @@ func TestDifferentialJoinQueries(t *testing.T) {
 			}
 			q := Compile(e, Options{})
 			for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-				got, err := q.EvalForest(cat, Options{Mode: mode})
+				got, err := q.EvalForest(cat, Options{ForceJoinMode: mode})
 				if err != nil {
 					t.Fatalf("trial %d shape %d (%s): %v", trial, si, mode, err)
 				}
@@ -123,7 +123,7 @@ func TestMergeJoinActuallyFires(t *testing.T) {
 	for _, tt := range cases {
 		stats := &Stats{}
 		q := Compile(xq.MustParse(tt.query), Options{})
-		if _, err := q.Eval(cat, Options{Mode: ModeMSJ, Stats: stats}); err != nil {
+		if _, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Stats: stats}); err != nil {
 			t.Fatalf("%s: %v", tt.query, err)
 		}
 		if stats.MergeJoins != tt.want {
@@ -140,11 +140,11 @@ func TestMergeJoinPreservesDocumentOrder(t *testing.T) {
 		doc := xmark.Generate(xmark.Config{ScaleFactor: 0.0015, Seed: seed})
 		cat := EncodeCatalog(map[string]xmltree.Forest{"auction.xml": doc})
 		q := Compile(xq.MustParse(xmark.Q9), Options{})
-		msj, err := q.Eval(cat, Options{Mode: ModeMSJ})
+		msj, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ})
 		if err != nil {
 			t.Fatal(err)
 		}
-		nlj, err := q.Eval(cat, Options{Mode: ModeNLJ})
+		nlj, err := q.Eval(cat, Options{ForceJoinMode: ModeNLJ})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func TestMergeJoinManyToMany(t *testing.T) {
 	          return for $y in document("d")/db/bs/rec
 	          where $x/k = $y/k
 	          return <m>{$x/p/text()}{$y/p/text()}</m>`
-	f, err := Run(query, cat, Options{Mode: ModeMSJ})
+	f, err := Run(query, cat, Options{ForceJoinMode: ModeMSJ})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestEmptyKeysJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-		got, err := Run(query, cat, Options{Mode: mode})
+		got, err := Run(query, cat, Options{ForceJoinMode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +243,7 @@ func TestPositionalVariableAcrossEngines(t *testing.T) {
 			t.Fatalf("interp: %v\n%s", err, query)
 		}
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-			got, err := Run(query, cat, Options{Mode: mode})
+			got, err := Run(query, cat, Options{ForceJoinMode: mode})
 			if err != nil {
 				t.Fatalf("%s: %v\n%s", mode, err, query)
 			}
@@ -259,11 +259,11 @@ func TestParallelSortMatchesSerial(t *testing.T) {
 	// scale exceeding the parallel threshold.
 	cat, _ := generatedCatalog(0.02, 77)
 	q := Compile(xq.MustParse(xmark.Q8), Options{})
-	serial, err := q.Eval(cat, Options{Mode: ModeMSJ})
+	serial, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := q.Eval(cat, Options{Mode: ModeMSJ, Parallelism: 8})
+	parallel, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func benchmarkParallel(b *testing.B, query string) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			prev := exec.SetLimit(workers)
 			defer exec.SetLimit(prev)
-			opts := Options{Mode: ModeMSJ, Parallelism: workers}
+			opts := Options{ForceJoinMode: ModeMSJ, Parallelism: workers}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -340,7 +340,12 @@ func rewriteChain(head *plan.Node, set *index.Set) *plan.Node {
 	bottom := chain[len(chain)-1]
 	bottom.Inputs[0] = rewriteAccess(bottom.Inputs[0], set)
 	src := bottom.Inputs[0]
-	if src.Op == plan.OpScan && src.Depth == 0 {
+	// A document scan is loop-invariant at any depth (documents never
+	// depend on loop variables), so chains rooted at scans inside loops
+	// (Depth >= 1) resolve too: the executor serves the ranges once and
+	// embeds them into the current environments, exactly as the
+	// scan-backed chain would embed its source document.
+	if src.Op == plan.OpScan {
 		if ix := set.Docs[src.Label]; ix != nil {
 			if n := absorbChain(head, chain, src, ix); n != nil {
 				return n
@@ -424,7 +429,7 @@ func pruneAbsent(head *plan.Node, chain []*plan.Node, set *index.Set) *plan.Node
 walk:
 	for {
 		switch {
-		case cur.Op == plan.OpScan && cur.Depth == 0:
+		case cur.Op == plan.OpScan:
 			ix = set.Docs[cur.Label]
 			doc = cur.Label
 			break walk

@@ -50,12 +50,12 @@ func TestMemBudgetSpillsDigitIdentical(t *testing.T) {
 	for _, tc := range queries {
 		q := Compile(xq.MustParse(tc.text), Options{})
 		for _, mode := range []Mode{ModeMSJ, ModeNLJ} {
-			want, err := q.Eval(cat, Options{Mode: mode})
+			want, err := q.Eval(cat, Options{ForceJoinMode: mode})
 			if err != nil {
 				t.Fatalf("%s/%s unbudgeted: %v", tc.name, mode, err)
 			}
 			stats := &Stats{}
-			got, err := q.Eval(cat, Options{Mode: mode, MemBudget: 256, SpillDir: dir, Stats: stats})
+			got, err := q.Eval(cat, Options{ForceJoinMode: mode, MemBudget: 256, SpillDir: dir, Stats: stats})
 			if err != nil {
 				t.Fatalf("%s/%s budgeted: %v", tc.name, mode, err)
 			}
@@ -76,7 +76,7 @@ func TestAnalyzeReportsSpilledRuns(t *testing.T) {
 	cat, _ := generatedCatalog(0.002, 1)
 	q := Compile(xq.MustParse(xmark.Q8), Options{})
 	text, rs, err := q.ExplainAnalyze(cat, Options{
-		Mode: ModeMSJ, MemBudget: 256, SpillDir: t.TempDir(),
+		ForceJoinMode: ModeMSJ, MemBudget: 256, SpillDir: t.TempDir(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,11 +99,11 @@ func TestAnalyzeReportsSpilledRuns(t *testing.T) {
 func TestAbortBudgetsStillAbortUnderMemBudget(t *testing.T) {
 	cat, _ := generatedCatalog(0.01, 1)
 	q := Compile(xq.MustParse(xmark.Q8), Options{})
-	opts := Options{Mode: ModeNLJ, MaxTuples: 10_000, MemBudget: 256, SpillDir: t.TempDir()}
+	opts := Options{ForceJoinMode: ModeNLJ, MaxTuples: 10_000, MemBudget: 256, SpillDir: t.TempDir()}
 	if _, err := q.Eval(cat, opts); !errors.Is(err, engine.ErrBudgetExceeded) {
 		t.Fatalf("MaxTuples err = %v, want budget exceeded", err)
 	}
-	opts = Options{Mode: ModeNLJ, Timeout: time.Nanosecond, MemBudget: 256, SpillDir: t.TempDir()}
+	opts = Options{ForceJoinMode: ModeNLJ, Timeout: time.Nanosecond, MemBudget: 256, SpillDir: t.TempDir()}
 	if _, err := q.Eval(cat, opts); !errors.Is(err, engine.ErrBudgetExceeded) {
 		t.Fatalf("Timeout err = %v, want budget exceeded", err)
 	}

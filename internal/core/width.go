@@ -196,9 +196,9 @@ func (q *Query) Explain() string {
 	b.WriteString("loops:\n")
 	explainLoops(q.Expr, &b, map[string]bool{})
 	b.WriteString("operator tree (DI-MSJ):\n")
-	indent(&b, q.Plan(Options{Mode: ModeMSJ}).Tree())
+	indent(&b, q.Plan(Options{ForceJoinMode: ModeMSJ}).Tree())
 	b.WriteString("operator tree (DI-NLJ):\n")
-	indent(&b, q.Plan(Options{Mode: ModeNLJ}).Tree())
+	indent(&b, q.Plan(Options{ForceJoinMode: ModeNLJ}).Tree())
 	return b.String()
 }
 

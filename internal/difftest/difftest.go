@@ -1,7 +1,8 @@
 // Package difftest is the cross-engine differential harness: one shared
 // corpus of queries and documents, executed through every evaluation
 // strategy the repository ships — the denotational interpreter (the
-// semantic oracle), the DI-MSJ and DI-NLJ plan modes, the legacy key
+// semantic oracle), the cost-based DI-OPT mode (with and without real
+// statistics) and the forced DI-MSJ and DI-NLJ plan modes, the legacy key
 // layout, the unfused ablation, the scalar pipeline, the batched
 // pipeline at several chunk sizes, and every Parallelism/MemBudget
 // combination — asserting digit-identical results.
@@ -30,6 +31,7 @@ import (
 	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
+	"dixq/internal/stats"
 	"dixq/internal/xmark"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
@@ -94,7 +96,7 @@ type Variant struct {
 // against: serial, scalar, in-memory DI-MSJ — the most literal execution
 // of the compiled plan.
 func Baseline() core.Options {
-	return core.Options{Mode: core.ModeMSJ, Parallelism: 1, ScalarPipeline: true}
+	return core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1, ScalarPipeline: true}
 }
 
 // Variants is the full configuration matrix: the plan-mode and
@@ -103,23 +105,23 @@ func Baseline() core.Options {
 // receives the external-sort runs of the budgeted variants.
 func Variants(spillDir string) []Variant {
 	vs := []Variant{
-		{"nlj-scalar", core.Options{Mode: core.ModeNLJ, Parallelism: 1, ScalarPipeline: true}},
-		{"legacy-keys", core.Options{Mode: core.ModeMSJ, Parallelism: 1, LegacyKeys: true}},
-		{"no-pipeline", core.Options{Mode: core.ModeMSJ, Parallelism: 1, NoPipeline: true}},
-		{"default", core.Options{Mode: core.ModeMSJ}},
+		{"nlj-scalar", core.Options{ForceJoinMode: core.ModeNLJ, Parallelism: 1, ScalarPipeline: true}},
+		{"legacy-keys", core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1, LegacyKeys: true}},
+		{"no-pipeline", core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1, NoPipeline: true}},
+		{"default", core.Options{ForceJoinMode: core.ModeMSJ}},
 	}
-	for _, mode := range []core.Mode{core.ModeMSJ, core.ModeNLJ} {
+	for _, mode := range []core.Mode{core.ModeAuto, core.ModeMSJ, core.ModeNLJ} {
 		for _, par := range []int{1, 4} {
 			for _, budget := range []int64{0, 256} {
 				for _, size := range []int{1, 3, 256} {
 					vs = append(vs, Variant{
 						Name: fmt.Sprintf("%s-batch%d-par%d-budget%d", mode, size, par, budget),
 						Opts: core.Options{
-							Mode:        mode,
-							BatchSize:   size,
-							Parallelism: par,
-							MemBudget:   budget,
-							SpillDir:    spillDir,
+							ForceJoinMode: mode,
+							BatchSize:     size,
+							Parallelism:   par,
+							MemBudget:     budget,
+							SpillDir:      spillDir,
 						},
 					})
 				}
@@ -138,6 +140,24 @@ func WithIndexes(vs []Variant, set *index.Set) []Variant {
 	for _, v := range vs {
 		v.Name += "-idx"
 		v.Opts.Indexes = set
+		out = append(out, v)
+	}
+	return out
+}
+
+// WithStats clones the ModeAuto variants with real per-document
+// statistics attached (name suffix "-stats") — the configurations where
+// the cost-based optimizer makes informed choices instead of nominal
+// ones. Whatever it decides must stay digit-identical to the forced
+// modes, so the clones join the same matrix.
+func WithStats(vs []Variant, st *stats.Set) []Variant {
+	var out []Variant
+	for _, v := range vs {
+		if v.Opts.ForceJoinMode != core.ModeAuto {
+			continue
+		}
+		v.Name += "-stats"
+		v.Opts.DocStats = st
 		out = append(out, v)
 	}
 	return out

@@ -1,11 +1,16 @@
 package difftest
 
 import (
+	"strings"
 	"testing"
 
+	"dixq/internal/core"
 	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
+	"dixq/internal/plan"
+	"dixq/internal/stats"
+	"dixq/internal/xq"
 )
 
 // lowerSortThreshold makes the parallel structural sort engage on
@@ -26,6 +31,7 @@ func TestEnginesAgreeOnCorpus(t *testing.T) {
 	cat, icat := Docs(t, 0.002, 17)
 	variants := Variants(t.TempDir())
 	variants = append(variants, WithIndexes(variants, index.BuildSet(cat))...)
+	variants = append(variants, WithStats(variants, stats.CollectSet(cat))...)
 	for _, c := range Corpus() {
 		t.Run(c.Name, func(t *testing.T) {
 			oracle, oerr := interp.Run(c.Query, icat)
@@ -54,5 +60,64 @@ func TestEnginesAgreeOnCorpus(t *testing.T) {
 				IdenticalRelations(t, v.Name, got, want)
 			}
 		})
+	}
+}
+
+// TestLoopInvariantSeeksInsideLoops pins the depth >= 1 index-seek
+// rewrite: path chains rooted at document scans inside loops resolve
+// against the structural index and are served by embedding the resolved
+// ranges into the loop environments. Queries are compiled with
+// NoRewrites so the chains stay inside the loops (hoisting would lift
+// them to depth 0 and dodge the code path entirely); each indexed run
+// must be digit-identical to its scan-backed twin, and at least one plan
+// must actually carry a seek at Depth >= 1.
+func TestLoopInvariantSeeksInsideLoops(t *testing.T) {
+	cat, _ := Docs(t, 0.002, 17)
+	set := index.BuildSet(cat)
+	queries := []string{
+		// Chain in the loop body.
+		`for $x in document("d")/a/b return document("d")/a/b/text()`,
+		// Chain in an inner loop's domain and a join against it.
+		`for $x in document("d")/a/b
+		 return for $y in document("d")/a/c/b
+		 where $x = $y return <m>{$y}</m>`,
+		// Chain under a where condition inside the loop.
+		`for $x in document("d")/a/b
+		 where not(empty(document("d")/a/c)) return $x`,
+		// Absent path inside a loop: pruned at depth >= 1.
+		`for $x in document("d")/a/b return document("d")/nope/zzz`,
+		// XMark document, two loop levels deep.
+		`for $p in document("auction.xml")/site/people/person
+		 return for $q in document("auction.xml")/site/regions
+		 return document("auction.xml")/site/people/person/name/text()`,
+	}
+	deepSeek := false
+	for qi, text := range queries {
+		e, err := xq.Parse(text)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		scanOpts := core.Options{ForceJoinMode: core.ModeMSJ, NoRewrites: true, Parallelism: 1}
+		idxOpts := scanOpts
+		idxOpts.Indexes = set
+		// NoRewrites is a compile option: compile one query per option set.
+		want, err := core.Compile(e, scanOpts).Eval(cat, scanOpts)
+		if err != nil {
+			t.Fatalf("query %d scan: %v", qi, err)
+		}
+		qIdx := core.Compile(e, idxOpts)
+		plan.Walk(qIdx.Plan(idxOpts), func(n *plan.Node) {
+			if n.Op == plan.OpIndexPath && n.Seek != nil && n.Depth >= 1 {
+				deepSeek = true
+			}
+		})
+		got, err := qIdx.Eval(cat, idxOpts)
+		if err != nil {
+			t.Fatalf("query %d indexed: %v", qi, err)
+		}
+		IdenticalRelations(t, "indexed query "+strings.Fields(text)[0], got, want)
+	}
+	if !deepSeek {
+		t.Fatal("no plan carried an index seek at depth >= 1; the rewrite did not fire")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"dixq/internal/core"
 	"dixq/internal/index"
 	"dixq/internal/interval"
+	"dixq/internal/stats"
 	"dixq/internal/xmark"
 	"dixq/internal/xq"
 )
@@ -50,8 +51,8 @@ func FuzzParallelExecute(f *testing.F) {
 
 		q := core.Compile(e, core.Options{})
 		for _, mode := range []core.Mode{core.ModeMSJ, core.ModeNLJ} {
-			serialOpts := core.Options{Mode: mode, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
-			parOpts := core.Options{Mode: mode, BatchSize: batch, Parallelism: par, MaxTuples: 200_000}
+			serialOpts := core.Options{ForceJoinMode: mode, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
+			parOpts := core.Options{ForceJoinMode: mode, BatchSize: batch, Parallelism: par, MaxTuples: 200_000}
 			want, werr := q.Eval(cat, serialOpts)
 			got, gerr := q.Eval(cat, parOpts)
 			if (werr != nil) != (gerr != nil) {
@@ -104,7 +105,7 @@ func FuzzIndexedExecute(f *testing.F) {
 			mode = core.ModeNLJ
 		}
 		q := core.Compile(e, core.Options{})
-		scanOpts := core.Options{Mode: mode, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
+		scanOpts := core.Options{ForceJoinMode: mode, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
 		idxOpts := scanOpts
 		idxOpts.Indexes = set
 		want, werr := q.Eval(cat, scanOpts)
@@ -117,5 +118,59 @@ func FuzzIndexedExecute(f *testing.F) {
 			return
 		}
 		IdenticalRelations(t, mode.String()+"-idx", got, want)
+	})
+}
+
+// FuzzOptimizedExecute fuzzes the cost-based optimizer's soundness claim:
+// for any query text and statistics configuration, the plan DI-OPT picks
+// — whatever mix of merge joins and demoted nested loops its cost model
+// chose — must produce the relation both forced modes produce, digit for
+// digit. The corpus seeds cover the benchmark queries, the end-to-end
+// seed corpus, and generated random expressions; the stats flag flips
+// between real collected statistics and the nominal no-stats estimates,
+// so both costing regimes face the full input space.
+func FuzzOptimizedExecute(f *testing.F) {
+	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13} {
+		f.Add(q, uint8(64), true)
+	}
+	for _, c := range Corpus() {
+		f.Add(c.Query, uint8(1), true)
+		f.Add(c.Query, uint8(255), false)
+	}
+	for _, seed := range []int64{5, 13, 77, 20030609} {
+		rng := rand.New(rand.NewSource(seed))
+		e := xq.RandomExpr(rng, []string{"d", "auction.xml"}, 4)
+		f.Add(e.String(), uint8(seed%9+1), seed%2 == 0)
+	}
+
+	cat, _ := Docs(f, 0.0005, 17)
+	st := stats.CollectSet(cat)
+
+	f.Fuzz(func(t *testing.T, src string, chunk uint8, withStats bool) {
+		e, err := xq.Parse(src)
+		if err != nil {
+			return
+		}
+		batch := int(chunk)%256 + 1
+		q := core.Compile(e, core.Options{})
+		optOpts := core.Options{ForceJoinMode: core.ModeAuto, BatchSize: batch, Parallelism: 1, MaxTuples: 200_000}
+		if withStats {
+			optOpts.DocStats = st
+		}
+		got, gerr := q.Eval(cat, optOpts)
+		for _, mode := range []core.Mode{core.ModeMSJ, core.ModeNLJ} {
+			opts := optOpts
+			opts.ForceJoinMode = mode
+			opts.DocStats = nil
+			want, werr := q.Eval(cat, opts)
+			if werr != nil || gerr != nil {
+				// The join algorithms differ in how much work the MaxTuples
+				// budget meters (that asymmetry is the optimizer's whole
+				// point), so budget errors may legitimately hit one side
+				// only; there is nothing to compare then.
+				continue
+			}
+			IdenticalRelations(t, "opt-vs-"+mode.String(), got, want)
+		}
 	})
 }

@@ -36,7 +36,7 @@ func TestConcurrentParallelSpillingRuns(t *testing.T) {
 	refs := make([]ref, len(queries))
 	for i, src := range queries {
 		q := core.Compile(xq.MustParse(src), core.Options{})
-		rel, err := q.Eval(cat, core.Options{Mode: core.ModeMSJ, Parallelism: 1})
+		rel, err := q.Eval(cat, core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,11 +54,11 @@ func TestConcurrentParallelSpillingRuns(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				ref := refs[(g+r)%len(refs)]
 				rel, err := ref.q.Eval(cat, core.Options{
-					Mode:        core.ModeMSJ,
-					Parallelism: 4,
-					BatchSize:   16,
-					MemBudget:   256,
-					SpillDir:    dir,
+					ForceJoinMode: core.ModeMSJ,
+					Parallelism:   4,
+					BatchSize:     16,
+					MemBudget:     256,
+					SpillDir:      dir,
 				})
 				if err != nil {
 					errs <- err

@@ -183,6 +183,12 @@ type Node struct {
 	// computed against a nominal 1000-tuple document; -1 when unknown.
 	// It is a planning hint, not a promise.
 	Card int64
+	// Est is the cost-based optimizer's estimated output rows, computed
+	// against real per-document statistics (internal/stats); -1 when the
+	// plan was not optimized (forced modes, no stats). Analyze output
+	// renders it next to the actual row count (est=… act=…) so
+	// misestimates are visible per operator.
+	Est int64
 	// Streamable marks nodes the streaming pipeline backend can execute;
 	// the executor runs maximal Streamable chains as one fused pass.
 	Streamable bool
@@ -363,7 +369,9 @@ func (n *Node) write(b *strings.Builder, indent int, role string, rs *RunStats) 
 	}
 	if !n.IsPredicate() && n.Op != OpInvalid {
 		fmt.Fprintf(b, " {digits: %d", n.Digits)
-		if n.Card >= 0 {
+		if n.Est >= 0 {
+			fmt.Fprintf(b, ", est: %d", n.Est)
+		} else if n.Card >= 0 {
 			fmt.Fprintf(b, ", est: %d", n.Card)
 		}
 		b.WriteString("}")
@@ -379,11 +387,15 @@ func (n *Node) write(b *strings.Builder, indent int, role string, rs *RunStats) 
 	}
 	if rs != nil {
 		s := rs.Node(n.ID)
+		est := n.Card
+		if n.Est >= 0 {
+			est = n.Est
+		}
 		// Deterministic actuals first (locked by the analyze goldens), the
 		// run-dependent group last so tests can mask it in one pass
 		// (workers depends on the process worker budget at run time).
-		fmt.Fprintf(b, " (calls=%d rows=%d batches=%d spilled=%d skipped=%d workers=%d time=%s allocs=%d bytes=%d)",
-			s.Calls, s.Rows, s.Batches, s.Spilled, s.Skipped, s.Workers, s.Time, s.Allocs, s.Bytes)
+		fmt.Fprintf(b, " (est=%d act=%d calls=%d rows=%d batches=%d spilled=%d skipped=%d workers=%d time=%s allocs=%d bytes=%d)",
+			est, s.Rows, s.Calls, s.Rows, s.Batches, s.Spilled, s.Skipped, s.Workers, s.Time, s.Allocs, s.Bytes)
 	}
 	b.WriteByte('\n')
 	labels := n.inputLabels()
@@ -417,6 +429,14 @@ func MaxID(n *Node) int {
 		}
 	})
 	return m
+}
+
+// ResetEst marks every node's optimizer estimate unset (-1). The
+// compiler calls it once per plan before handing the tree to the
+// optimizer, so unoptimized (forced-mode) plans render their nominal
+// Card hints rather than a spurious zero estimate.
+func ResetEst(n *Node) {
+	Walk(n, func(c *Node) { c.Est = -1 })
 }
 
 // AssignIDs numbers the plan's nodes in preorder. The compiler calls it

@@ -47,13 +47,16 @@ func newPlanCache(capacity int) *planCache {
 // as the executor resolves it) — so equivalent requests hit the same slot
 // while requests differing in any effective knob never collide. (Before
 // options were part of the key, a cached entry served requests whose
-// options differed from the ones it was first compiled under.) The index
-// epoch folds document reloads into the key: a document re-added to the
-// catalog rebuilds its structural index, and plans compiled against the
-// old index must not be reused.
-func planKey(req *QueryRequest, cfg Config, epoch uint64) string {
-	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d\x00idx=%d",
-		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg), epoch)
+// options differed from the ones it was first compiled under.) The two
+// catalog epochs fold document changes into the key, independently: the
+// index epoch changes when a document reload rebuilds its structural
+// index, and the stats epoch changes whenever per-document statistics are
+// recollected — including RefreshStats runs that rebuild no index — so a
+// plan the cost-based optimizer shaped around stale statistics is never
+// reused.
+func planKey(req *QueryRequest, cfg Config, idxEpoch, statsEpoch uint64) string {
+	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d\x00idx=%d\x00stats=%d",
+		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg), idxEpoch, statsEpoch)
 }
 
 // get returns the cached plan for key and promotes it to most-recent.

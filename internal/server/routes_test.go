@@ -103,7 +103,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	exposition := string(text)
 	for _, want := range []string{
 		"# TYPE dixq_queries_total counter",
-		`dixq_queries_total{engine="di-msj",outcome="ok"}`,
+		`dixq_queries_total{engine="di-opt",outcome="ok"}`,
 		"# TYPE dixq_query_duration_seconds histogram",
 		"dixq_query_duration_seconds_count",
 		"dixq_active_queries",
@@ -148,7 +148,7 @@ func TestTracesEndpoint(t *testing.T) {
 	}
 	// Newest first: the second query hit the plan cache.
 	tr := out.Traces[0]
-	if tr.Engine != "di-msj" || tr.Outcome != "ok" || tr.DurationNS <= 0 {
+	if tr.Engine != "di-opt" || tr.Outcome != "ok" || tr.DurationNS <= 0 {
 		t.Fatalf("trace = %+v", tr)
 	}
 	if !strings.Contains(tr.Query, "document(") {

@@ -124,8 +124,8 @@ func New(docs map[string]*dixq.Document, cfg Config) *Server {
 type QueryRequest struct {
 	// Query is the XQuery text.
 	Query string `json:"query"`
-	// Engine selects the evaluation strategy: "di-msj" (default),
-	// "di-nlj", "interp", or "generic-sql".
+	// Engine selects the evaluation strategy: "di-opt" (the cost-based
+	// default), "di-msj", "di-nlj", "interp", or "generic-sql".
 	Engine string `json:"engine,omitempty"`
 	// Indent pretty-prints the result XML.
 	Indent bool `json:"indent,omitempty"`
@@ -285,7 +285,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
 		return nil, nil, info, false
 	}
-	key := planKey(&req, s.cfg, s.cat.IndexEpoch())
+	key := planKey(&req, s.cfg, s.cat.IndexEpoch(), s.cat.StatsEpoch())
 	if q, ok := s.plans.get(key); ok {
 		info.cacheHit = true
 		return &req, q, info, true
@@ -304,6 +304,8 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 // engineLabel is the canonical metric/trace label of an engine.
 func engineLabel(e dixq.Engine) string {
 	switch e {
+	case dixq.CostBased:
+		return "di-opt"
 	case dixq.MergeJoin:
 		return "di-msj"
 	case dixq.NestedLoop:
@@ -371,7 +373,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	execStart := time.Now()
 	var res *dixq.Result
 	var ops []dixq.OperatorStat
-	if tr != nil && (eng == dixq.MergeJoin || eng == dixq.NestedLoop) {
+	if tr != nil && (eng == dixq.CostBased || eng == dixq.MergeJoin || eng == dixq.NestedLoop) {
 		// A sampled DI query runs instrumented, so the trace carries one
 		// child span per plan operator — the same exclusive-time actuals
 		// POST /explain {"analyze":true} reports.
@@ -467,6 +469,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 type ExplainResponse struct {
 	Plan string `json:"plan"`
 	Core string `json:"core"`
+	// Optimizer is the cost-based optimizer's report — join graph,
+	// estimates, and per-loop decisions with both candidates' costs —
+	// present when the requested engine is di-opt (the default).
+	Optimizer *dixq.OptimizerReport `json:"optimizer,omitempty"`
 	// AnalyzedPlan is the executed physical plan annotated with each
 	// operator's actuals.
 	AnalyzedPlan string `json:"analyzed_plan,omitempty"`
@@ -501,6 +507,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := ExplainResponse{Plan: q.Explain(), Core: q.Core()}
+	if eng, err := parseEngine(req.Engine); err == nil {
+		// Nil for forced and non-DI engines: those runs bypass the
+		// optimizer by design.
+		out.Optimizer = q.OptimizerReport(s.cat, req.options(eng, s.cfg))
+	}
 	if req.Analyze {
 		engine, err := parseEngine(req.Engine)
 		if err != nil {
@@ -560,7 +571,9 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 
 func parseEngine(name string) (dixq.Engine, error) {
 	switch name {
-	case "", "di-msj":
+	case "", "di-opt":
+		return dixq.CostBased, nil
+	case "di-msj":
 		return dixq.MergeJoin, nil
 	case "di-nlj":
 		return dixq.NestedLoop, nil
@@ -569,7 +582,7 @@ func parseEngine(name string) (dixq.Engine, error) {
 	case "generic-sql":
 		return dixq.GenericSQL, nil
 	default:
-		return 0, fmt.Errorf("unknown engine %q (di-msj, di-nlj, interp, generic-sql)", name)
+		return 0, fmt.Errorf("unknown engine %q (di-opt, di-msj, di-nlj, interp, generic-sql)", name)
 	}
 }
 

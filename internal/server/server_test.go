@@ -301,7 +301,7 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	}
 	seen := map[string]int{}
 	for i, req := range distinct {
-		key := planKey(&req, Config{}, 0)
+		key := planKey(&req, Config{}, 0, 0)
 		if j, dup := seen[key]; dup {
 			t.Errorf("requests %d and %d share cache key %q", j, i, key)
 		}
@@ -311,7 +311,7 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	for _, par := range []int{-1, 0, def} {
 		req := base
 		req.Parallelism = par
-		if got, want := planKey(&req, Config{}, 0), planKey(&base, Config{}, 0); got != want {
+		if got, want := planKey(&req, Config{}, 0, 0), planKey(&base, Config{}, 0, 0); got != want {
 			t.Errorf("parallelism %d key = %q, want the default key %q", par, got, want)
 		}
 	}
@@ -319,24 +319,29 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	// under Config{Parallelism: n} shares the slot of an explicit n.
 	explicit := base
 	explicit.Parallelism = def + 1
-	if got, want := planKey(&base, Config{Parallelism: def + 1}, 0), planKey(&explicit, Config{}, 0); got != want {
+	if got, want := planKey(&base, Config{Parallelism: def + 1}, 0, 0), planKey(&explicit, Config{}, 0, 0); got != want {
 		t.Errorf("config-default key = %q, want the explicit key %q", got, want)
 	}
 	// ... and an explicit request value overrides the server default.
-	if got, want := planKey(&explicit, Config{Parallelism: def + 2}, 0), planKey(&explicit, Config{}, 0); got != want {
+	if got, want := planKey(&explicit, Config{Parallelism: def + 2}, 0, 0), planKey(&explicit, Config{}, 0, 0); got != want {
 		t.Errorf("request override key = %q, want %q", got, want)
 	}
 	// A new index epoch — a document reloaded into the catalog — must not
 	// reuse plans compiled against the old index.
-	if got, want := planKey(&base, Config{}, 1), planKey(&base, Config{}, 0); got == want {
+	if got, want := planKey(&base, Config{}, 1, 0), planKey(&base, Config{}, 0, 0); got == want {
 		t.Errorf("index epoch change kept cache key %q", got)
+	}
+	// A new stats epoch with the index epoch unchanged — RefreshStats —
+	// must not reuse plans the optimizer shaped around the old statistics.
+	if got, want := planKey(&base, Config{}, 0, 1), planKey(&base, Config{}, 0, 0); got == want {
+		t.Errorf("stats epoch change kept cache key %q", got)
 	}
 	// Analyze and Indent shape the response, not the plan.
 	for _, req := range []QueryRequest{
 		{Query: "q", Engine: "di-msj", Analyze: true},
 		{Query: "q", Engine: "di-msj", Indent: true},
 	} {
-		if got, want := planKey(&req, Config{}, 0), planKey(&base, Config{}, 0); got != want {
+		if got, want := planKey(&req, Config{}, 0, 0), planKey(&base, Config{}, 0, 0); got != want {
 			t.Errorf("response-only option changed the key: %q vs %q", got, want)
 		}
 	}
@@ -450,5 +455,64 @@ func TestPlanCacheEviction(t *testing.T) {
 	off.put("x", q)
 	if _, ok := off.get("x"); ok {
 		t.Fatal("disabled cache returned a plan")
+	}
+}
+
+// TestStatsEpochEvictsPlans is the regression test for statistics-driven
+// plan-cache invalidation: recollecting the catalog's statistics bumps
+// the stats epoch — with the index epoch untouched — and cached plans
+// stop being served, because a plan the cost-based optimizer shaped
+// around the old statistics may no longer be the one it would build.
+// Reloading a document must bump the stats epoch too (alongside the
+// index epoch), so reloads invalidate on both axes.
+func TestStatsEpochEvictsPlans(t *testing.T) {
+	doc, err := dixq.ParseDocument(dixq.XMarkFigure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(map[string]*dixq.Document{"auction.xml": doc}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req := QueryRequest{
+		Query: `for $p in document("auction.xml")/site/people/person
+		        return for $q in document("auction.xml")/site/people/person
+		        where $p = $q return $q/name/text()`,
+		Engine: "di-opt",
+	}
+	run := func() {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/query", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	run() // compile + cache
+	run() // served from cache
+	hits, misses := srv.plans.counts()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("warmup hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+
+	idxBefore, statsBefore := srv.cat.IndexEpoch(), srv.cat.StatsEpoch()
+	srv.cat.RefreshStats()
+	if got := srv.cat.IndexEpoch(); got != idxBefore {
+		t.Fatalf("RefreshStats moved the index epoch %d -> %d", idxBefore, got)
+	}
+	if got := srv.cat.StatsEpoch(); got == statsBefore {
+		t.Fatalf("RefreshStats kept stats epoch %d", got)
+	}
+	run() // must recompile: the cached plan is keyed to the old stats epoch
+	if _, misses = srv.plans.counts(); misses != 2 {
+		t.Fatalf("misses after RefreshStats = %d, want 2 (stale plan served?)", misses)
+	}
+
+	statsBefore = srv.cat.StatsEpoch()
+	srv.cat.Add("auction.xml", doc)
+	if got := srv.cat.StatsEpoch(); got == statsBefore {
+		t.Fatalf("document reload kept stats epoch %d", got)
+	}
+	run()
+	if _, misses = srv.plans.counts(); misses != 3 {
+		t.Fatalf("misses after reload = %d, want 3", misses)
 	}
 }

@@ -45,7 +45,7 @@ func DocWidths(docs map[string]xmltree.Forest) map[string]int64 {
 // no rewrites so the emitted SQL matches the expression as written.
 func Plan(e xq.Expr) *plan.Node {
 	return core.Compile(e, core.Options{NoRewrites: true}).
-		Plan(core.Options{Mode: core.ModeNLJ, NoPipeline: true})
+		Plan(core.Options{ForceJoinMode: core.ModeNLJ, NoPipeline: true})
 }
 
 // Run translates a core expression to SQL, executes it on the minisql

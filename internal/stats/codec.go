@@ -1,0 +1,141 @@
+// Statistics serialization: the persistent form appended to a DIXQS3
+// store file after the document body and index. All integers are
+// uvarint, strings are length-prefixed, and both maps are written in
+// sorted key order so identical statistics serialize to identical bytes.
+package stats
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// maxSaneLen bounds length fields while decoding, mirroring the store's
+// guard against corrupt or hostile files.
+const maxSaneLen = 1 << 31
+
+// Write serializes the statistics.
+func (s *DocStats) Write(w *bufio.Writer) error {
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	writeString := func(v string) error {
+		if err := writeUvarint(uint64(len(v))); err != nil {
+			return err
+		}
+		_, err := w.WriteString(v)
+		return err
+	}
+	if err := writeUvarint(uint64(s.Tuples)); err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(s.Labels))
+	for l := range s.Labels {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	if err := writeUvarint(uint64(len(labels))); err != nil {
+		return err
+	}
+	for _, l := range labels {
+		if err := writeString(l); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(s.Labels[l])); err != nil {
+			return err
+		}
+	}
+	paths := s.PathNames()
+	if err := writeUvarint(uint64(len(paths))); err != nil {
+		return err
+	}
+	for _, p := range paths {
+		ps := s.Paths[p]
+		if err := writeString(p); err != nil {
+			return err
+		}
+		for _, v := range [3]int64{ps.Count, ps.SubtreeRows, ps.DistinctText} {
+			if err := writeUvarint(uint64(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read deserializes statistics written by Write.
+func Read(r *bufio.Reader) (*DocStats, error) {
+	readUvarint := func() (uint64, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("stats: truncated varint: %w", err)
+		}
+		if v > maxSaneLen {
+			return 0, fmt.Errorf("stats: implausible length %d", v)
+		}
+		return v, nil
+	}
+	readString := func() (string, error) {
+		l, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", fmt.Errorf("stats: truncated string: %w", err)
+		}
+		return string(b), nil
+	}
+	s := &DocStats{Labels: map[string]int64{}, Paths: map[string]PathStats{}}
+	tuples, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Tuples = int64(tuples)
+	nLabels, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		l, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		c, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.Labels[l]; dup {
+			return nil, fmt.Errorf("stats: duplicate label %q", l)
+		}
+		s.Labels[l] = int64(c)
+	}
+	nPaths, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nPaths; i++ {
+		p, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		var vals [3]int64
+		for j := range vals {
+			v, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = int64(v)
+		}
+		if _, dup := s.Paths[p]; dup {
+			return nil, fmt.Errorf("stats: duplicate path %q", p)
+		}
+		s.Paths[p] = PathStats{Count: vals[0], SubtreeRows: vals[1], DistinctText: vals[2]}
+	}
+	return s, nil
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dixq/internal/index"
+	"dixq/internal/interval"
+	"dixq/internal/xmltree"
+)
+
+func handForest() xmltree.Forest {
+	return xmltree.Forest{
+		xmltree.NewElement("a",
+			xmltree.NewAttribute("x", "1"),
+			xmltree.NewElement("b", xmltree.NewText("t")),
+			xmltree.NewElement("b", xmltree.NewText("u")),
+			xmltree.NewElement("c",
+				xmltree.NewElement("b", xmltree.NewText("t")),
+			),
+		),
+	}
+}
+
+func TestCollectHandDoc(t *testing.T) {
+	rel := interval.Encode(handForest())
+	s := Collect(rel)
+	if s.Tuples != int64(len(rel.Tuples)) {
+		t.Fatalf("Tuples = %d, want %d", s.Tuples, len(rel.Tuples))
+	}
+	wantLabels := map[string]int64{"<a>": 1, "<b>": 3, "<c>": 1, "@x": 1}
+	if !reflect.DeepEqual(s.Labels, wantLabels) {
+		t.Fatalf("Labels = %v, want %v", s.Labels, wantLabels)
+	}
+	// /a/b occurs twice, each subtree is the b plus one text child.
+	ab := s.Paths["/<a>/<b>"]
+	if ab.Count != 2 || ab.SubtreeRows != 4 {
+		t.Fatalf("/<a>/<b> = %+v, want Count 2 SubtreeRows 4", ab)
+	}
+	// The two /a/b texts are "t" and "u": distinct 2.
+	abt := s.Paths["/<a>/<b>/#text"]
+	if abt.Count != 2 || abt.DistinctText != 2 || abt.SubtreeRows != 2 {
+		t.Fatalf("/<a>/<b>/#text = %+v, want Count 2 DistinctText 2 SubtreeRows 2", abt)
+	}
+	// The single /a/c/b text is "t": distinct 1.
+	acbt := s.Paths["/<a>/<c>/<b>/#text"]
+	if acbt.Count != 1 || acbt.DistinctText != 1 {
+		t.Fatalf("/<a>/<c>/<b>/#text = %+v, want Count 1 DistinctText 1", acbt)
+	}
+	if got := s.LabelCount("<b>"); got != 3 {
+		t.Fatalf("LabelCount(<b>) = %d, want 3", got)
+	}
+	if got := s.LabelCount("t"); got != 4 { // all text rows: "1", t, u, t
+		t.Fatalf("LabelCount(text) = %d, want 4", got)
+	}
+	if got := s.LabelCount("<zzz>"); got != 0 {
+		t.Fatalf("LabelCount(<zzz>) = %d, want 0", got)
+	}
+}
+
+// TestCollectMatchesIndex is the cross-structure property: over random
+// forests the stats paths are exactly the dataguide paths, per-path
+// counts equal the class instance counts, per-label counts equal the
+// posting lengths, and SubtreeRows equals the sum of End-range sizes.
+func TestCollectMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(20030609))
+	for i := 0; i < 200; i++ {
+		f := xmltree.RandomForest(rng, 60)
+		rel := interval.Encode(f)
+		s := Collect(rel)
+		ix := index.Build(rel)
+		if got, want := s.PathNames(), ix.Paths(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("forest %d %s:\nstats paths     %q\ndataguide paths %q", i, f, got, want)
+		}
+		for label, count := range s.Labels {
+			res := ix.Resolve(nil)
+			_ = res
+			if !ix.HasLabel(label) {
+				t.Fatalf("forest %d: stats label %q missing from postings", i, label)
+			}
+			_ = count
+		}
+		var pathRows int64
+		for _, ps := range s.Paths {
+			pathRows += ps.Count
+		}
+		if pathRows != s.Tuples {
+			t.Fatalf("forest %d: path counts sum to %d, want %d", i, pathRows, s.Tuples)
+		}
+	}
+}
+
+func TestCollectSubtreeRowsAgainstEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		f := xmltree.RandomForest(rng, 40)
+		rel := interval.Encode(f)
+		s := Collect(rel)
+		ix := index.Build(rel)
+		// Recompute per-path subtree rows from the index End array.
+		type frame struct {
+			row  int
+			path string
+		}
+		want := map[string]int64{}
+		var stack []frame
+		for r := range rel.Tuples {
+			for len(stack) > 0 && ix.End[stack[len(stack)-1].row] <= int32(r) {
+				stack = stack[:len(stack)-1]
+			}
+			prefix := ""
+			if len(stack) > 0 {
+				prefix = stack[len(stack)-1].path
+			}
+			label := rel.Tuples[r].S
+			if xmltree.LabelKind(label) == xmltree.Text {
+				label = "#text"
+			}
+			p := prefix + "/" + label
+			want[p] += int64(ix.End[r] - int32(r))
+			stack = append(stack, frame{r, p})
+		}
+		for p, ps := range s.Paths {
+			if ps.SubtreeRows != want[p] {
+				t.Fatalf("forest %d path %s: SubtreeRows %d, want %d", i, p, ps.SubtreeRows, want[p])
+			}
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		f := xmltree.RandomForest(rng, 80)
+		s := Collect(interval.Encode(f))
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := s.Write(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("forest %d: round-trip mismatch:\ngot  %+v\nwant %+v", i, got, s)
+		}
+		// Determinism: a second serialization is byte-identical.
+		var buf2 bytes.Buffer
+		w2 := bufio.NewWriter(&buf2)
+		if err := got.Write(w2); err != nil {
+			t.Fatal(err)
+		}
+		w2.Flush()
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("forest %d: serialization not deterministic", i)
+		}
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	s := Collect(interval.Encode(handForest()))
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := s.Write(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Read(bufio.NewReader(bytes.NewReader(full[:cut]))); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestCollectSet(t *testing.T) {
+	cat := map[string]*interval.Relation{
+		"d1": interval.Encode(handForest()),
+		"d2": interval.Encode(xmltree.Forest{xmltree.NewElement("r")}),
+	}
+	set := CollectSet(cat)
+	if len(set.Docs) != 2 {
+		t.Fatalf("CollectSet produced %d docs, want 2", len(set.Docs))
+	}
+	if set.Doc("d2").Tuples != 1 {
+		t.Fatalf("d2 tuples = %d, want 1", set.Doc("d2").Tuples)
+	}
+	if set.Doc("missing") != nil {
+		t.Fatal("Doc(missing) should be nil")
+	}
+	var nilSet *Set
+	if nilSet.Doc("d1") != nil {
+		t.Fatal("nil Set.Doc should be nil")
+	}
+}
+
+func TestPathNamesSorted(t *testing.T) {
+	s := Collect(interval.Encode(handForest()))
+	names := s.PathNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("PathNames not sorted: %q", names)
+	}
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dixq/internal/index"
+	"dixq/internal/interval"
+	"dixq/internal/stats"
+	"dixq/internal/xmark"
+)
+
+// TestFullRoundTrip covers the DIXQS3 format: WriteFull/ReadFull preserve
+// the relation, index and statistics; plain Read and ReadIndexed skip the
+// extra sections; and ReadFull of DIXQS1/2 files rebuilds statistics
+// lazily.
+func TestFullRoundTrip(t *testing.T) {
+	rel := interval.Encode(xmark.Generate(xmark.Config{ScaleFactor: 0.001, Seed: 4}))
+	ix := index.Build(rel)
+	st := stats.Collect(rel)
+
+	var buf bytes.Buffer
+	if err := WriteFull(&buf, rel, ix, st); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	gotRel, gotIx, gotSt, err := ReadFull(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, gotRel) {
+		t.Fatal("full round trip changed the relation")
+	}
+	if !reflect.DeepEqual(gotIx.Paths(), ix.Paths()) {
+		t.Fatal("full round trip changed the dataguide")
+	}
+	if !reflect.DeepEqual(gotSt, st) {
+		t.Fatalf("full round trip changed the statistics:\ngot  %+v\nwant %+v", gotSt, st)
+	}
+	if gotIx.Rel != gotRel {
+		t.Fatal("decoded index is not bound to the decoded relation")
+	}
+
+	// Plain Read and ReadIndexed drop the stats section cleanly.
+	if plainRel, err := Read(bytes.NewReader(enc)); err != nil || !equalRel(rel, plainRel) {
+		t.Fatalf("plain Read of a full file: %v", err)
+	}
+	if ixRel, ixIx, err := ReadIndexed(bytes.NewReader(enc)); err != nil || !equalRel(rel, ixRel) || ixIx == nil {
+		t.Fatalf("ReadIndexed of a full file: %v", err)
+	}
+
+	// DIXQS1 and DIXQS2 inputs: statistics are rebuilt, not read.
+	for _, old := range []func(*bytes.Buffer) error{
+		func(b *bytes.Buffer) error { return Write(b, rel) },
+		func(b *bytes.Buffer) error { return WriteIndexed(b, rel, ix) },
+	} {
+		var v bytes.Buffer
+		if err := old(&v); err != nil {
+			t.Fatal(err)
+		}
+		oldRel, oldIx, oldSt, err := ReadFull(&v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRel(rel, oldRel) || oldIx == nil || oldSt == nil {
+			t.Fatal("old-format upgrade read failed")
+		}
+		if !reflect.DeepEqual(oldSt, st) {
+			t.Fatal("lazily rebuilt statistics disagree with the persisted ones")
+		}
+	}
+}
+
+func TestSaveLoadFull(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.dixq")
+	rel := interval.Encode(xmark.Figure1Forest())
+	ix := index.Build(rel)
+	st := stats.Collect(rel)
+	if err := SaveFull(path, rel, ix, st); err != nil {
+		t.Fatal(err)
+	}
+	got, gotIx, gotSt, err := LoadFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRel(rel, got) || gotIx == nil || gotIx.Rel != got {
+		t.Fatal("SaveFull/LoadFull relation or index mismatch")
+	}
+	if !reflect.DeepEqual(gotSt, st) {
+		t.Fatal("SaveFull/LoadFull statistics mismatch")
+	}
+}
+
+// TestFullRejectsCorruption truncates and mangles the stats section of a
+// DIXQS3 file at every byte offset past the index: every cut must fail
+// loudly, never decode to wrong statistics silently.
+func TestFullRejectsCorruption(t *testing.T) {
+	rel := interval.Encode(xmark.Figure1Forest())
+	ix := index.Build(rel)
+	st := stats.Collect(rel)
+
+	var full bytes.Buffer
+	if err := WriteFull(&full, rel, ix, st); err != nil {
+		t.Fatal(err)
+	}
+	var indexed bytes.Buffer
+	if err := WriteIndexed(&indexed, rel, ix); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := full.Bytes()
+	// The stats section occupies everything past the (identical) body and
+	// index, which WriteIndexed measures exactly.
+	statsStart := indexed.Len()
+	if statsStart >= len(fullBytes) {
+		t.Fatalf("no stats section: full %d bytes, indexed %d", len(fullBytes), statsStart)
+	}
+
+	for cut := statsStart; cut < len(fullBytes); cut++ {
+		if _, _, _, err := ReadFull(bytes.NewReader(fullBytes[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded without error", cut, len(fullBytes))
+		}
+	}
+
+	// Trailing garbage after a complete stats section.
+	garbage := append(append([]byte{}, fullBytes...), 0x7)
+	if _, _, _, err := ReadFull(bytes.NewReader(garbage)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+
+	// An implausible length inside the stats section.
+	mangled := append([]byte{}, fullBytes[:statsStart]...)
+	mangled = append(mangled, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, _, err := ReadFull(bytes.NewReader(mangled)); err == nil {
+		t.Fatal("implausible stats length decoded without error")
+	}
+}

@@ -14,6 +14,11 @@
 // internal/index) after the same body, so a loaded document comes with its
 // dataguide and subtree ranges at no rebuild cost. DIXQS1 files still
 // load; their index is rebuilt lazily from the relation.
+//
+// Format (DIXQS3) appends the document's optimizer statistics (see
+// internal/stats) after the index, so a loaded document feeds the
+// cost-based optimizer without a collection pass. DIXQS1/2 files still
+// load; their statistics are rebuilt lazily from the relation.
 package store
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"dixq/internal/index"
 	"dixq/internal/interval"
+	"dixq/internal/stats"
 )
 
 // magic identifies the file format and its version.
@@ -36,12 +42,16 @@ const magic = "DIXQS1\n"
 // document's structural index.
 const magic2 = "DIXQS2\n"
 
+// magic3 identifies the full format: the DIXQS2 body and index followed
+// by the document's optimizer statistics.
+const magic3 = "DIXQS3\n"
+
 // maxSaneLen bounds length fields while decoding, so corrupt or hostile
 // files fail fast instead of allocating wildly.
 const maxSaneLen = 1 << 31
 
 // ErrFormat reports a malformed or foreign file.
-var ErrFormat = errors.New("store: not a DIXQS1/DIXQS2 file")
+var ErrFormat = errors.New("store: not a DIXQS1/DIXQS2/DIXQS3 file")
 
 // Write serializes a relation in the unindexed DIXQS1 format.
 func Write(w io.Writer, rel *interval.Relation) error {
@@ -66,6 +76,26 @@ func WriteIndexed(w io.Writer, rel *interval.Relation, ix *index.DocIndex) error
 		return err
 	}
 	if err := ix.Write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFull serializes a relation together with its structural index and
+// optimizer statistics in the DIXQS3 format. Index and statistics must
+// have been built over rel.
+func WriteFull(w io.Writer, rel *interval.Relation, ix *index.DocIndex, st *stats.DocStats) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic3); err != nil {
+		return err
+	}
+	if err := writeBody(bw, rel); err != nil {
+		return err
+	}
+	if err := ix.Write(bw); err != nil {
+		return err
+	}
+	if err := st.Write(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -128,10 +158,10 @@ func writeBody(bw *bufio.Writer, rel *interval.Relation) error {
 	return nil
 }
 
-// Read deserializes a relation written by Write or WriteIndexed, dropping
-// the index section of a DIXQS2 file.
+// Read deserializes a relation written by Write, WriteIndexed or
+// WriteFull, dropping the index and statistics sections.
 func Read(r io.Reader) (*interval.Relation, error) {
-	rel, _, err := readAny(r, false)
+	rel, _, _, err := readAny(r, false, false)
 	return rel, err
 }
 
@@ -139,38 +169,63 @@ func Read(r io.Reader) (*interval.Relation, error) {
 // For DIXQS1 files — which carry no index — the index is rebuilt from the
 // relation, so old stores keep working and upgrade on their next save.
 func ReadIndexed(r io.Reader) (*interval.Relation, *index.DocIndex, error) {
-	return readAny(r, true)
+	rel, ix, _, err := readAny(r, true, false)
+	return rel, ix, err
 }
 
-func readAny(r io.Reader, wantIndex bool) (*interval.Relation, *index.DocIndex, error) {
+// ReadFull deserializes a relation together with its structural index and
+// optimizer statistics. For DIXQS1/2 files — which carry no statistics —
+// the missing sections are rebuilt from the relation, so old stores keep
+// working and upgrade on their next save.
+func ReadFull(r io.Reader) (*interval.Relation, *index.DocIndex, *stats.DocStats, error) {
+	return readAny(r, true, true)
+}
+
+func readAny(r io.Reader, wantIndex, wantStats bool) (*interval.Relation, *index.DocIndex, *stats.DocStats, error) {
 	dec := &decoder{br: bufio.NewReader(r)}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(dec.br, head); err != nil {
-		return nil, nil, ErrFormat
+		return nil, nil, nil, ErrFormat
 	}
-	indexed := string(head) == magic2
-	if !indexed && string(head) != magic {
-		return nil, nil, ErrFormat
+	var indexed, full bool
+	switch string(head) {
+	case magic:
+	case magic2:
+		indexed = true
+	case magic3:
+		indexed, full = true, true
+	default:
+		return nil, nil, nil, ErrFormat
 	}
 	rel, err := dec.body()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var ix *index.DocIndex
 	if indexed {
 		ix, err = index.Read(dec.br, rel)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+	}
+	var st *stats.DocStats
+	if full {
+		st, err = stats.Read(dec.br)
+		if err != nil {
+			return nil, nil, nil, err
 		}
 	}
 	// Exactly at end?
 	if _, err := dec.br.ReadByte(); err != io.EOF {
-		return nil, nil, fmt.Errorf("store: trailing bytes after %d tuples", len(rel.Tuples))
+		return nil, nil, nil, fmt.Errorf("store: trailing bytes after %d tuples", len(rel.Tuples))
 	}
 	if wantIndex && ix == nil {
 		ix = index.Build(rel)
 	}
-	return rel, ix, nil
+	if wantStats && st == nil {
+		st = stats.Collect(rel)
+	}
+	return rel, ix, st, nil
 }
 
 func (dec *decoder) body() (*interval.Relation, error) {
@@ -295,6 +350,43 @@ func SaveIndexed(path string, rel *interval.Relation, ix *index.DocIndex) error 
 		return fmt.Errorf("store: rename %s to %s: %w", tmp.Name(), path, err)
 	}
 	return nil
+}
+
+// SaveFull writes a relation, its structural index and its optimizer
+// statistics to a file, atomically via a temporary sibling.
+func SaveFull(path string, rel *interval.Relation, ix *index.DocIndex, st *stats.DocStats) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".dixq-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteFull(tmp, rel, ix, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename %s to %s: %w", tmp.Name(), path, err)
+	}
+	return nil
+}
+
+// LoadFull reads a relation, its structural index and its optimizer
+// statistics from a file. For DIXQS1/2 files the missing sections are
+// rebuilt from the relation.
+func LoadFull(path string) (*interval.Relation, *index.DocIndex, *stats.DocStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	rel, ix, st, err := ReadFull(f)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rel, ix, st, nil
 }
 
 // LoadIndexed reads a relation and its structural index from a file. For
