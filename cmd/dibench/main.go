@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dixq/internal/bench"
+	"dixq/internal/bench/live"
 	"dixq/internal/obs"
 )
 
@@ -39,8 +40,13 @@ func main() {
 	benchJSON5 := flag.String("benchjson5", "", "write parallel scale-up micro-benchmarks (Q8/Q9/Q13 at 1/2/4/8 workers) to this JSON file and exit")
 	benchJSON6 := flag.String("benchjson6", "", "write scan-vs-index access-path micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
 	benchJSON7 := flag.String("benchjson7", "", "write cost-based-vs-forced-mode micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
+	benchJSON8 := flag.String("benchjson8", "", "drive a sustained mixed read/update HTTP load against a live server and write the latency/admission report to this JSON file and exit")
 	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson, -benchjson3 and -benchjson5")
 	benchScales := flag.String("benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6 and -benchjson7")
+	bench8Scale := flag.Float64("bench8scale", 1, "XMark scale factor for -benchjson8")
+	bench8Duration := flag.Duration("bench8duration", 10*time.Second, "load duration for -benchjson8")
+	bench8Readers := flag.Int("bench8readers", 4, "concurrent query clients for -benchjson8")
+	bench8Writers := flag.Int("bench8writers", 2, "concurrent document-writer clients for -benchjson8")
 	metricsDump := flag.String("metricsdump", "", "write cumulative runtime metrics (Prometheus text format) to this file on exit")
 	parallelism := flag.Int("parallelism", 1, "intra-query worker bound for DI harness runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
@@ -89,6 +95,13 @@ func main() {
 			if err := bench.WriteBenchPR7JSON(*benchJSON7, sfs, os.Stderr); err != nil {
 				fatal("%v", err)
 			}
+		}
+		return
+	}
+	if *benchJSON8 != "" {
+		if err := live.WriteBenchPR8JSON(*benchJSON8, *bench8Scale, *bench8Duration,
+			*bench8Readers, *bench8Writers, os.Stderr); err != nil {
+			fatal("%v", err)
 		}
 		return
 	}

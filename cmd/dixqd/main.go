@@ -1,4 +1,4 @@
-// Command dixqd serves a document catalog over HTTP.
+// Command dixqd serves a live document catalog over HTTP.
 //
 // Usage:
 //
@@ -6,13 +6,26 @@
 //
 // Endpoints (docs/API.md is the full reference):
 //
-//	GET  /healthz       liveness
-//	GET  /docs          loaded documents
-//	GET  /metrics       Prometheus text-format metrics
-//	GET  /debug/traces  recent sampled query traces (?n=K limits)
-//	POST /query         {"query": "...", "engine": "di-msj"} -> {"xml": ...}
-//	POST /explain       plan description for a query ("analyze": true executes)
-//	POST /sql           the Section 4 SQL translation
+//	GET    /healthz       liveness
+//	GET    /docs          loaded documents + catalog version
+//	GET    /docs/{name}   one document's info
+//	PUT    /docs/{name}   load or replace a document (XML body, or ?file=)
+//	POST   /docs/{name}   structural update ({"op": ..., "path": [...], "xml": ...})
+//	DELETE /docs/{name}   drop a document
+//	GET    /metrics       Prometheus text-format metrics
+//	GET    /debug/traces  recent sampled query traces (?n=K limits)
+//	POST   /query         {"query": "...", "engine": "di-msj"} -> {"xml": ...}
+//	POST   /explain       plan description for a query ("analyze": true executes)
+//	POST   /sql           the Section 4 SQL translation
+//
+// The catalog may start empty (no -doc) and be populated over HTTP.
+// -max-concurrent, -queue-depth, -queue-timeout, -tenant-concurrent,
+// -tenant-membudget and -tenant-workers configure admission control:
+// overload answers 429 with Retry-After instead of piling up goroutines,
+// and tenants (the X-Tenant request header) are budgeted independently.
+// On SIGINT/SIGTERM the server drains: new requests get 503, in-flight
+// requests run to completion within -drain-timeout, then the process
+// exits.
 //
 // -trace-sample N records 1 in every N queries into the /debug/traces
 // ring buffer (default 64; 0 disables). -pprof addr serves net/http/pprof
@@ -21,13 +34,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dixq"
@@ -46,20 +62,24 @@ func (d *docFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	var docs docFlags
-	flag.Var(&docs, "doc", "document binding name=path (.xml or .dixq, repeatable)")
+	flag.Var(&docs, "doc", "document binding name=path (.xml or .dixq, repeatable; may be omitted — documents can be loaded over HTTP)")
+	docDir := flag.String("docdir", "", "directory PUT /docs/{name}?file= may load documents from (empty = server-side file loading off)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query budget")
 	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-query DI materialization budget (0 = unlimited)")
 	memBudget := flag.Int64("membudget", 0, "per-query DI sort memory budget in bytes; larger sorts spill to disk (0 = unbounded)")
 	spillDir := flag.String("spilldir", "", "directory for external-sort spill runs (default: OS temp dir)")
 	parallelism := flag.Int("parallelism", 0, "per-query worker bound for requests that do not set one (0 = GOMAXPROCS, 1 = serial)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "requests executing at once; excess queues, overflow gets 429 (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "requests waiting for an execution slot (0 = default 64, negative = no queue)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "longest a request may wait in the admission queue (0 = default 2s)")
+	tenantConcurrent := flag.Int("tenant-concurrent", 0, "per-tenant concurrent request bound (0 = unlimited)")
+	tenantMemBudget := flag.Int64("tenant-membudget", 0, "per-tenant total memory reservation in bytes; each request reserves -membudget (0 = unlimited)")
+	tenantWorkers := flag.Int("tenant-workers", 0, "per-tenant cap on each query's parallel workers (0 = no extra cap)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
 	traceSample := flag.Int("trace-sample", 0, "sample 1 in N queries into /debug/traces (0 = default 64, negative = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
-	if len(docs) == 0 {
-		fmt.Fprintln(os.Stderr, "dixqd: at least one -doc name=path is required")
-		os.Exit(1)
-	}
 	loaded := map[string]*dixq.Document{}
 	for _, binding := range docs {
 		name, path, ok := strings.Cut(binding, "=")
@@ -75,6 +95,9 @@ func main() {
 		loaded[name] = doc
 		log.Printf("loaded %s from %s (%d nodes)", name, path, doc.Nodes())
 	}
+	if len(loaded) == 0 {
+		log.Printf("starting with an empty catalog; load documents with PUT /docs/{name}")
+	}
 
 	if *pprofAddr != "" {
 		// The pprof import registered its handlers on DefaultServeMux;
@@ -88,15 +111,44 @@ func main() {
 	}
 
 	srv := server.New(loaded, server.Config{
-		Timeout:     *timeout,
-		MaxTuples:   *maxTuples,
-		MemBudget:   *memBudget,
-		SpillDir:    *spillDir,
-		Parallelism: *parallelism,
-		TraceSample: *traceSample,
+		Timeout:          *timeout,
+		MaxTuples:        *maxTuples,
+		MemBudget:        *memBudget,
+		SpillDir:         *spillDir,
+		Parallelism:      *parallelism,
+		TraceSample:      *traceSample,
+		MaxConcurrent:    *maxConcurrent,
+		QueueDepth:       *queueDepth,
+		QueueTimeout:     *queueTimeout,
+		TenantConcurrent: *tenantConcurrent,
+		TenantMemBudget:  *tenantMemBudget,
+		TenantWorkers:    *tenantWorkers,
+		DocDir:           *docDir,
 	})
-	log.Printf("serving on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	// Graceful drain: admission refuses new requests with 503 while
+	// Shutdown waits for in-flight ones, bounded by -drain-timeout.
+	log.Printf("draining (up to %s)", *drainTimeout)
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("drained")
 }

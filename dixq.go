@@ -26,6 +26,7 @@ import (
 	"math/big"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"dixq/internal/core"
@@ -38,12 +39,18 @@ import (
 	"dixq/internal/sqlgen"
 	"dixq/internal/stats"
 	"dixq/internal/store"
+	"dixq/internal/update"
 	"dixq/internal/xmark"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
 
 // Document is a parsed XML document or fragment: an ordered forest.
+// Either representation — the node tree or the interval relation — may
+// be materialized lazily from the other: documents parsed from XML
+// encode on first use, documents produced by catalog updates (which
+// operate on relations directly) decode only when something needs the
+// tree form.
 type Document struct {
 	forest xmltree.Forest
 	// enc, idx and st cache the interval encoding, structural index and
@@ -52,6 +59,38 @@ type Document struct {
 	enc *interval.Relation
 	idx *index.DocIndex
 	st  *stats.DocStats
+
+	decodeOnce sync.Once
+	encodeOnce sync.Once
+}
+
+// tree returns the forest form, decoding the interval relation on first
+// use for documents that were produced as relations (catalog updates).
+func (d *Document) tree() xmltree.Forest {
+	d.decodeOnce.Do(func() {
+		if d.forest == nil && d.enc != nil {
+			f, err := interval.Decode(d.enc)
+			if err != nil {
+				// Relations reach a Document only from the encoder, the
+				// store's validated loader, or the update operators — all
+				// of which preserve encoding validity.
+				panic("dixq: corrupt document encoding: " + err.Error())
+			}
+			d.forest = f
+		}
+	})
+	return d.forest
+}
+
+// relation returns the interval-relation form, encoding the forest on
+// first use.
+func (d *Document) relation() *interval.Relation {
+	d.encodeOnce.Do(func() {
+		if d.enc == nil {
+			d.enc = interval.Encode(d.forest)
+		}
+	})
+	return d.enc
 }
 
 // ParseDocument parses XML text into a Document.
@@ -94,10 +133,24 @@ func LoadDocumentFile(path string) (*Document, error) {
 // collect once, query many times without reparsing. Older files (DIXQS1
 // without the index, DIXQS2 without statistics) still load — saving again
 // upgrades them.
+//
+// Documents that accumulated key growth through updates are saved with
+// their grown digit-vector keys as-is — except when repeated
+// front-of-document inserts forced a negative leading digit, which the
+// store format cannot represent: those are transparently re-encoded with
+// the dense DFS counter (update.Rebuild) before saving, so every
+// updatable document round-trips through the store.
 func (d *Document) SaveEncoded(path string) error {
-	rel, ix, st := d.enc, d.idx, d.st
-	if rel == nil || ix == nil {
-		rel = interval.Encode(d.forest)
+	rel := d.relation()
+	ix, st := d.idx, d.st
+	if update.NeedsRebuild(rel) {
+		rebuilt, err := update.Rebuild(rel)
+		if err != nil {
+			return err
+		}
+		rel, ix, st = rebuilt, nil, nil
+	}
+	if ix == nil {
 		ix = index.Build(rel)
 		st = nil
 	}
@@ -125,120 +178,33 @@ const (
 )
 
 // XML renders the document as XML text.
-func (d *Document) XML() string { return d.forest.String() }
+func (d *Document) XML() string { return d.tree().String() }
 
 // IndentedXML renders the document as indented XML text.
-func (d *Document) IndentedXML() string { return d.forest.Indent() }
+func (d *Document) IndentedXML() string { return d.tree().Indent() }
 
 // Nodes returns the number of nodes in the document.
-func (d *Document) Nodes() int { return d.forest.Size() }
+func (d *Document) Nodes() int {
+	if d.enc != nil {
+		return d.enc.Len()
+	}
+	return d.tree().Size()
+}
 
 // Trees returns the number of top-level trees in the forest (one for a
 // well-formed document; query results are often longer sequences).
-func (d *Document) Trees() int { return len(d.forest) }
+func (d *Document) Trees() int { return len(d.tree()) }
 
 // Depth returns the document's tree depth.
-func (d *Document) Depth() int { return d.forest.Depth() }
+func (d *Document) Depth() int { return d.tree().Depth() }
 
 // Equal reports structural equality with another document.
-func (d *Document) Equal(o *Document) bool { return d.forest.Equal(o.forest) }
+func (d *Document) Equal(o *Document) bool { return d.tree().Equal(o.tree()) }
 
 // Encoding renders the document's interval encoding (the relation of
 // Definition 3.1), one "(label, l, r)" tuple per line — the representation
 // shown in Figure 4 of the paper.
-func (d *Document) Encoding() string { return interval.Encode(d.forest).String() }
-
-// Catalog supplies the documents a query's document(...) calls reference.
-// Every document is indexed and statistics-profiled as it is added (or
-// arrives pre-indexed from a .dixq store), so DI plans can serve path
-// chains as index seeks, prune provably empty paths at plan time, and
-// feed the cost-based optimizer real cardinalities.
-type Catalog struct {
-	docs  map[string]*Document
-	enc   core.Catalog
-	idx   *index.Set
-	st    *stats.Set
-	epoch uint64
-	// statsEpoch advances independently of the index epoch: statistics can
-	// be recollected (RefreshStats) without rebuilding any index.
-	statsEpoch uint64
-}
-
-// NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog {
-	return &Catalog{docs: map[string]*Document{}, enc: core.Catalog{}}
-}
-
-// Add registers a document under a name; it replaces a previous entry.
-// Adding (re-)indexes the catalog under a new epoch, so plan caches keyed
-// on IndexEpoch never serve a plan whose index pointers went stale.
-func (c *Catalog) Add(name string, d *Document) {
-	c.docs[name] = d
-	if d.enc != nil && d.idx != nil {
-		c.enc[name] = d.enc
-	} else {
-		c.enc[name] = interval.Encode(d.forest)
-	}
-	// Build a fresh immutable Set (older sets may still be referenced by
-	// memoized plans; the executor's pointer-identity check keeps those
-	// correct, and the epoch bump keeps caches from reusing them).
-	docs := make(map[string]*index.DocIndex, len(c.enc))
-	if c.idx != nil {
-		for k, v := range c.idx.Docs {
-			docs[k] = v
-		}
-	}
-	if d.idx != nil && d.enc != nil {
-		docs[name] = d.idx
-	} else {
-		docs[name] = index.Build(c.enc[name])
-	}
-	c.epoch++
-	c.idx = &index.Set{Docs: docs, Epoch: c.epoch}
-	// Statistics follow the same immutable-set discipline, under their own
-	// epoch: adding a document changes the catalog's statistics even when
-	// a cached plan's index pointers would otherwise still be valid.
-	if d.st == nil {
-		d.st = stats.Collect(c.enc[name])
-	}
-	sts := make(map[string]*stats.DocStats, len(c.enc))
-	if c.st != nil {
-		for k, v := range c.st.Docs {
-			sts[k] = v
-		}
-	}
-	sts[name] = d.st
-	c.statsEpoch++
-	c.st = &stats.Set{Docs: sts, Epoch: c.statsEpoch}
-}
-
-// IndexEpoch identifies the current generation of the catalog's structural
-// indexes: it changes whenever a document is added or replaced. Plan caches
-// that key on the catalog should fold this in, so re-loading a document
-// invalidates plans holding the old index.
-func (c *Catalog) IndexEpoch() uint64 { return c.epoch }
-
-// StatsEpoch identifies the current generation of the catalog's
-// per-document statistics: it changes whenever a document is added or
-// replaced and whenever RefreshStats runs. Plan caches must fold it in
-// alongside IndexEpoch — the two advance independently, and a plan the
-// cost-based optimizer shaped around stale statistics must not be reused
-// after they change, even if no index was rebuilt.
-func (c *Catalog) StatsEpoch() uint64 { return c.statsEpoch }
-
-// RefreshStats recollects every document's statistics from its current
-// interval encoding and publishes them under a new stats epoch, leaving
-// the structural indexes and the index epoch untouched. Plans cached
-// against the old statistics are thereby invalidated without forcing an
-// index rebuild.
-func (c *Catalog) RefreshStats() {
-	sts := make(map[string]*stats.DocStats, len(c.enc))
-	for name, rel := range c.enc {
-		sts[name] = stats.Collect(rel)
-	}
-	c.statsEpoch++
-	c.st = &stats.Set{Docs: sts, Epoch: c.statsEpoch}
-}
+func (d *Document) Encoding() string { return d.relation().String() }
 
 // Engine selects how a query is evaluated.
 type Engine int
@@ -328,15 +294,15 @@ type Options struct {
 }
 
 // coreOptions maps the public Options onto the internal executor's
-// options for a DI plan mode, attaching the catalog's structural indexes
+// options for a DI plan mode, attaching the snapshot's structural indexes
 // and statistics so the compiler can plan index seeks and dataguide
 // pruning and the cost-based optimizer can estimate from real
 // cardinalities.
-func (opts *Options) coreOptions(mode core.Mode, cat *Catalog) core.Options {
+func (opts *Options) coreOptions(mode core.Mode, snap *Snapshot) core.Options {
 	return core.Options{
 		ForceJoinMode:  mode,
-		Indexes:        cat.idx,
-		DocStats:       cat.st,
+		Indexes:        snap.idx,
+		DocStats:       snap.st,
 		Timeout:        opts.Timeout,
 		MaxTuples:      opts.MaxTuples,
 		Trace:          opts.Trace,
@@ -428,7 +394,7 @@ type OperatorStat = plan.OperatorStat
 // (DI engines only) and returns the plan rendering annotated with each
 // operator's actuals, plus the flattened per-operator statistics in plan
 // preorder.
-func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorStat, error) {
+func (q *Query) ExplainAnalyze(cat View, opts *Options) (string, []OperatorStat, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -436,8 +402,9 @@ func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorS
 	if !ok {
 		return "", nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
 	}
-	copts := opts.coreOptions(mode, cat)
-	text, rs, err := q.q.ExplainAnalyze(cat.enc, copts)
+	snap := cat.view()
+	copts := opts.coreOptions(mode, snap)
+	text, rs, err := q.q.ExplainAnalyze(snap.enc, copts)
 	if err != nil {
 		return "", nil, err
 	}
@@ -451,7 +418,7 @@ func (q *Query) ExplainAnalyze(cat *Catalog, opts *Options) (string, []OperatorS
 // instrumented run reads memory statistics at every operator boundary, so
 // it is meant for sampled executions (the server's query tracing), not
 // for every request.
-func (q *Query) RunAnalyzed(cat *Catalog, opts *Options) (*Result, []OperatorStat, error) {
+func (q *Query) RunAnalyzed(cat View, opts *Options) (*Result, []OperatorStat, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -459,13 +426,14 @@ func (q *Query) RunAnalyzed(cat *Catalog, opts *Options) (*Result, []OperatorSta
 	if !ok {
 		return nil, nil, fmt.Errorf("dixq: analyze requires a DI engine, got %s", opts.Engine)
 	}
+	snap := cat.view()
 	start := time.Now()
 	stats := &core.Stats{}
-	copts := opts.coreOptions(mode, cat)
+	copts := opts.coreOptions(mode, snap)
 	copts.Stats = stats
 	rs := &plan.RunStats{}
 	copts.Analyze = rs
-	f, err := q.q.EvalForest(cat.enc, copts)
+	f, err := q.q.EvalForest(snap.enc, copts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -497,7 +465,7 @@ type OptimizerReport = opt.Report
 // the query would execute under the given options, or nil when the
 // options select a forced or non-DI engine (those runs bypass the
 // optimizer — they are the oracles it is measured against).
-func (q *Query) OptimizerReport(cat *Catalog, opts *Options) *OptimizerReport {
+func (q *Query) OptimizerReport(cat View, opts *Options) *OptimizerReport {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -505,7 +473,7 @@ func (q *Query) OptimizerReport(cat *Catalog, opts *Options) *OptimizerReport {
 	if !ok || mode != core.ModeAuto {
 		return nil
 	}
-	return q.q.OptReport(opts.coreOptions(mode, cat))
+	return q.q.OptReport(opts.coreOptions(mode, cat.view()))
 }
 
 // Documents lists the document names the query references.
@@ -517,10 +485,10 @@ func (q *Query) Documents() []string { return xq.Documents(q.expr) }
 // nesting) and the number of integer key digits the engine will allocate
 // per position, which is the paper's "sufficient number of integer-valued
 // attributes".
-func (q *Query) WidthBound(cat *Catalog) (bound string, digits int, err error) {
+func (q *Query) WidthBound(cat View) (bound string, digits int, err error) {
 	widths := map[string]*big.Int{}
-	for name, d := range cat.docs {
-		widths[name] = big.NewInt(int64(2 * d.forest.Size()))
+	for name, d := range cat.view().docs {
+		widths[name] = big.NewInt(int64(2 * d.Nodes()))
 	}
 	w, err := core.AnalyzeWidth(q.expr, widths)
 	if err != nil {
@@ -533,7 +501,7 @@ func (q *Query) WidthBound(cat *Catalog) (bound string, digits int, err error) {
 // for the documents in the catalog (widths are fixed at translation time,
 // so the statement is catalog-specific). The statement's base tables are
 // (s, l, r) interval encodings, one per document, named doc_1, doc_2, ...
-func (q *Query) SQL(cat *Catalog) (string, error) {
+func (q *Query) SQL(cat View) (string, error) {
 	stmt, err := q.sqlStatement(cat)
 	if err != nil {
 		return "", err
@@ -541,35 +509,39 @@ func (q *Query) SQL(cat *Catalog) (string, error) {
 	return stmt.SQL, nil
 }
 
-func (q *Query) sqlStatement(cat *Catalog) (*sqlgen.Statement, error) {
+func (q *Query) sqlStatement(cat View) (*sqlgen.Statement, error) {
 	widths := map[string]int64{}
-	for name, d := range cat.docs {
-		widths[name] = int64(2 * d.forest.Size())
+	for name, d := range cat.view().docs {
+		widths[name] = int64(2 * d.Nodes())
 	}
 	return sqlgen.Generate(sqlgen.Plan(q.expr), widths)
 }
 
-// Run evaluates the query against the catalog.
-func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
+// Run evaluates the query against a catalog view. Passing a *Catalog
+// pins its current snapshot for this one evaluation; passing a *Snapshot
+// evaluates against exactly that version, regardless of writes published
+// since it was pinned.
+func (q *Query) Run(cat View, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
+	snap := cat.view()
 	start := time.Now()
 	switch opts.Engine {
 	case CostBased, MergeJoin, NestedLoop:
 		mode, _ := diMode(opts.Engine)
 		stats := &core.Stats{}
-		copts := opts.coreOptions(mode, cat)
+		copts := opts.coreOptions(mode, snap)
 		copts.Stats = stats
-		f, err := q.q.EvalForest(cat.enc, copts)
+		f, err := q.q.EvalForest(snap.enc, copts)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{doc: &Document{forest: f}, Stats: stats, Elapsed: time.Since(start)}, nil
 	case Interpreter:
 		docs := interp.Catalog{}
-		for name, d := range cat.docs {
-			docs[name] = d.forest
+		for name, d := range snap.docs {
+			docs[name] = d.tree()
 		}
 		f, err := interp.Eval(q.expr, nil, docs)
 		if err != nil {
@@ -578,8 +550,8 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 		return &Result{doc: &Document{forest: f}, Elapsed: time.Since(start)}, nil
 	case GenericSQL:
 		docs := map[string]xmltree.Forest{}
-		for name, d := range cat.docs {
-			docs[name] = d.forest
+		for name, d := range snap.docs {
+			docs[name] = d.tree()
 		}
 		f, err := sqlgen.Run(q.expr, docs)
 		if err != nil {
@@ -592,7 +564,7 @@ func (q *Query) Run(cat *Catalog, opts *Options) (*Result, error) {
 }
 
 // Run is the one-call convenience: parse the query, run it on the catalog.
-func Run(query string, cat *Catalog, opts *Options) (*Result, error) {
+func Run(query string, cat View, opts *Options) (*Result, error) {
 	q, err := ParseQuery(query)
 	if err != nil {
 		return nil, err

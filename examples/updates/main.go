@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dixq"
 	"dixq/internal/core"
 	"dixq/internal/interval"
 	"dixq/internal/store"
@@ -87,4 +88,42 @@ func main() {
 			fmt.Printf("  <person> l=%-8s r=%s\n", t.L, t.R)
 		}
 	}
+
+	// The same machinery, behind the live catalog: Update publishes a new
+	// immutable snapshot per mutation, and a snapshot pinned before the
+	// write keeps answering from the old state — readers never block on
+	// (or observe half of) a writer.
+	people, err := dixq.ParseDocument(`<site><people>
+		<person id="p0"><name>Ada</name></person>
+	</people></site>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := dixq.NewCatalog()
+	cat.Add("people.xml", people)
+	pinned := cat.Snapshot()
+
+	frag, err := dixq.ParseDocument(`<person id="p1"><name>Bo</name></person>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Path [0, 0] is <people>, the first child of the first root.
+	if _, err := cat.Update("people.xml", dixq.OpAppendChild, []int{0, 0}, frag); err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := dixq.ParseQuery(`for $p in document("people.xml")/site/people/person return $p/name/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := q.Run(pinned, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := q.Run(cat, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npinned snapshot v%d still sees: %s\n", pinned.Version(), before.XML())
+	fmt.Printf("live catalog    v%d now sees:   %s\n", cat.Version(), after.XML())
 }

@@ -1,0 +1,362 @@
+// Package live benchmarks the running system rather than isolated
+// operators: it drives a real dixq HTTP server with concurrent query
+// and document-writer clients and reports latency percentiles, the
+// admission-control rejection rate, and budget-invariant checks
+// (BENCH_PR8.json, via dibench -benchjson8). It lives beside
+// internal/bench rather than in it because it exercises the public
+// dixq catalog API, which the root package's own benchmarks would
+// otherwise import cyclically.
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dixq"
+	"dixq/internal/exec"
+	"dixq/internal/server"
+	"dixq/internal/xmark"
+)
+
+// LoadStats aggregates one request class (reads or writes) of the mixed
+// HTTP load: counts by outcome and the latency distribution of the
+// successful requests.
+type LoadStats struct {
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	// Rejected counts 429s from admission control (they are not errors:
+	// rejecting fast under overload is the feature under test).
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+	// P50 / P99 / Max are latencies of the successful requests, in
+	// milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+	// PerSec is successful requests per second of wall time.
+	PerSec float64 `json:"per_sec"`
+}
+
+// BenchReport8 is the schema of BENCH_PR8.json: a sustained mixed
+// read/update load against the live catalog server — readers POST
+// queries, writers mutate documents over the lifecycle endpoints — with
+// the admission-control and budget invariants checked at the end.
+type BenchReport8 struct {
+	ScaleFactor   float64 `json:"scale_factor"`
+	DurationSec   float64 `json:"duration_sec"`
+	Readers       int     `json:"readers"`
+	Writers       int     `json:"writers"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+
+	Read  LoadStats `json:"read"`
+	Write LoadStats `json:"write"`
+
+	// CatalogVersion is the final published version: how many writes the
+	// run landed (plus the background reindexer's publishes).
+	CatalogVersion uint64 `json:"catalog_version"`
+	// RejectionRate is rejected / total over both classes.
+	RejectionRate float64 `json:"rejection_rate"`
+	// PeakConcurrent is the admitter's high-water mark; BudgetViolations
+	// counts invariant breaches (peak over MaxConcurrent, or the exec
+	// worker pool over its process budget) and must be zero.
+	PeakConcurrent   int  `json:"peak_concurrent"`
+	ExecHighWater    int  `json:"exec_high_water"`
+	ExecLimit        int  `json:"exec_limit"`
+	BudgetViolations int  `json:"budget_violations"`
+	FinalDocIntact   bool `json:"final_doc_intact"`
+}
+
+// latRecorder collects latencies and outcomes from many goroutines.
+type latRecorder struct {
+	mu    sync.Mutex
+	stats LoadStats
+	lats  []time.Duration
+}
+
+func (r *latRecorder) record(d time.Duration, status int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Requests++
+	switch {
+	case err != nil:
+		r.stats.Errors++
+	case status == http.StatusTooManyRequests:
+		r.stats.Rejected++
+	case status >= 200 && status < 300:
+		r.stats.OK++
+		r.lats = append(r.lats, d)
+	default:
+		r.stats.Errors++
+	}
+}
+
+func (r *latRecorder) finish(wall time.Duration) LoadStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	pct := func(p float64) float64 {
+		if len(r.lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(r.lats)-1))
+		return float64(r.lats[i].Microseconds()) / 1000
+	}
+	r.stats.P50MS = pct(0.50)
+	r.stats.P99MS = pct(0.99)
+	r.stats.MaxMS = pct(1.0)
+	if wall > 0 {
+		r.stats.PerSec = float64(r.stats.OK) / wall.Seconds()
+	}
+	return r.stats
+}
+
+// WriteBenchPR8JSON drives a sustained mixed read/update load against a
+// real dixq server over HTTP: readers rotate XMark queries, one writer
+// applies structural update pairs (append a subtree, delete it again) to
+// the queried document, and the remaining writers load and drop scratch
+// documents. Admission control is configured tight (MaxConcurrent =
+// readers), so the run also measures the rejection path. At the end the
+// report asserts the budget invariants — the admitted peak never exceeded
+// the bound and the exec worker pool never exceeded the process budget —
+// and that the mutated document survived intact.
+func WriteBenchPR8JSON(path string, sf float64, duration time.Duration, readers, writers int, log io.Writer) error {
+	if readers < 1 {
+		readers = 1
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	fmt.Fprintf(log, "generating XMark sf=%g...\n", sf)
+	doc := dixq.GenerateXMark(sf, 1)
+	baseNodes := doc.Nodes()
+
+	maxConcurrent := readers
+	srv := server.New(map[string]*dixq.Document{"auction.xml": doc}, server.Config{
+		Timeout:       60 * time.Second,
+		MaxConcurrent: maxConcurrent,
+		QueueDepth:    readers + writers,
+		QueueTimeout:  200 * time.Millisecond,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("bench8: listen: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 90 * time.Second}
+
+	post := func(url, contentType, body string) (int, time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(url, contentType, bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, time.Since(start), err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), nil
+	}
+	put := func(url, body string) (int, time.Duration, error) {
+		start := time.Now()
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, time.Since(start), err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, time.Since(start), err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), nil
+	}
+	del := func(url string) (int, time.Duration, error) {
+		start := time.Now()
+		req, err := http.NewRequest(http.MethodDelete, url, nil)
+		if err != nil {
+			return 0, time.Since(start), err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, time.Since(start), err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), nil
+	}
+
+	queries := []string{
+		xmark.Q13,
+		`count(document("auction.xml")/site/regions/*)`,
+		xmark.Q1,
+	}
+	queryBody := func(q string) string {
+		b, _ := json.Marshal(map[string]string{"query": q})
+		return string(b)
+	}
+
+	exec.ResetHighWater()
+	reads, writes := &latRecorder{}, &latRecorder{}
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				status, lat, err := post(base+"/query", "application/json",
+					queryBody(queries[(r+i)%len(queries)]))
+				reads.record(lat, status, err)
+			}
+		}(r)
+	}
+
+	// Writer 0: structural update pairs on the queried document. A
+	// rejected append is simply skipped; after a successful append the
+	// matching delete retries past rejections so the pair always lands
+	// and the document converges back to its base content.
+	baseChildren, err := siteChildCount(srv)
+	if err != nil {
+		return err
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for time.Now().Before(deadline) {
+			frag := fmt.Sprintf(`{"op":"append-child","path":[0],"xml":"<bench n=\"%d\"><v>x</v></bench>"}`, n)
+			status, lat, err := post(base+"/docs/auction.xml", "application/json", frag)
+			writes.record(lat, status, err)
+			if err != nil || status != http.StatusOK {
+				continue
+			}
+			delBody := fmt.Sprintf(`{"op":"delete","path":[0,%d]}`, baseChildren)
+			for {
+				status, lat, err = post(base+"/docs/auction.xml", "application/json", delBody)
+				writes.record(lat, status, err)
+				if err == nil && status == http.StatusTooManyRequests {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				break
+			}
+			n++
+		}
+	}()
+
+	// Remaining writers: scratch-document churn over PUT and DELETE.
+	for w := 1; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("scratch-%d.xml", w)
+			for time.Now().Before(deadline) {
+				status, lat, err := put(base+"/docs/"+name, `<s><a>1</a><b>2</b></s>`)
+				writes.record(lat, status, err)
+				if err != nil || status < 200 || status >= 300 {
+					// Rejected load: nothing to drop. (A rejected DELETE below
+					// leaves the document in place; the next PUT replaces it.)
+					continue
+				}
+				status, lat, err = del(base + "/docs/" + name)
+				writes.record(lat, status, err)
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := BenchReport8{
+		ScaleFactor:   sf,
+		DurationSec:   duration.Seconds(),
+		Readers:       readers,
+		Writers:       writers,
+		MaxConcurrent: maxConcurrent,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Read:          reads.finish(wall),
+		Write:         writes.finish(wall),
+	}
+	report.CatalogVersion = srv.Catalog().Version()
+	report.PeakConcurrent = srv.PeakConcurrent()
+	report.ExecHighWater = exec.HighWater()
+	report.ExecLimit = exec.Limit()
+	if report.PeakConcurrent > maxConcurrent {
+		report.BudgetViolations++
+	}
+	if report.ExecHighWater > report.ExecLimit {
+		report.BudgetViolations++
+	}
+	total := report.Read.Requests + report.Write.Requests
+	if total > 0 {
+		report.RejectionRate = float64(report.Read.Rejected+report.Write.Rejected) / float64(total)
+	}
+	// The writer's append/delete pairs must have restored the document
+	// (a trailing unpaired append leaves extra nodes; both are intact
+	// states, but mismatched content would mean a lost or torn update).
+	if final, ok := srv.Catalog().Snapshot().Document("auction.xml"); ok {
+		report.FinalDocIntact = final.Nodes() >= baseNodes
+	}
+
+	fmt.Fprintf(log, "reads: %d ok / %d rejected / %d errors, p50 %.2fms p99 %.2fms (%.1f/s)\n",
+		report.Read.OK, report.Read.Rejected, report.Read.Errors,
+		report.Read.P50MS, report.Read.P99MS, report.Read.PerSec)
+	fmt.Fprintf(log, "writes: %d ok / %d rejected / %d errors, p50 %.2fms p99 %.2fms (%.1f/s)\n",
+		report.Write.OK, report.Write.Rejected, report.Write.Errors,
+		report.Write.P50MS, report.Write.P99MS, report.Write.PerSec)
+	fmt.Fprintf(log, "catalog v%d, peak %d/%d admitted, exec %d/%d workers, rejection rate %.3f, violations %d\n",
+		report.CatalogVersion, report.PeakConcurrent, maxConcurrent,
+		report.ExecHighWater, report.ExecLimit, report.RejectionRate, report.BudgetViolations)
+	if report.BudgetViolations > 0 {
+		return fmt.Errorf("bench8: %d budget violations", report.BudgetViolations)
+	}
+	if report.Read.Errors > 0 || report.Write.Errors > 0 {
+		return fmt.Errorf("bench8: %d read / %d write errors", report.Read.Errors, report.Write.Errors)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// siteChildCount asks the live catalog how many children the queried
+// document's root has, so the update writer can address its own appends.
+func siteChildCount(srv *server.Server) (int, error) {
+	d, ok := srv.Catalog().Snapshot().Document("auction.xml")
+	if !ok {
+		return 0, fmt.Errorf("bench8: auction.xml missing")
+	}
+	trees := d.Trees()
+	if trees != 1 {
+		return 0, fmt.Errorf("bench8: auction.xml has %d roots", trees)
+	}
+	q, err := dixq.ParseQuery(`count(document("auction.xml")/site/*)`)
+	if err != nil {
+		return 0, err
+	}
+	res, err := q.Run(srv.Catalog(), &dixq.Options{Parallelism: 1})
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(res.XML(), "%d", &n); err != nil || n == 0 {
+		return 0, fmt.Errorf("bench8: bad site child count %q", res.XML())
+	}
+	return n, nil
+}

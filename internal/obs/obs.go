@@ -98,6 +98,37 @@ var (
 	// was too small to amortize the sorts.
 	OptDemotions = Default.NewCounter("dixq_opt_demotions_total",
 		"Merge-join loops demoted to nested loops by the cost model.")
+	// CatalogVersion is the monotonic version of the most recently
+	// published catalog snapshot; every document load, update, drop,
+	// reindex or stats refresh advances it.
+	CatalogVersion = Default.NewGauge("dixq_catalog_version",
+		"Version of the most recently published catalog snapshot.")
+	// CatalogDocs is the document count of the current catalog snapshot.
+	CatalogDocs = Default.NewGauge("dixq_catalog_documents",
+		"Documents in the current catalog snapshot.")
+	// DocUpdates counts document lifecycle operations applied through the
+	// server, by operation ("put", "update", "drop", "reindex").
+	DocUpdates = Default.NewCounterVec("dixq_doc_updates_total",
+		"Document lifecycle operations applied to the catalog, by operation.", "op")
+	// AdmissionRejections counts requests refused by admission control, by
+	// reason ("queue_full", "queue_timeout", "tenant_concurrency",
+	// "tenant_memory", "draining").
+	AdmissionRejections = Default.NewCounterVec("dixq_admission_rejections_total",
+		"Requests rejected by admission control, by reason.", "reason")
+	// AdmissionQueueDepth is the number of requests currently waiting for
+	// an execution slot in the admission queue.
+	AdmissionQueueDepth = Default.NewGauge("dixq_admission_queue_depth",
+		"Requests currently waiting in the admission queue.")
+	// AdmissionWait is the time admitted requests spent queued before
+	// acquiring an execution slot (requests admitted without queueing do
+	// not observe).
+	AdmissionWait = Default.NewHistogram("dixq_admission_wait_seconds",
+		"Time requests spent in the admission queue before admission.", nil)
+	// SnapshotsPinned is the number of catalog snapshots currently pinned
+	// by in-flight requests. Old snapshot versions stay reachable (and
+	// their memory live) exactly while this is nonzero for them.
+	SnapshotsPinned = Default.NewGauge("dixq_snapshots_pinned",
+		"Catalog snapshots currently pinned by in-flight requests.")
 )
 
 // AddBatches records one fused chain's chunk throughput.

@@ -41,22 +41,23 @@ func newPlanCache(capacity int) *planCache {
 
 // planKey builds the cache key for a request: the query text, the engine,
 // every option that affects the plan or its execution strategy, and the
-// catalog's index epoch. The options are canonicalized first — the
-// parallelism component is the fully resolved worker bound (request value,
-// else server default, with 0 resolving to runtime.GOMAXPROCS(0), exactly
-// as the executor resolves it) — so equivalent requests hit the same slot
-// while requests differing in any effective knob never collide. (Before
-// options were part of the key, a cached entry served requests whose
-// options differed from the ones it was first compiled under.) The two
-// catalog epochs fold document changes into the key, independently: the
-// index epoch changes when a document reload rebuilds its structural
-// index, and the stats epoch changes whenever per-document statistics are
-// recollected — including RefreshStats runs that rebuild no index — so a
-// plan the cost-based optimizer shaped around stale statistics is never
-// reused.
-func planKey(req *QueryRequest, cfg Config, idxEpoch, statsEpoch uint64) string {
-	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d\x00idx=%d\x00stats=%d",
-		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg), idxEpoch, statsEpoch)
+// version of the catalog snapshot the request pinned. The options are
+// canonicalized first — the parallelism component is the fully resolved
+// worker bound (request value, else server default, with 0 resolving to
+// runtime.GOMAXPROCS(0), exactly as the executor resolves it) — so
+// equivalent requests hit the same slot while requests differing in any
+// effective knob never collide. (Before options were part of the key, a
+// cached entry served requests whose options differed from the ones it
+// was first compiled under.) The catalog version folds every document
+// change into the key: loads, structural updates, drops, background
+// reindexes and statistics refreshes each publish a fresh version, so a
+// plan compiled against one snapshot — including one the cost-based
+// optimizer shaped around since-recollected statistics, or one whose
+// document was dropped and reloaded with different content — is never
+// reused against another.
+func planKey(req *QueryRequest, cfg Config, version uint64) string {
+	return fmt.Sprintf("%s\x00%s\x00legacy=%t\x00nopipe=%t\x00par=%d\x00cat=%d",
+		req.Query, req.Engine, req.LegacyKeys, req.NoPipeline, effectiveParallelism(req, cfg), version)
 }
 
 // get returns the cached plan for key and promotes it to most-recent.

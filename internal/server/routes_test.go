@@ -30,6 +30,12 @@ func TestRouteMethodsAndContentTypes(t *testing.T) {
 		{"healthz wrong method", "POST", "/healthz", "", http.StatusMethodNotAllowed, "application/json", "GET"},
 		{"docs ok", "GET", "/docs", "", http.StatusOK, "application/json", ""},
 		{"docs wrong method", "DELETE", "/docs", "", http.StatusMethodNotAllowed, "application/json", "GET"},
+		{"doc get ok", "GET", "/docs/auction.xml", "", http.StatusOK, "application/json", ""},
+		{"doc get missing", "GET", "/docs/ghost.xml", "", http.StatusNotFound, "application/json", ""},
+		{"doc put ok", "PUT", "/docs/new.xml", `<r/>`, http.StatusCreated, "application/json", ""},
+		{"doc update ok", "POST", "/docs/new.xml", `{"op":"append-child","path":[0],"xml":"<c/>"}`, http.StatusOK, "application/json", ""},
+		{"doc delete ok", "DELETE", "/docs/new.xml", "", http.StatusOK, "application/json", ""},
+		{"doc wrong method", "PATCH", "/docs/auction.xml", "", http.StatusMethodNotAllowed, "application/json", "GET, PUT, POST, DELETE"},
 		{"metrics ok", "GET", "/metrics", "", http.StatusOK, "text/plain; version=0.0.4; charset=utf-8", ""},
 		{"metrics wrong method", "POST", "/metrics", "", http.StatusMethodNotAllowed, "application/json", "GET"},
 		{"traces ok", "GET", "/debug/traces", "", http.StatusOK, "application/json", ""},
@@ -83,13 +89,25 @@ func TestRouteMethodsAndContentTypes(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint checks that running a query is visible in the
-// Prometheus exposition afterwards.
+// TestMetricsEndpoint checks that running a query and a document write
+// is visible in the Prometheus exposition afterwards.
 func TestMetricsEndpoint(t *testing.T) {
 	ts := testServer(t, Config{})
 	resp, body := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/docs/m.xml", strings.NewReader(`<r/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusCreated {
+		t.Fatalf("put status %d", presp.StatusCode)
 	}
 	mr, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -108,6 +126,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"dixq_query_duration_seconds_count",
 		"dixq_active_queries",
 		"dixq_plan_cache_misses_total",
+		"# TYPE dixq_catalog_version gauge",
+		"dixq_catalog_version",
+		"dixq_catalog_documents",
+		`dixq_doc_updates_total{op="put"}`,
+		"# TYPE dixq_admission_rejections_total counter",
+		"dixq_admission_queue_depth",
+		"dixq_admission_wait_seconds",
+		"dixq_snapshots_pinned",
 	} {
 		if !strings.Contains(exposition, want) {
 			t.Errorf("metrics missing %q", want)

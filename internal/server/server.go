@@ -1,6 +1,10 @@
-// Package server exposes a document catalog over HTTP: load documents
-// once (XML or pre-shredded .dixq stores), then answer XQuery POSTs with
-// any of the engines. It is the thin serving layer behind cmd/dixqd.
+// Package server exposes a live document catalog over HTTP: documents
+// load at startup or over PUT /docs/{name} (XML or pre-shredded .dixq
+// stores), structural updates and drops publish new catalog snapshot
+// versions, and XQuery POSTs answer from the snapshot they pinned at
+// admission — readers never block on writers. A bounded admission queue
+// with per-tenant budgets turns overload into fast 429s. It is the thin
+// serving layer behind cmd/dixqd.
 //
 // Beyond query answering, the server is the process's observability
 // surface (docs/API.md is the full HTTP reference): GET /metrics serves
@@ -18,6 +22,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"dixq"
@@ -58,6 +63,42 @@ type Config struct {
 	// TraceBufferSize caps the trace ring buffer; 0 means the default of
 	// 128. The buffer keeps the most recent traces, oldest overwritten.
 	TraceBufferSize int
+	// MaxConcurrent bounds the requests (queries and document writes)
+	// executing simultaneously; excess requests wait in a bounded
+	// admission queue and overflow gets 429 + Retry-After. 0 means
+	// unlimited (no admission queue). This layers on the process-wide
+	// exec worker budget: that budget bounds the workers admitted
+	// queries draw, this bounds how many requests run at all.
+	MaxConcurrent int
+	// QueueDepth bounds the requests waiting for an execution slot when
+	// MaxConcurrent is set: 0 means the default of 64, negative disables
+	// queueing (a busy server rejects immediately).
+	QueueDepth int
+	// QueueTimeout bounds the time a request may wait in the admission
+	// queue; 0 means the default of 2s.
+	QueueTimeout time.Duration
+	// TenantConcurrent bounds the concurrently admitted requests of each
+	// tenant (the X-Tenant request header; absent means the shared
+	// "default" tenant). 0 means unlimited.
+	TenantConcurrent int
+	// TenantMemBudget bounds the summed memory reservations of a
+	// tenant's admitted requests, in bytes; each admitted request
+	// reserves MemBudget (its per-query sort budget). 0 means unlimited;
+	// it only binds when MemBudget is set.
+	TenantMemBudget int64
+	// TenantWorkers caps the effective per-query parallelism of every
+	// tenant's requests, under the process-wide exec budget. 0 means no
+	// extra cap.
+	TenantWorkers int
+	// DocDir, when set, permits PUT /docs/{name}?file=relative-path to
+	// load .xml or .dixq files from this directory. Empty disables
+	// server-side file loading.
+	DocDir string
+	// NoReindex disables the background reindexer that re-derives a
+	// document's structural index and statistics after updates; plans
+	// over updated documents then stay scan-backed until Reindex is
+	// called on the catalog directly.
+	NoReindex bool
 }
 
 // defaultPlanCacheSize is the plan-cache capacity when Config leaves it 0.
@@ -71,17 +112,20 @@ const defaultTraceSample = 64
 // buffer's footprint stays small regardless of request sizes.
 const traceQueryLimit = 2048
 
-// Server answers queries against a fixed document catalog. It is safe for
-// concurrent use: the catalog is read-only after construction, the engines
-// share nothing per run, the plan cache is internally locked, and the
-// trace buffer and sampler are atomic/locked.
+// Server answers queries and document writes against a live, versioned
+// catalog. It is safe for concurrent use: the catalog publishes
+// immutable snapshots (each request pins one at admission, so readers
+// never block on writers), the engines share nothing per run, the plan
+// cache is internally locked, and the trace buffer and sampler are
+// atomic/locked.
 type Server struct {
 	cat     *dixq.Catalog
-	docs    []DocInfo
 	cfg     Config
 	plans   *planCache
 	sampler *obs.Sampler
 	traces  *obs.TraceBuffer
+	adm     *admitter
+	reindex *reindexer
 }
 
 // DocInfo describes one loaded document.
@@ -91,7 +135,8 @@ type DocInfo struct {
 	Depth int    `json:"depth"`
 }
 
-// New builds a server over named documents.
+// New builds a server over named documents (the initial catalog; more
+// can be loaded, updated and dropped over HTTP).
 func New(docs map[string]*dixq.Document, cfg Config) *Server {
 	cat := dixq.NewCatalog()
 	size := cfg.PlanCacheSize
@@ -111,13 +156,44 @@ func New(docs map[string]*dixq.Document, cfg Config) *Server {
 		plans:   newPlanCache(size),
 		sampler: obs.NewSampler(every),
 		traces:  obs.NewTraceBuffer(cfg.TraceBufferSize),
+		adm:     newAdmitter(cfg),
 	}
-	for name, d := range docs {
-		cat.Add(name, d)
-		s.docs = append(s.docs, DocInfo{Name: name, Nodes: d.Nodes(), Depth: d.Depth()})
+	names := make([]string, 0, len(docs))
+	for name := range docs {
+		names = append(names, name)
 	}
-	sort.Slice(s.docs, func(i, j int) bool { return s.docs[i].Name < s.docs[j].Name })
+	sort.Strings(names)
+	for _, name := range names {
+		cat.Add(name, docs[name])
+	}
+	if !cfg.NoReindex {
+		s.reindex = newReindexer(cat)
+	}
 	return s
+}
+
+// Catalog returns the server's live catalog, for embedding callers that
+// load or mutate documents programmatically alongside the HTTP surface.
+func (s *Server) Catalog() *dixq.Catalog { return s.cat }
+
+// Drain puts the server into draining mode: every subsequent request is
+// refused with 503 + Retry-After while already-admitted requests run to
+// completion. cmd/dixqd calls this on SIGTERM before shutting the
+// listener down.
+func (s *Server) Drain() { s.adm.draining.Store(true) }
+
+// PeakConcurrent reports the high-water mark of concurrently admitted
+// requests — under a MaxConcurrent bound it can never exceed that bound
+// (the mixed-load benchmark asserts exactly this).
+func (s *Server) PeakConcurrent() int { return s.adm.Peak() }
+
+// Close stops the background reindexer. The HTTP handler remains usable;
+// updated documents then stay scan-backed until reindexed directly.
+func (s *Server) Close() {
+	if s.reindex != nil {
+		s.reindex.close()
+		s.reindex = nil
+	}
 }
 
 // QueryRequest is the POST /query and POST /explain body.
@@ -148,16 +224,21 @@ type QueryRequest struct {
 }
 
 // effectiveParallelism resolves the worker bound for a request: an
-// explicit request value wins, 0 falls back to the server default, and
-// the canonical resolution (<= 0 → runtime.GOMAXPROCS(0)) applies last —
-// the same resolution the executor performs, so the value is also usable
-// as a cache-key component and a trace attribute.
+// explicit request value wins, 0 falls back to the server default, the
+// canonical resolution (<= 0 → runtime.GOMAXPROCS(0)) applies, and the
+// per-tenant worker cap clamps last — the same resolution the executor
+// performs, so the value is also usable as a cache-key component and a
+// trace attribute.
 func effectiveParallelism(req *QueryRequest, cfg Config) int {
 	par := req.Parallelism
 	if par == 0 {
 		par = cfg.Parallelism
 	}
-	return exec.Resolve(par)
+	par = exec.Resolve(par)
+	if cfg.TenantWorkers > 0 && par > cfg.TenantWorkers {
+		par = cfg.TenantWorkers
+	}
+	return par
 }
 
 // options maps the request's engine knobs onto dixq.Options.
@@ -212,48 +293,84 @@ type TracesResponse struct {
 
 // Handler returns the HTTP routes:
 //
-//	GET  /healthz       liveness
-//	GET  /docs          the loaded documents
-//	GET  /metrics       Prometheus text-format metrics (obs.Default)
-//	GET  /debug/traces  recent sampled query traces (?n=K limits)
-//	POST /query         run a query (QueryRequest -> QueryResponse)
-//	POST /explain       describe the plan for a query
-//	POST /sql           return the SQL translation of a query
+//	GET    /healthz       liveness (never queued or refused)
+//	GET    /docs          the loaded documents + catalog version
+//	GET    /docs/{name}   one document's info
+//	PUT    /docs/{name}   load or replace a document (XML body, or ?file=)
+//	POST   /docs/{name}   apply a structural update (UpdateRequest)
+//	DELETE /docs/{name}   drop a document
+//	GET    /metrics       Prometheus text-format metrics (obs.Default)
+//	GET    /debug/traces  recent sampled query and catalog traces (?n=K)
+//	POST   /query         run a query (QueryRequest -> QueryResponse)
+//	POST   /explain       describe the plan for a query
+//	POST   /sql           return the SQL translation of a query
 //
+// Queries and document writes pass admission control (429 + Retry-After
+// on overload, 503 while draining); the read-only endpoints do not.
 // Every error body is JSON ({"error": ...}): unknown paths get 404,
 // wrong-method hits on registered paths get 405 with an Allow header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	metrics := obs.Default.Handler()
-	routes := []struct {
-		method, path string
-		h            http.HandlerFunc
+	type route struct {
+		method string
+		h      http.HandlerFunc
+	}
+	paths := []struct {
+		path   string
+		routes []route
 	}{
-		{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		{"/healthz", []route{{"GET", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			w.WriteHeader(http.StatusOK)
 			fmt.Fprintln(w, "ok")
+		}}}},
+		{"/docs", []route{{"GET", s.handleDocs}}},
+		{"/docs/{name}", []route{
+			{"GET", s.handleDocGet},
+			{"PUT", s.admitted(s.handleDocPut)},
+			{"POST", s.admitted(s.handleDocUpdate)},
+			{"DELETE", s.admitted(s.handleDocDelete)},
 		}},
-		{"GET", "/docs", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, s.docs)
-		}},
-		{"GET", "/metrics", metrics.ServeHTTP},
-		{"GET", "/debug/traces", s.handleTraces},
-		{"POST", "/query", s.handleQuery},
-		{"POST", "/explain", s.handleExplain},
-		{"POST", "/sql", s.handleSQL},
+		{"/metrics", []route{{"GET", metrics.ServeHTTP}}},
+		{"/debug/traces", []route{{"GET", s.handleTraces}}},
+		{"/query", []route{{"POST", s.admitted(s.handleQuery)}}},
+		{"/explain", []route{{"POST", s.admitted(s.handleExplain)}}},
+		{"/sql", []route{{"POST", s.admitted(s.handleSQL)}}},
 	}
-	for _, rt := range routes {
-		mux.HandleFunc(rt.method+" "+rt.path, rt.h)
+	for _, p := range paths {
+		allow := make([]string, 0, len(p.routes))
+		for _, rt := range p.routes {
+			mux.HandleFunc(rt.method+" "+p.path, rt.h)
+			allow = append(allow, rt.method)
+		}
 		// The method-less pattern catches every other verb on the same
 		// path: a JSON 405 with Allow, instead of the mux's plain-text
 		// default.
-		mux.HandleFunc(rt.path, methodNotAllowed(rt.method))
+		mux.HandleFunc(p.path, methodNotAllowed(strings.Join(allow, ", ")))
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such endpoint: " + r.URL.Path})
 	})
 	return mux
+}
+
+// admitted wraps a handler with admission control: the request passes the
+// bounded queue and its tenant's budgets before the handler runs, and the
+// slot is released when the handler returns. Refusals are 429 (or 503
+// while draining) with a Retry-After hint.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, aerr := s.adm.admit(tenantOf(r))
+		if aerr != nil {
+			obs.AdmissionRejections.With(aerr.reason).Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
+			writeJSON(w, aerr.status, errorResponse{Error: aerr.msg})
+			return
+		}
+		defer release()
+		h(w, r)
+	}
 }
 
 // methodNotAllowed answers a wrong-method hit on a registered route.
@@ -273,7 +390,11 @@ type decodeInfo struct {
 	cacheHit bool
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, *dixq.Query, decodeInfo, bool) {
+// decode parses the request body and resolves the compiled plan through
+// the cache. version is the pinned catalog snapshot's version: the cache
+// key includes it, so a plan compiled against one snapshot can never
+// serve a request pinned to a catalog that has since changed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, version uint64) (*QueryRequest, *dixq.Query, decodeInfo, bool) {
 	var info decodeInfo
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -285,7 +406,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*QueryRequest, 
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
 		return nil, nil, info, false
 	}
-	key := planKey(&req, s.cfg, s.cat.IndexEpoch(), s.cat.StatsEpoch())
+	key := planKey(&req, s.cfg, version)
 	if q, ok := s.plans.get(key); ok {
 		info.cacheHit = true
 		return &req, q, info, true
@@ -347,7 +468,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	req, q, info, ok := s.decode(w, r)
+	// Pin the catalog snapshot: everything below — plan-cache key,
+	// compilation, execution — sees exactly this version, however many
+	// writes publish meanwhile.
+	snap := s.cat.Snapshot()
+	obs.SnapshotsPinned.Inc()
+	defer obs.SnapshotsPinned.Dec()
+	req, q, info, ok := s.decode(w, r, snap.Version())
 	if !ok {
 		outcome = "bad_request"
 		return
@@ -377,9 +504,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// A sampled DI query runs instrumented, so the trace carries one
 		// child span per plan operator — the same exclusive-time actuals
 		// POST /explain {"analyze":true} reports.
-		res, ops, err = q.RunAnalyzed(s.cat, req.options(eng, s.cfg))
+		res, ops, err = q.RunAnalyzed(snap, req.options(eng, s.cfg))
 	} else {
-		res, err = q.Run(s.cat, req.options(eng, s.cfg))
+		res, err = q.Run(snap, req.options(eng, s.cfg))
 	}
 	if tr != nil {
 		span := obs.Span{
@@ -502,7 +629,10 @@ type OperatorJSON struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	req, q, _, ok := s.decode(w, r)
+	snap := s.cat.Snapshot()
+	obs.SnapshotsPinned.Inc()
+	defer obs.SnapshotsPinned.Dec()
+	req, q, _, ok := s.decode(w, r, snap.Version())
 	if !ok {
 		return
 	}
@@ -510,7 +640,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if eng, err := parseEngine(req.Engine); err == nil {
 		// Nil for forced and non-DI engines: those runs bypass the
 		// optimizer by design.
-		out.Optimizer = q.OptimizerReport(s.cat, req.options(eng, s.cfg))
+		out.Optimizer = q.OptimizerReport(snap, req.options(eng, s.cfg))
 	}
 	if req.Analyze {
 		engine, err := parseEngine(req.Engine)
@@ -518,7 +648,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		text, ops, err := q.ExplainAnalyze(s.cat, req.options(engine, s.cfg))
+		text, ops, err := q.ExplainAnalyze(snap, req.options(engine, s.cfg))
 		if err != nil {
 			status := http.StatusUnprocessableEntity
 			if errors.Is(err, dixq.ErrBudgetExceeded) {
@@ -553,11 +683,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
-	_, q, _, ok := s.decode(w, r)
+	snap := s.cat.Snapshot()
+	obs.SnapshotsPinned.Inc()
+	defer obs.SnapshotsPinned.Dec()
+	_, q, _, ok := s.decode(w, r, snap.Version())
 	if !ok {
 		return
 	}
-	sql, err := q.SQL(s.cat)
+	sql, err := q.SQL(snap)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if dixq.IsUnsupportedSQL(err) {

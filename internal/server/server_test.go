@@ -24,6 +24,7 @@ func testServer(t *testing.T, cfg Config) *httptest.Server {
 	srv := New(map[string]*dixq.Document{"auction.xml": doc}, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	return ts
 }
 
@@ -58,12 +59,15 @@ func TestHealthAndDocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var docs []DocInfo
-	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+	var out DocsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if len(docs) != 1 || docs[0].Name != "auction.xml" || docs[0].Nodes != 43 {
-		t.Fatalf("docs = %+v", docs)
+	if len(out.Docs) != 1 || out.Docs[0].Name != "auction.xml" || out.Docs[0].Nodes != 43 {
+		t.Fatalf("docs = %+v", out)
+	}
+	if out.Version == 0 {
+		t.Fatalf("catalog version = 0 after loading a document")
 	}
 }
 
@@ -134,6 +138,7 @@ func TestQueryErrors(t *testing.T) {
 func TestQueryBudget(t *testing.T) {
 	doc := dixq.GenerateXMark(0.01, 1)
 	srv := New(map[string]*dixq.Document{"auction.xml": doc}, Config{MaxTuples: 10_000, Timeout: time.Minute})
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	resp, _ := postJSON(t, ts.URL+"/query", QueryRequest{Query: dixq.XMarkQ8, Engine: "di-nlj"})
@@ -301,7 +306,7 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	}
 	seen := map[string]int{}
 	for i, req := range distinct {
-		key := planKey(&req, Config{}, 0, 0)
+		key := planKey(&req, Config{}, 0)
 		if j, dup := seen[key]; dup {
 			t.Errorf("requests %d and %d share cache key %q", j, i, key)
 		}
@@ -311,7 +316,7 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	for _, par := range []int{-1, 0, def} {
 		req := base
 		req.Parallelism = par
-		if got, want := planKey(&req, Config{}, 0, 0), planKey(&base, Config{}, 0, 0); got != want {
+		if got, want := planKey(&req, Config{}, 0), planKey(&base, Config{}, 0); got != want {
 			t.Errorf("parallelism %d key = %q, want the default key %q", par, got, want)
 		}
 	}
@@ -319,29 +324,30 @@ func TestPlanCacheKeyIncludesOptions(t *testing.T) {
 	// under Config{Parallelism: n} shares the slot of an explicit n.
 	explicit := base
 	explicit.Parallelism = def + 1
-	if got, want := planKey(&base, Config{Parallelism: def + 1}, 0, 0), planKey(&explicit, Config{}, 0, 0); got != want {
+	if got, want := planKey(&base, Config{Parallelism: def + 1}, 0), planKey(&explicit, Config{}, 0); got != want {
 		t.Errorf("config-default key = %q, want the explicit key %q", got, want)
 	}
 	// ... and an explicit request value overrides the server default.
-	if got, want := planKey(&explicit, Config{Parallelism: def + 2}, 0, 0), planKey(&explicit, Config{}, 0, 0); got != want {
+	if got, want := planKey(&explicit, Config{Parallelism: def + 2}, 0), planKey(&explicit, Config{}, 0); got != want {
 		t.Errorf("request override key = %q, want %q", got, want)
 	}
-	// A new index epoch — a document reloaded into the catalog — must not
-	// reuse plans compiled against the old index.
-	if got, want := planKey(&base, Config{}, 1, 0), planKey(&base, Config{}, 0, 0); got == want {
-		t.Errorf("index epoch change kept cache key %q", got)
+	// The per-tenant worker cap clamps the resolved parallelism, so a
+	// capped configuration keys differently from an uncapped one.
+	if got, want := planKey(&explicit, Config{TenantWorkers: 1}, 0), planKey(&explicit, Config{}, 0); got == want {
+		t.Errorf("tenant worker cap kept cache key %q", got)
 	}
-	// A new stats epoch with the index epoch unchanged — RefreshStats —
-	// must not reuse plans the optimizer shaped around the old statistics.
-	if got, want := planKey(&base, Config{}, 0, 1), planKey(&base, Config{}, 0, 0); got == want {
-		t.Errorf("stats epoch change kept cache key %q", got)
+	// A new catalog version — any document load, update, drop, reindex or
+	// stats refresh — must not reuse plans compiled against the old
+	// snapshot.
+	if got, want := planKey(&base, Config{}, 1), planKey(&base, Config{}, 0); got == want {
+		t.Errorf("catalog version change kept cache key %q", got)
 	}
 	// Analyze and Indent shape the response, not the plan.
 	for _, req := range []QueryRequest{
 		{Query: "q", Engine: "di-msj", Analyze: true},
 		{Query: "q", Engine: "di-msj", Indent: true},
 	} {
-		if got, want := planKey(&req, Config{}, 0, 0), planKey(&base, Config{}, 0, 0); got != want {
+		if got, want := planKey(&req, Config{}, 0), planKey(&base, Config{}, 0); got != want {
 			t.Errorf("response-only option changed the key: %q vs %q", got, want)
 		}
 	}
@@ -471,6 +477,7 @@ func TestStatsEpochEvictsPlans(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := New(map[string]*dixq.Document{"auction.xml": doc}, Config{})
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	req := QueryRequest{

@@ -134,6 +134,57 @@ func PrependChild(rel *interval.Relation, parentL interval.Key, f xmltree.Forest
 	return spliceAt(rel, i+1, rel.Tuples[i].L, hi, f), nil
 }
 
+// ResolvePath returns the left endpoint of the node addressed by child
+// ordinals: path[0] selects among the relation's top-level trees, each
+// further ordinal among the children of the node selected so far — so
+// [0] is the first root and [0, 2] its third child. The relation must be
+// sorted by left endpoint (every relation the encoder or the update
+// operators produce is).
+func ResolvePath(rel *interval.Relation, path []int) (interval.Key, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("update: empty path")
+	}
+	// [lo, hi) brackets the candidate sibling run: the whole relation for
+	// the roots, then each selected node's subtree interior.
+	lo, hi := 0, len(rel.Tuples)
+	cur := -1
+	for depth, ord := range path {
+		if ord < 0 {
+			return nil, fmt.Errorf("update: negative ordinal %d at path depth %d", ord, depth)
+		}
+		j := lo
+		for k := 0; k < ord && j < hi; k++ {
+			j = subtreeEnd(rel, j)
+		}
+		if j >= hi {
+			return nil, fmt.Errorf("%w: path %v has no child %d at depth %d", ErrNotFound, path, ord, depth)
+		}
+		cur = j
+		lo, hi = j+1, subtreeEnd(rel, j)
+	}
+	return rel.Tuples[cur].L, nil
+}
+
+// NeedsRebuild reports whether the relation carries a negative key digit.
+// Repeated front-of-document inserts step below key 0 (see prefixBetween);
+// such relations remain fully queryable but cannot be persisted by
+// package store until Rebuild re-encodes them.
+func NeedsRebuild(rel *interval.Relation) bool {
+	for _, t := range rel.Tuples {
+		for _, d := range t.L {
+			if d < 0 {
+				return true
+			}
+		}
+		for _, d := range t.R {
+			if d < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Rebuild re-encodes the relation with the dense single-digit DFS counter,
 // clearing any key growth accumulated by updates. It fails if the relation
 // is not a valid encoding.

@@ -311,3 +311,111 @@ func TestUpdatedRelationIsQueryable(t *testing.T) {
 		t.Fatalf("names = %d, want 2", names)
 	}
 }
+
+// TestResolvePath: child-ordinal addressing against a known shape, with
+// the DFS tuple index as the oracle.
+func TestResolvePath(t *testing.T) {
+	f, _ := xmltree.Parse(`<a><b><c/><d/></b><e/></a><t><u/></t>`)
+	rel := interval.Encode(f)
+	// DFS preorder: a=0 b=1 c=2 d=3 e=4 t=5 u=6.
+	cases := []struct {
+		path []int
+		dfs  int
+	}{
+		{[]int{0}, 0},       // first root <a>
+		{[]int{1}, 5},       // second root <t>
+		{[]int{0, 0}, 1},    // <b>
+		{[]int{0, 1}, 4},    // <e>, skipping over <b>'s subtree
+		{[]int{0, 0, 0}, 2}, // <c>
+		{[]int{0, 0, 1}, 3}, // <d>
+		{[]int{1, 0}, 6},    // <u>
+	}
+	for _, tt := range cases {
+		got, err := ResolvePath(rel, tt.path)
+		if err != nil {
+			t.Errorf("path %v: %v", tt.path, err)
+			continue
+		}
+		if want := rel.Tuples[tt.dfs].L; !got.Equal(want) {
+			t.Errorf("path %v = %s, want %s (dfs %d)", tt.path, got, want, tt.dfs)
+		}
+	}
+	for _, bad := range [][]int{nil, {}, {2}, {0, 2}, {0, 1, 0}, {-1}, {0, -3}} {
+		if _, err := ResolvePath(rel, bad); err == nil {
+			t.Errorf("path %v resolved, want error", bad)
+		}
+	}
+	// Out-of-range ordinals are ErrNotFound (a well-formed address into
+	// absent structure); malformed ordinals are not.
+	if _, err := ResolvePath(rel, []int{0, 9}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("out-of-range ordinal error = %v", err)
+	}
+	if _, err := ResolvePath(rel, []int{-1}); errors.Is(err, ErrNotFound) {
+		t.Error("negative ordinal reported as not-found")
+	}
+}
+
+// TestResolvePathAfterUpdates: addressing stays consistent across the
+// update operators — the relation remains L-sorted, so ordinals track
+// the post-update sibling order.
+func TestResolvePathAfterUpdates(t *testing.T) {
+	f, _ := xmltree.Parse(`<r><a/><b/></r>`)
+	rel := interval.Encode(f)
+	ins := xmltree.Forest{xmltree.NewElement("n")}
+	aL, err := ResolvePath(rel, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := InsertAfter(rel, aL, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <r><a/><n/><b/></r>: ordinal 1 is now the inserted node.
+	nL, err := ResolvePath(rel2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for ; i < len(rel2.Tuples); i++ {
+		if rel2.Tuples[i].L.Equal(nL) {
+			break
+		}
+	}
+	if rel2.Tuples[i].S != "<n>" {
+		t.Fatalf("ordinal 1 resolved to %s, want <n>", rel2.Tuples[i].S)
+	}
+}
+
+// TestNeedsRebuild: only negative digits trigger a rebuild — growth
+// alone (multi-digit keys from middle inserts) is storable as-is.
+func TestNeedsRebuild(t *testing.T) {
+	f, _ := xmltree.Parse(`<r><a/><b/></r>`)
+	rel := interval.Encode(f)
+	if NeedsRebuild(rel) {
+		t.Fatal("fresh encoding flagged for rebuild")
+	}
+	aL := rel.Tuples[1].L
+	mid, err := InsertAfter(rel, aL, xmltree.Forest{xmltree.NewElement("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NeedsRebuild(mid) {
+		t.Error("middle insert flagged for rebuild")
+	}
+	// A front insert steps below the first root's leading digit 0, so the
+	// fresh keys carry a negative digit the store cannot write.
+	front, err := InsertBefore(rel, rel.Tuples[0].L, xmltree.Forest{xmltree.NewElement("f1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NeedsRebuild(front) {
+		t.Error("front insert not flagged for rebuild")
+	}
+	rebuilt, err := Rebuild(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NeedsRebuild(rebuilt) {
+		t.Error("rebuild left negative digits")
+	}
+}
