@@ -22,94 +22,84 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"dixq/internal/bench"
 	"dixq/internal/bench/live"
+	"dixq/internal/cliflags"
 	"dixq/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, "+strings.Join(bench.Experiments, ", "))
-	scalesFlag := flag.String("scales", "", "comma-separated XMark scale factors (default harness set)")
-	systemsFlag := flag.String("systems", "", "comma-separated systems (default: all)")
-	timeout := flag.Duration("timeout", 60*time.Second, "per-run budget; exceeding runs report DNF")
-	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-run materialization budget for DI plans (0 = unlimited)")
-	benchJSON := flag.String("benchjson", "", "write before/after key-layout micro-benchmarks (Q8/Q9/Q13) to this JSON file and exit")
-	benchJSON3 := flag.String("benchjson3", "", "write scalar-vs-batched pipeline micro-benchmarks (Q8/Q9/Q13, plus bounded-memory spill runs) to this JSON file and exit")
-	benchJSON5 := flag.String("benchjson5", "", "write parallel scale-up micro-benchmarks (Q8/Q9/Q13 at 1/2/4/8 workers) to this JSON file and exit")
-	benchJSON6 := flag.String("benchjson6", "", "write scan-vs-index access-path micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
-	benchJSON7 := flag.String("benchjson7", "", "write cost-based-vs-forced-mode micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
-	benchJSON8 := flag.String("benchjson8", "", "drive a sustained mixed read/update HTTP load against a live server and write the latency/admission report to this JSON file and exit")
-	benchScale := flag.Float64("benchscale", 0.01, "XMark scale factor for -benchjson, -benchjson3 and -benchjson5")
-	benchScales := flag.String("benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6 and -benchjson7")
-	bench8Scale := flag.Float64("bench8scale", 1, "XMark scale factor for -benchjson8")
-	bench8Duration := flag.Duration("bench8duration", 10*time.Second, "load duration for -benchjson8")
-	bench8Readers := flag.Int("bench8readers", 4, "concurrent query clients for -benchjson8")
-	bench8Writers := flag.Int("bench8writers", 2, "concurrent document-writer clients for -benchjson8")
-	metricsDump := flag.String("metricsdump", "", "write cumulative runtime metrics (Prometheus text format) to this file on exit")
-	parallelism := flag.Int("parallelism", 1, "intra-query worker bound for DI harness runs (0 = GOMAXPROCS, 1 = serial)")
+	// The flag set lives in internal/cliflags so the root docs guard can
+	// cross-check it against the docs/API.md table.
+	cfg := cliflags.Dibench(flag.CommandLine, bench.Experiments)
 	flag.Parse()
 
-	if *metricsDump != "" {
+	if cfg.MetricsDump != "" {
 		defer func() {
-			if err := os.WriteFile(*metricsDump, []byte(obs.Default.Render()), 0o644); err != nil {
+			if err := os.WriteFile(cfg.MetricsDump, []byte(obs.Default.Render()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "dibench: metricsdump: %v\n", err)
 			}
 		}()
 	}
 
-	if *benchJSON != "" {
-		if err := bench.WriteBenchJSON(*benchJSON, *benchScale, os.Stderr); err != nil {
+	if cfg.BenchJSON != "" {
+		if err := bench.WriteBenchJSON(cfg.BenchJSON, cfg.BenchScale, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return
 	}
-	if *benchJSON3 != "" {
-		if err := bench.WriteBenchPR3JSON(*benchJSON3, *benchScale, os.Stderr); err != nil {
+	if cfg.BenchJSON3 != "" {
+		if err := bench.WriteBenchPR3JSON(cfg.BenchJSON3, cfg.BenchScale, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return
 	}
-	if *benchJSON5 != "" {
-		if err := bench.WriteBenchPR5JSON(*benchJSON5, *benchScale, os.Stderr); err != nil {
+	if cfg.BenchJSON5 != "" {
+		if err := bench.WriteBenchPR5JSON(cfg.BenchJSON5, cfg.BenchScale, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return
 	}
-	if *benchJSON6 != "" || *benchJSON7 != "" {
+	if cfg.BenchJSON9 != "" {
+		if err := bench.WriteBenchPR9JSON(cfg.BenchJSON9, cfg.BenchScale, os.Stderr); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if cfg.BenchJSON6 != "" || cfg.BenchJSON7 != "" {
 		var sfs []float64
-		for _, s := range strings.Split(*benchScales, ",") {
+		for _, s := range strings.Split(cfg.BenchScales, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil || v <= 0 {
 				fatal("bad -benchscales factor %q", s)
 			}
 			sfs = append(sfs, v)
 		}
-		if *benchJSON6 != "" {
-			if err := bench.WriteBenchPR6JSON(*benchJSON6, sfs, os.Stderr); err != nil {
+		if cfg.BenchJSON6 != "" {
+			if err := bench.WriteBenchPR6JSON(cfg.BenchJSON6, sfs, os.Stderr); err != nil {
 				fatal("%v", err)
 			}
 		}
-		if *benchJSON7 != "" {
-			if err := bench.WriteBenchPR7JSON(*benchJSON7, sfs, os.Stderr); err != nil {
+		if cfg.BenchJSON7 != "" {
+			if err := bench.WriteBenchPR7JSON(cfg.BenchJSON7, sfs, os.Stderr); err != nil {
 				fatal("%v", err)
 			}
 		}
 		return
 	}
-	if *benchJSON8 != "" {
-		if err := live.WriteBenchPR8JSON(*benchJSON8, *bench8Scale, *bench8Duration,
-			*bench8Readers, *bench8Writers, os.Stderr); err != nil {
+	if cfg.BenchJSON8 != "" {
+		if err := live.WriteBenchPR8JSON(cfg.BenchJSON8, cfg.Bench8Scale, cfg.Bench8Duration,
+			cfg.Bench8Readers, cfg.Bench8Writers, os.Stderr); err != nil {
 			fatal("%v", err)
 		}
 		return
 	}
 
 	scales := bench.DefaultScales
-	if *scalesFlag != "" {
+	if cfg.Scales != "" {
 		scales = nil
-		for _, s := range strings.Split(*scalesFlag, ",") {
+		for _, s := range strings.Split(cfg.Scales, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil || v <= 0 {
 				fatal("bad scale factor %q", s)
@@ -118,20 +108,20 @@ func main() {
 		}
 	}
 	systems := bench.AllSystems
-	if *systemsFlag != "" {
+	if cfg.Systems != "" {
 		systems = nil
-		for _, s := range strings.Split(*systemsFlag, ",") {
+		for _, s := range strings.Split(cfg.Systems, ",") {
 			systems = append(systems, bench.System(strings.TrimSpace(s)))
 		}
 	}
-	cfg := bench.Config{Timeout: *timeout, MaxTuples: *maxTuples, Parallelism: *parallelism}
+	runCfg := bench.Config{Timeout: cfg.Timeout, MaxTuples: cfg.MaxTuples, Parallelism: cfg.Parallelism}
 
 	experiments := bench.Experiments
-	if *exp != "all" {
-		experiments = strings.Split(*exp, ",")
+	if cfg.Exp != "all" {
+		experiments = strings.Split(cfg.Exp, ",")
 	}
 	for _, name := range experiments {
-		if err := bench.Run(os.Stdout, strings.TrimSpace(name), scales, systems, cfg); err != nil {
+		if err := bench.Run(os.Stdout, strings.TrimSpace(name), scales, systems, runCfg); err != nil {
 			fatal("%v", err)
 		}
 	}

@@ -44,44 +44,20 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
-	"time"
 
 	"dixq"
+	"dixq/internal/cliflags"
 	"dixq/internal/server"
 )
 
-type docFlags []string
-
-func (d *docFlags) String() string { return strings.Join(*d, ",") }
-
-func (d *docFlags) Set(v string) error {
-	*d = append(*d, v)
-	return nil
-}
-
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	var docs docFlags
-	flag.Var(&docs, "doc", "document binding name=path (.xml or .dixq, repeatable; may be omitted — documents can be loaded over HTTP)")
-	docDir := flag.String("docdir", "", "directory PUT /docs/{name}?file= may load documents from (empty = server-side file loading off)")
-	timeout := flag.Duration("timeout", time.Minute, "per-query budget")
-	maxTuples := flag.Int64("maxtuples", 40_000_000, "per-query DI materialization budget (0 = unlimited)")
-	memBudget := flag.Int64("membudget", 0, "per-query DI sort memory budget in bytes; larger sorts spill to disk (0 = unbounded)")
-	spillDir := flag.String("spilldir", "", "directory for external-sort spill runs (default: OS temp dir)")
-	parallelism := flag.Int("parallelism", 0, "per-query worker bound for requests that do not set one (0 = GOMAXPROCS, 1 = serial)")
-	maxConcurrent := flag.Int("max-concurrent", 0, "requests executing at once; excess queues, overflow gets 429 (0 = unlimited)")
-	queueDepth := flag.Int("queue-depth", 0, "requests waiting for an execution slot (0 = default 64, negative = no queue)")
-	queueTimeout := flag.Duration("queue-timeout", 0, "longest a request may wait in the admission queue (0 = default 2s)")
-	tenantConcurrent := flag.Int("tenant-concurrent", 0, "per-tenant concurrent request bound (0 = unlimited)")
-	tenantMemBudget := flag.Int64("tenant-membudget", 0, "per-tenant total memory reservation in bytes; each request reserves -membudget (0 = unlimited)")
-	tenantWorkers := flag.Int("tenant-workers", 0, "per-tenant cap on each query's parallel workers (0 = no extra cap)")
-	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
-	traceSample := flag.Int("trace-sample", 0, "sample 1 in N queries into /debug/traces (0 = default 64, negative = off)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060; empty = off)")
+	// The flag set lives in internal/cliflags so the root docs guard can
+	// cross-check it against the docs/API.md table.
+	cfg := cliflags.Dixqd(flag.CommandLine)
 	flag.Parse()
 
 	loaded := map[string]*dixq.Document{}
-	for _, binding := range docs {
+	for _, binding := range cfg.Docs {
 		name, path, ok := strings.Cut(binding, "=")
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dixqd: bad -doc %q, want name=path\n", binding)
@@ -99,39 +75,39 @@ func main() {
 		log.Printf("starting with an empty catalog; load documents with PUT /docs/{name}")
 	}
 
-	if *pprofAddr != "" {
+	if cfg.PprofAddr != "" {
 		// The pprof import registered its handlers on DefaultServeMux;
 		// this listener is the only place that mux is served.
 		go func() {
-			log.Printf("pprof on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			log.Printf("pprof on %s", cfg.PprofAddr)
+			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
 				log.Fatalf("pprof: %v", err)
 			}
 		}()
 	}
 
 	srv := server.New(loaded, server.Config{
-		Timeout:          *timeout,
-		MaxTuples:        *maxTuples,
-		MemBudget:        *memBudget,
-		SpillDir:         *spillDir,
-		Parallelism:      *parallelism,
-		TraceSample:      *traceSample,
-		MaxConcurrent:    *maxConcurrent,
-		QueueDepth:       *queueDepth,
-		QueueTimeout:     *queueTimeout,
-		TenantConcurrent: *tenantConcurrent,
-		TenantMemBudget:  *tenantMemBudget,
-		TenantWorkers:    *tenantWorkers,
-		DocDir:           *docDir,
+		Timeout:          cfg.Timeout,
+		MaxTuples:        cfg.MaxTuples,
+		MemBudget:        cfg.MemBudget,
+		SpillDir:         cfg.SpillDir,
+		Parallelism:      cfg.Parallelism,
+		TraceSample:      cfg.TraceSample,
+		MaxConcurrent:    cfg.MaxConcurrent,
+		QueueDepth:       cfg.QueueDepth,
+		QueueTimeout:     cfg.QueueTimeout,
+		TenantConcurrent: cfg.TenantConcurrent,
+		TenantMemBudget:  cfg.TenantMemBudget,
+		TenantWorkers:    cfg.TenantWorkers,
+		DocDir:           cfg.DocDir,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.Addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s", *addr)
+		log.Printf("serving on %s", cfg.Addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -142,9 +118,9 @@ func main() {
 	}
 	// Graceful drain: admission refuses new requests with 503 while
 	// Shutdown waits for in-flight ones, bounded by -drain-timeout.
-	log.Printf("draining (up to %s)", *drainTimeout)
+	log.Printf("draining (up to %s)", cfg.DrainTimeout)
 	srv.Drain()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)

@@ -7,13 +7,17 @@ package dixq
 // rot fails CI like any other regression.
 
 import (
+	"flag"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
+
+	"dixq/internal/cliflags"
 )
 
 // TestEveryInternalPackageHasDoc parses each internal package and
@@ -87,6 +91,132 @@ func TestMarkdownRelativeLinksResolve(t *testing.T) {
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken link %q (resolved to %s)", file, target, resolved)
 			}
+		}
+	}
+}
+
+// registeredFlags builds a command's real flag set through
+// internal/cliflags — the same constructor its main uses — and returns
+// the registered flag names. Checking against the FlagSet rather than
+// grepping main.go means a flag can't hide from the guard behind an
+// unusual declaration style.
+func registeredFlags(register func(fs *flag.FlagSet)) map[string]bool {
+	fs := flag.NewFlagSet("", flag.ContinueOnError)
+	register(fs)
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}
+
+// apiDocFlags extracts the flag names documented in one command's table
+// of the "Command-line flags" part of docs/API.md (the `### <command>`
+// section; rows open with a backticked `-name`, optionally followed by a
+// value placeholder).
+func apiDocFlags(t *testing.T, apiDoc, command string) map[string]bool {
+	t.Helper()
+	_, section, ok := strings.Cut(apiDoc, "### "+command+"\n")
+	if !ok {
+		t.Fatalf("docs/API.md: no `### %s` section", command)
+	}
+	if i := strings.Index(section, "\n#"); i >= 0 {
+		section = section[:i]
+	}
+	names := map[string]bool{}
+	for _, line := range strings.Split(section, "\n") {
+		rest, ok := strings.CutPrefix(line, "| `-")
+		if !ok {
+			continue
+		}
+		cell, _, ok := strings.Cut(rest, "`")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(cell, " ")
+		names[name] = true
+	}
+	if len(names) == 0 {
+		t.Fatalf("docs/API.md: `### %s` section contains no flag rows", command)
+	}
+	return names
+}
+
+// TestCommandFlagsMatchAPIDocs cross-checks each binary's flag set
+// against its docs/API.md table, in both directions: an undocumented
+// flag and a documented-but-removed flag both fail.
+func TestCommandFlagsMatchAPIDocs(t *testing.T) {
+	data, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiDoc := string(data)
+	commands := []struct {
+		name     string
+		register func(fs *flag.FlagSet)
+	}{
+		{"dixqd", func(fs *flag.FlagSet) { cliflags.Dixqd(fs) }},
+		{"dibench", func(fs *flag.FlagSet) { cliflags.Dibench(fs, nil) }},
+	}
+	for _, cmd := range commands {
+		registered := registeredFlags(cmd.register)
+		documented := apiDocFlags(t, apiDoc, cmd.name)
+		for name := range registered {
+			if !documented[name] {
+				t.Errorf("%s flag -%s is not documented in the `### %s` table of docs/API.md", cmd.name, name, cmd.name)
+			}
+		}
+		for name := range documented {
+			if !registered[name] {
+				t.Errorf("docs/API.md documents %s flag -%s, which the command does not register", cmd.name, name)
+			}
+		}
+	}
+}
+
+// codeSpan matches inline markdown code spans; flagToken matches the
+// flag-shaped words inside them.
+var (
+	codeSpan   = regexp.MustCompile("`([^`]+)`")
+	optionsRef = regexp.MustCompile(`dixq\.Options\.(\w+)`)
+	metricRef  = regexp.MustCompile(`dixq_[a-z0-9_]+`)
+)
+
+// TestPerformanceDocKnobsResolve keeps docs/PERFORMANCE.md honest:
+// every `-flag` it names must be registered by dixqd or dibench, every
+// `dixq.Options.Field` must be a real Options field, and every
+// `dixq_*` metric name must appear in the docs/API.md metrics table.
+func TestPerformanceDocKnobsResolve(t *testing.T) {
+	perf, err := os.ReadFile("docs/PERFORMANCE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiDoc, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := registeredFlags(func(fs *flag.FlagSet) { cliflags.Dixqd(fs) })
+	for name := range registeredFlags(func(fs *flag.FlagSet) { cliflags.Dibench(fs, nil) }) {
+		flags[name] = true
+	}
+	for _, span := range codeSpan.FindAllStringSubmatch(string(perf), -1) {
+		for _, word := range strings.Fields(span[1]) {
+			name, ok := strings.CutPrefix(word, "-")
+			if !ok || name == "" || name[0] < 'a' || name[0] > 'z' {
+				continue
+			}
+			if !flags[name] {
+				t.Errorf("docs/PERFORMANCE.md names flag -%s, which neither dixqd nor dibench registers", name)
+			}
+		}
+	}
+	optType := reflect.TypeOf(Options{})
+	for _, m := range optionsRef.FindAllStringSubmatch(string(perf), -1) {
+		if _, ok := optType.FieldByName(m[1]); !ok {
+			t.Errorf("docs/PERFORMANCE.md names dixq.Options.%s, which is not a field of dixq.Options", m[1])
+		}
+	}
+	for _, metric := range metricRef.FindAllString(string(perf), -1) {
+		if !strings.Contains(string(apiDoc), metric) {
+			t.Errorf("docs/PERFORMANCE.md names metric %s, which docs/API.md does not document", metric)
 		}
 	}
 }

@@ -283,6 +283,14 @@ func (a *analyzer) addWorkers(id, workers int) {
 	}
 }
 
+// addPartitions records the key-range partition count of a node's
+// repartitioning phase (probe or exchange), keeping the maximum.
+func (a *analyzer) addPartitions(id, partitions int) {
+	if id >= 0 && id < len(a.stats.Nodes) && partitions > a.stats.Nodes[id].Partitions {
+		a.stats.Nodes[id].Partitions = partitions
+	}
+}
+
 // exec runs one plan node, wrapping execNode with per-node accounting
 // when analyze mode is on.
 func (ev *evaluator) exec(n *plan.Node, en *env) (*table, error) {

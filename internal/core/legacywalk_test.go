@@ -372,11 +372,11 @@ func (ev *evaluator) legacyTryMergeJoin(e xq.For, en *env) (*table, bool, error)
 
 	outerGroups := engine.GroupByEnv(en.index, en.depth, outerTab.rel)
 	innerGroups := engine.GroupByEnv(yIndex, yDepth, innerTab.rel)
-	pairs, spillStats, _, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, ev.spill)
+	pairs, joinInfo, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, ev.spill)
 	if err != nil {
 		return nil, false, err
 	}
-	ev.noteSpill(spillStats)
+	ev.noteSpill(joinInfo.spill)
 
 	newDepth := en.depth + domTab.local
 	yValGroups := engine.GroupByEnv(yIndex, yDepth, yBound)

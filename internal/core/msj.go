@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sort"
 
 	"dixq/internal/engine"
 	"dixq/internal/exec"
 	"dixq/internal/extsort"
 	"dixq/internal/interval"
+	"dixq/internal/obs"
 	"dixq/internal/plan"
 )
 
@@ -96,13 +98,14 @@ func (ev *evaluator) execMergeJoin(n *plan.Node, en *env) (*table, error) {
 	if ev.opts.LegacyKeys {
 		spill = nil
 	}
-	pairs, spillStats, sortWorkers, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, spill)
+	pairs, joinInfo, err := mergeJoinEnvs(en.index, outerGroups, yIndex, innerGroups, d0, ev.opts.Parallelism, spill)
 	if err != nil {
 		return nil, err
 	}
-	ev.noteSpill(spillStats)
+	ev.noteSpill(joinInfo.spill)
 	if ev.an != nil {
-		ev.an.addWorkers(n.ID, sortWorkers)
+		ev.an.addWorkers(n.ID, joinInfo.workers)
+		ev.an.addPartitions(n.ID, joinInfo.partitions)
 	}
 
 	// (5): rebuild combined environments in document order. The flat path
@@ -204,49 +207,66 @@ type envPair struct {
 	outer, inner int
 }
 
+// joinPhaseInfo is the runtime accounting mergeJoinEnvs hands back for
+// ExplainAnalyze and the spill counters: spill volume of the side sorts,
+// the maximum worker count any phase (side sorts or probe) reached, and
+// how many key-range partitions the probe phase split into (1 when it ran
+// serial).
+type joinPhaseInfo struct {
+	spill      engine.SpillStats
+	workers    int
+	partitions int
+}
+
+// ParallelProbeThreshold is the minimum sorted-outer length for which the
+// probe phase range-partitions across workers; below it the partition
+// setup (binary searches, per-partition buffers) costs more than the scan.
+// It is a variable so tests can force the parallel probe on small inputs.
+var ParallelProbeThreshold = 2048
+
 // mergeJoinEnvs sorts both environment sequences by (ancestor prefix,
 // structural key order) and merges them, returning all matching pairs
 // ordered by (outer position, inner position) — document order of the
-// combined environments, plus the number of pool workers the sort phase
-// used. With parallelism >= 2 the two sides sort concurrently, each with
-// half the worker bound. Under a memory budget the two environment sorts
-// spill to disk; the merged match set is identical either way.
+// combined environments — plus phase accounting. With parallelism >= 2
+// the two sides sort concurrently (each with half the worker bound) and
+// the probe itself range-partitions the sorted outer across workers.
+// Under a memory budget the two environment sorts spill to disk; the
+// merged match set is identical either way.
 func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 	innerIndex engine.Index, innerGroups [][]interval.Tuple, d0 int, parallelism int,
-	spill *engine.SpillConfig) ([]envPair, engine.SpillStats, int, error) {
+	spill *engine.SpillConfig) ([]envPair, joinPhaseInfo, error) {
 
-	var stats engine.SpillStats
+	info := joinPhaseInfo{workers: 1, partitions: 1}
 	var outerOrder, innerOrder []int
-	workers := 1
 	if parallelism >= 2 {
 		// Each side gets its own stats block and half the worker bound; the
 		// comparators and the external sorter touch no shared mutable state.
 		sideStats := [2]engine.SpillStats{}
 		sideErrs := [2]error{}
 		sidePar := max(1, parallelism/2)
-		workers = exec.Run(2, 2, func(task, worker int) {
+		info.workers = exec.Run(2, 2, func(task, worker int) {
 			if task == 0 {
 				outerOrder, sideErrs[0] = sortByKeySpill(outerIndex, outerGroups, d0, sidePar, spill, &sideStats[0])
 			} else {
 				innerOrder, sideErrs[1] = sortByKeySpill(innerIndex, innerGroups, d0, sidePar, spill, &sideStats[1])
 			}
 		})
-		stats.Runs = sideStats[0].Runs + sideStats[1].Runs
-		stats.Bytes = sideStats[0].Bytes + sideStats[1].Bytes
+		info.spill.Runs = sideStats[0].Runs + sideStats[1].Runs
+		info.spill.Bytes = sideStats[0].Bytes + sideStats[1].Bytes
 		for _, err := range sideErrs {
 			if err != nil {
-				return nil, stats, workers, err
+				return nil, info, err
 			}
 		}
 	} else {
 		var err error
-		outerOrder, err = sortByKeySpill(outerIndex, outerGroups, d0, parallelism, spill, &stats)
+		outerOrder, err = sortByKeySpill(outerIndex, outerGroups, d0, parallelism, spill, &info.spill)
 		if err != nil {
-			return nil, stats, workers, err
+			return nil, info, err
 		}
-		innerOrder, err = sortByKeySpill(innerIndex, innerGroups, d0, parallelism, spill, &stats)
+		innerOrder, err = sortByKeySpill(innerIndex, innerGroups, d0, parallelism, spill, &info.spill)
 		if err != nil {
-			return nil, stats, workers, err
+			return nil, info, err
 		}
 	}
 
@@ -257,6 +277,73 @@ func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 		return engine.CompareForests(outerGroups[o], innerGroups[i])
 	}
 
+	pairs, probeWorkers, partitions := probeMerge(outerOrder, innerOrder, parallelism, cmp)
+	info.workers = max(info.workers, probeWorkers)
+	info.partitions = partitions
+	slices.SortFunc(pairs, func(a, b envPair) int {
+		if a.outer != b.outer {
+			return a.outer - b.outer
+		}
+		return a.inner - b.inner
+	})
+	return pairs, info, nil
+}
+
+// probeMerge runs the merge-join probe over the two sorted position
+// sequences and returns the matching pairs (in per-partition emission
+// order — the caller's final (outer, inner) sort fixes document order),
+// the number of workers that participated and the partition count.
+//
+// With parallelism >= 2 the sorted outer splits into contiguous
+// equal-width partitions and each worker probes one partition against the
+// inner independently: it binary-searches the first inner position not
+// below its first outer element and runs the serial merge loop from
+// there, clipped to its outer range. The pair set is partition-
+// independent: an outer equal-run split across a partition boundary is
+// probed by both workers, and each re-finds the full inner equal-run for
+// its own outer elements, so the union of the per-partition cross
+// products is exactly the serial cross product. Partition boundaries
+// depend only on the input length and the budget-clamped parallelism
+// (exec.Effective), and output order is fixed by the caller's sort, so
+// the result is digit-identical to the serial probe at any worker grant.
+func probeMerge(outerOrder, innerOrder []int, parallelism int, cmp func(o, i int) int) ([]envPair, int, int) {
+	par := exec.Effective(parallelism)
+	if par < 2 || len(outerOrder) < ParallelProbeThreshold {
+		pairs := probeRange(outerOrder, innerOrder, cmp)
+		obs.ProbePairs.With(exec.WorkerLabel(0)).Add(int64(len(pairs)))
+		return pairs, 1, 1
+	}
+	nparts := par
+	chunk := (len(outerOrder) + nparts - 1) / nparts
+	outs := make([][]envPair, nparts)
+	workers := exec.Run(nparts, par, func(task, worker int) {
+		lo := task * chunk
+		hi := min(lo+chunk, len(outerOrder))
+		if lo >= hi {
+			return
+		}
+		// First inner position not below the partition's first outer
+		// element; everything before it can only match earlier partitions.
+		first := outerOrder[lo]
+		ii := sort.Search(len(innerOrder), func(k int) bool {
+			return cmp(first, innerOrder[k]) <= 0
+		})
+		outs[task] = probeRange(outerOrder[lo:hi], innerOrder[ii:], cmp)
+		obs.ProbePairs.With(exec.WorkerLabel(worker)).Add(int64(len(outs[task])))
+	})
+	total := 0
+	for _, out := range outs {
+		total += len(out)
+	}
+	pairs := make([]envPair, 0, total)
+	for _, out := range outs {
+		pairs = append(pairs, out...)
+	}
+	return pairs, workers, nparts
+}
+
+// probeRange is the serial merge-join probe loop over one outer range.
+func probeRange(outerOrder, innerOrder []int, cmp func(o, i int) int) []envPair {
 	var pairs []envPair
 	oi, ii := 0, 0
 	for oi < len(outerOrder) && ii < len(innerOrder) {
@@ -284,13 +371,7 @@ func mergeJoinEnvs(outerIndex engine.Index, outerGroups [][]interval.Tuple,
 			oi, ii = oEnd, iEnd
 		}
 	}
-	slices.SortFunc(pairs, func(a, b envPair) int {
-		if a.outer != b.outer {
-			return a.outer - b.outer
-		}
-		return a.inner - b.inner
-	})
-	return pairs, stats, workers, nil
+	return pairs
 }
 
 // sortByKey returns the environment positions ordered by (d0-prefix of the
@@ -330,7 +411,7 @@ func sortByKeySpill(index engine.Index, groups [][]interval.Tuple, d0 int, paral
 		return sortByKey(index, groups, d0, parallelism), nil
 	}
 	sorter := extsort.New(
-		extsort.Config{MaxBytes: spill.MaxBytes, Dir: spill.Dir},
+		extsort.Config{MaxBytes: spill.MaxBytes, Dir: spill.Dir, Parallelism: parallelism},
 		func(a, b *extsort.Record) int {
 			if c := a.Key.ComparePrefix(b.Key, d0); c != 0 {
 				return c

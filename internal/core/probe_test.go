@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dixq/internal/exec"
+	"dixq/internal/interval"
+	"dixq/internal/xmark"
+	"dixq/internal/xmltree"
+	"dixq/internal/xq"
+)
+
+// forceParallelProbe drops the probe and sort thresholds so small test
+// corpora exercise the partitioned probe and the exchange merge, and
+// raises the worker budget so the budget clamp (exec.Effective) does not
+// collapse the partitioning on single-core machines; everything restores
+// on cleanup.
+func forceParallelProbe(t *testing.T) {
+	t.Helper()
+	oldProbe, oldSort := ParallelProbeThreshold, interval.ParallelSortThreshold
+	ParallelProbeThreshold, interval.ParallelSortThreshold = 1, 8
+	oldLimit := exec.SetLimit(8)
+	t.Cleanup(func() {
+		ParallelProbeThreshold, interval.ParallelSortThreshold = oldProbe, oldSort
+		exec.SetLimit(oldLimit)
+	})
+}
+
+// TestProbeMergeUnit pins the probe partitioning at the unit level
+// against the serial loop, including empty partitions (more partitions
+// than outer elements), single-element inputs, empty sides and equal
+// runs crossing every boundary.
+func TestProbeMergeUnit(t *testing.T) {
+	forceParallelProbe(t)
+	rng := rand.New(rand.NewSource(20030609))
+	check := func(outerKeys, innerKeys []int) {
+		t.Helper()
+		cmp := func(o, i int) int { return outerKeys[o] - innerKeys[i] }
+		outerOrder := interval.SortPerm(len(outerKeys), 1, func(a, b int) int { return outerKeys[a] - outerKeys[b] })
+		innerOrder := interval.SortPerm(len(innerKeys), 1, func(a, b int) int { return innerKeys[a] - innerKeys[b] })
+		want := probeRange(outerOrder, innerOrder, cmp)
+		sortPairs := func(ps []envPair) {
+			slices.SortFunc(ps, func(a, b envPair) int {
+				if a.outer != b.outer {
+					return a.outer - b.outer
+				}
+				return a.inner - b.inner
+			})
+		}
+		sortPairs(want)
+		for _, par := range []int{2, 3, 4, 7, 16} {
+			got, _, parts := probeMerge(outerOrder, innerOrder, par, cmp)
+			sortPairs(got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("parallelism %d: got %v, want %v", par, got, want)
+			}
+			wantParts := exec.Effective(par)
+			if len(outerOrder) < ParallelProbeThreshold {
+				wantParts = 1 // empty outer takes the serial path
+			}
+			if parts != wantParts {
+				t.Fatalf("parallelism %d: partitions = %d, want %d", par, parts, wantParts)
+			}
+		}
+	}
+	check([]int{1}, []int{1})             // single elements, 16 partitions over 1 outer
+	check([]int{1}, []int{2})             // no match
+	check([]int{1, 2, 3}, nil)            // empty inner
+	check(nil, []int{1, 2, 3})            // empty outer: probeMerge must not panic
+	check([]int{5, 5, 5, 5}, []int{5, 5}) // one giant equal run split across all boundaries
+	for trial := 0; trial < 40; trial++ {
+		no, ni := 1+rng.Intn(50), 1+rng.Intn(50)
+		outer := make([]int, no)
+		inner := make([]int, ni)
+		for i := range outer {
+			outer[i] = rng.Intn(8) // heavy duplicates, boundaries land inside runs
+		}
+		for i := range inner {
+			inner[i] = rng.Intn(8)
+		}
+		check(outer, inner)
+	}
+}
+
+// TestParallelProbeDigitIdentical forces the partitioned probe on the
+// join differential corpus and the paper queries: results must be
+// digit-identical to the serial probe at every parallelism.
+func TestParallelProbeDigitIdentical(t *testing.T) {
+	forceParallelProbe(t)
+	rng := rand.New(rand.NewSource(41))
+	doc := joinDocs(rng, 40) // n/2+1 key values over 40 records: long equal runs
+	cat := EncodeCatalog(map[string]xmltree.Forest{"d": doc})
+	queries := []string{
+		`for $x in document("d")/db/as/rec
+		 return for $y in document("d")/db/bs/rec
+		 where $x/k = $y/k return <m>{$x/p/text()}{$y/p/text()}</m>`,
+		xmark.Q8, xmark.Q9,
+	}
+	xmarkCat, _ := generatedCatalog(0.002, 5)
+	for qi, query := range queries {
+		c := cat
+		if qi > 0 {
+			c = xmarkCat
+		}
+		q := Compile(xq.MustParse(query), Options{})
+		serial, err := q.Eval(c, Options{ForceJoinMode: ModeMSJ, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("query %d serial: %v", qi, err)
+		}
+		for _, par := range []int{2, 3, 4, 8} {
+			got, err := q.Eval(c, Options{ForceJoinMode: ModeMSJ, Parallelism: par})
+			if err != nil {
+				t.Fatalf("query %d parallelism %d: %v", qi, par, err)
+			}
+			if len(got.Tuples) != len(serial.Tuples) {
+				t.Fatalf("query %d parallelism %d: tuple counts differ: %d vs %d",
+					qi, par, len(got.Tuples), len(serial.Tuples))
+			}
+			for i := range got.Tuples {
+				a, b := got.Tuples[i], serial.Tuples[i]
+				if a.S != b.S || !a.L.Equal(b.L) || !a.R.Equal(b.R) {
+					t.Fatalf("query %d parallelism %d: tuple %d differs: %s vs %s", qi, par, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelProbeSpillMidJoin forces both side sorts through the
+// external sorter (1-byte budget spills everything) and the probe through
+// the partitioned path in the same join; the result must stay
+// digit-identical to the fully serial in-memory run.
+func TestParallelProbeSpillMidJoin(t *testing.T) {
+	forceParallelProbe(t)
+	cat, _ := generatedCatalog(0.002, 5)
+	for _, query := range []string{xmark.Q8, xmark.Q9} {
+		q := Compile(xq.MustParse(query), Options{})
+		serial, err := q.Eval(cat, Options{ForceJoinMode: ModeMSJ, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := &Stats{}
+		got, err := q.Eval(cat, Options{
+			ForceJoinMode: ModeMSJ, Parallelism: 4,
+			MemBudget: 1, SpillDir: t.TempDir(), Stats: stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.SpilledRuns == 0 {
+			t.Fatal("1-byte budget did not spill: the test lost its subject")
+		}
+		if len(got.Tuples) != len(serial.Tuples) {
+			t.Fatalf("tuple counts differ: %d vs %d", len(got.Tuples), len(serial.Tuples))
+		}
+		for i := range got.Tuples {
+			a, b := got.Tuples[i], serial.Tuples[i]
+			if a.S != b.S || !a.L.Equal(b.L) || !a.R.Equal(b.R) {
+				t.Fatalf("tuple %d differs: %s vs %s", i, a, b)
+			}
+		}
+	}
+}

@@ -66,6 +66,14 @@ func Corpus() []Case {
 		{"xmark-q13", xmark.Q13, true},
 		{"xmark-sort", `for $x in document("auction.xml")/site/people/person return sort($x/*)`, true},
 		{"xmark-distinct", `distinct(document("auction.xml")/site/regions/*/item/name)`, true},
+		// A structural self-join on a low-cardinality key: the generator
+		// draws names from a small pool, so the sorted join inputs are long
+		// equal-key runs and the partitioned probe's boundaries land inside
+		// them — the case where a per-partition probe must re-find the full
+		// matching run.
+		{"xmark-dup-join", `for $x in document("auction.xml")/site/people/person/name
+		 for $y in document("auction.xml")/site/people/person/name
+		 where $x = $y return <m>{$x/text()}</m>`, true},
 	}
 }
 
@@ -109,6 +117,10 @@ func Variants(spillDir string) []Variant {
 		{"legacy-keys", core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1, LegacyKeys: true}},
 		{"no-pipeline", core.Options{ForceJoinMode: core.ModeMSJ, Parallelism: 1, NoPipeline: true}},
 		{"default", core.Options{ForceJoinMode: core.ModeMSJ}},
+		// An odd worker count under a 1-byte budget: partition boundaries
+		// fall at different keys than the even-count variants while every
+		// structural sort spills mid-join through the background writer.
+		{"msj-batch3-par3-budget1", core.Options{ForceJoinMode: core.ModeMSJ, BatchSize: 3, Parallelism: 3, MemBudget: 1, SpillDir: spillDir}},
 	}
 	for _, mode := range []core.Mode{core.ModeAuto, core.ModeMSJ, core.ModeNLJ} {
 		for _, par := range []int{1, 4} {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dixq/internal/core"
+	"dixq/internal/exec"
 	"dixq/internal/index"
 	"dixq/internal/interp"
 	"dixq/internal/interval"
@@ -13,13 +14,20 @@ import (
 	"dixq/internal/xq"
 )
 
-// lowerSortThreshold makes the parallel structural sort engage on
+// lowerSortThreshold makes the parallel structural sort, the exchange
+// merge behind it and the partitioned merge-join probe engage on
 // test-sized inputs, so the Parallelism > 1 variants actually fan out
-// workers instead of silently taking the serial path.
+// workers instead of silently taking the serial path. It also raises
+// the process worker budget so the exec.Effective clamp does not
+// collapse the partitioning to 2-way on single-core machines.
 func lowerSortThreshold(tb testing.TB) {
-	old := interval.ParallelSortThreshold
-	interval.ParallelSortThreshold = 4
-	tb.Cleanup(func() { interval.ParallelSortThreshold = old })
+	oldSort, oldProbe := interval.ParallelSortThreshold, core.ParallelProbeThreshold
+	interval.ParallelSortThreshold, core.ParallelProbeThreshold = 4, 4
+	oldLimit := exec.SetLimit(8)
+	tb.Cleanup(func() {
+		interval.ParallelSortThreshold, core.ParallelProbeThreshold = oldSort, oldProbe
+		exec.SetLimit(oldLimit)
+	})
 }
 
 // TestEnginesAgreeOnCorpus is the differential matrix: every corpus case

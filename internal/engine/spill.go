@@ -61,7 +61,7 @@ func SortTreesSpill(rel *interval.Relation, depth, parallelism int, cfg SpillCon
 			return
 		}
 		sorter := extsort.New(
-			extsort.Config{MaxBytes: cfg.MaxBytes, Dir: cfg.Dir},
+			extsort.Config{MaxBytes: cfg.MaxBytes, Dir: cfg.Dir, Parallelism: parallelism},
 			func(a, b *extsort.Record) int { return CompareForests(a.Tuples, b.Tuples) },
 		)
 		defer sorter.Close()

@@ -66,6 +66,20 @@ func SetLimit(n int) int {
 // Limit returns the current process-wide extra-worker budget.
 func Limit() int { return int(limit.Load()) }
 
+// Effective clamps a requested Parallelism knob value by the configured
+// worker budget: the caller plus Limit() extra workers is the most
+// concurrency any Run call can see, so partitioning an input more finely
+// than that only buys per-partition overhead. Operators that split work
+// by key range (the exchange sort merge, the partitioned probe) size
+// their partition count with this, which keeps a 1-worker budget on the
+// plain serial code path. The clamp depends only on the configured
+// budget — stable for the life of the process — never on the
+// instantaneous grant, so partition counts stay deterministic for a
+// given configuration.
+func Effective(parallelism int) int {
+	return min(Resolve(parallelism), Limit()+1)
+}
+
 // InFlight returns the number of extra workers currently running.
 func InFlight() int { return int(inFlight.Load()) }
 
@@ -111,8 +125,10 @@ func release(n int) {
 // bounded no matter the configured parallelism.
 const maxWorkerLabel = 16
 
-// workerLabel is the metrics label for a worker slot.
-func workerLabel(w int) string {
+// WorkerLabel is the metrics label for a worker slot; operators that
+// record per-worker counters (exchange partitions, probe pairs) share it
+// so the label space stays uniform across every per-worker series.
+func WorkerLabel(w int) string {
 	if w >= maxWorkerLabel {
 		return strconv.Itoa(maxWorkerLabel) + "+"
 	}
@@ -142,7 +158,7 @@ func Run(tasks, parallelism int, fn func(task, worker int)) int {
 	if extra == 0 {
 		for t := 0; t < tasks; t++ {
 			fn(t, 0)
-			obs.ParallelTasks.With(workerLabel(0)).Inc()
+			obs.ParallelTasks.With(WorkerLabel(0)).Inc()
 		}
 		return 1
 	}
@@ -155,7 +171,7 @@ func Run(tasks, parallelism int, fn func(task, worker int)) int {
 				return
 			}
 			fn(t, worker)
-			obs.ParallelTasks.With(workerLabel(worker)).Inc()
+			obs.ParallelTasks.With(WorkerLabel(worker)).Inc()
 		}
 	}
 	var wg sync.WaitGroup

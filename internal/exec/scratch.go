@@ -1,0 +1,42 @@
+package exec
+
+import "sync"
+
+// Scratch[T] hands each worker of a Run call a private reusable value.
+// Values are recycled through a shared pool across calls, so steady-state
+// parallel operators stop paying per-call worker-state allocations. The
+// pattern is always:
+//
+//	ws := scratch.Acquire(workers)
+//	exec.Run(tasks, parallelism, func(task, worker int) { use ws[worker] })
+//	scratch.Release(ws)
+//
+// Worker indices from Run are dense in [0, workers), so ws[worker] is
+// owned by exactly one goroutine for the duration of the call; Scratch
+// itself adds no locking on that path. Values must be self-contained
+// scratch (buffers, stage state) whose reuse cannot leak one call's data
+// into another's results.
+type Scratch[T any] struct {
+	pool sync.Pool
+}
+
+// NewScratch returns a scratch pool whose values are built by fresh.
+func NewScratch[T any](fresh func() *T) *Scratch[T] {
+	return &Scratch[T]{pool: sync.Pool{New: func() any { return fresh() }}}
+}
+
+// Acquire takes n scratch values, one per prospective worker slot.
+func (s *Scratch[T]) Acquire(n int) []*T {
+	vals := make([]*T, n)
+	for i := range vals {
+		vals[i] = s.pool.Get().(*T)
+	}
+	return vals
+}
+
+// Release returns the values to the pool for the next call.
+func (s *Scratch[T]) Release(vals []*T) {
+	for _, v := range vals {
+		s.pool.Put(v)
+	}
+}

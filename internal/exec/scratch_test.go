@@ -1,0 +1,47 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+type buf struct{ data []int }
+
+func TestScratchPerWorkerIsolation(t *testing.T) {
+	s := NewScratch(func() *buf { return &buf{} })
+	ws := s.Acquire(4)
+	if len(ws) != 4 {
+		t.Fatalf("Acquire(4) returned %d values", len(ws))
+	}
+	for i, a := range ws {
+		for j, b := range ws {
+			if i != j && a == b {
+				t.Fatal("Acquire handed the same value to two workers")
+			}
+		}
+	}
+	var total atomic.Int64
+	Run(64, 4, func(task, worker int) {
+		w := ws[worker]
+		w.data = append(w.data, task)
+		total.Add(1)
+	})
+	got := 0
+	for _, w := range ws {
+		got += len(w.data)
+	}
+	if int64(got) != total.Load() {
+		t.Fatalf("worker buffers hold %d tasks, ran %d", got, total.Load())
+	}
+	s.Release(ws)
+	// Recycled values come back usable (possibly with stale contents the
+	// caller must reset — mirror what prepare() does in pipeline).
+	ws2 := s.Acquire(2)
+	for _, w := range ws2 {
+		w.data = w.data[:0]
+		if len(w.data) != 0 {
+			t.Fatal("reset failed")
+		}
+	}
+	s.Release(ws2)
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"dixq/internal/exec"
 	"dixq/internal/interval"
 	"dixq/internal/obs"
 	"dixq/internal/store"
@@ -48,10 +49,20 @@ type Config struct {
 	MaxBytes int64
 	// Dir is the spill directory; empty means the OS temp directory.
 	Dir string
+	// Parallelism bounds the workers of each run's in-memory sort and,
+	// when >= 2, lets a flushed run sort and write to disk in the
+	// background while the caller keeps buffering the next batch. Run
+	// contents are a pure function of the Add sequence and the budget —
+	// SortPerm is identical at any parallelism and the batch is frozen at
+	// flush time — and the merge's total order makes run boundaries
+	// invisible, so output is digit-identical at any setting. <= 1 keeps
+	// every flush synchronous.
+	Parallelism int
 }
 
 // Sorter accumulates records and produces them in sorted order, spilling
-// to disk runs when over budget. Not safe for concurrent use.
+// to disk runs when over budget. Not safe for concurrent use (the
+// background flush is internal: every exported method settles it first).
 type Sorter struct {
 	cmp    func(a, b *Record) int
 	cfg    Config
@@ -59,6 +70,19 @@ type Sorter struct {
 	bytes  int64
 	runs   []string
 	spills int64
+	// bg carries the result of the at-most-one in-flight background
+	// flush; nil when none is pending. err latches the first flush
+	// failure so accessors without an error return stay correct.
+	bg  chan flushResult
+	err error
+}
+
+// flushResult is what a background flush hands back: the finished run
+// file and the accounted footprint it drained from the buffer.
+type flushResult struct {
+	path  string
+	bytes int64
+	err   error
 }
 
 // New returns a sorter ordering records by cmp, ties broken by Ord.
@@ -93,38 +117,95 @@ func (s *Sorter) Add(r Record) error {
 	return nil
 }
 
-// Runs returns the number of runs spilled to disk so far.
-func (s *Sorter) Runs() int { return len(s.runs) }
+// Runs returns the number of runs spilled to disk so far (any in-flight
+// background flush counted, since it settles first).
+func (s *Sorter) Runs() int { s.settle(); return len(s.runs) }
 
 // SpilledBytes returns the accounted footprint of everything flushed.
-func (s *Sorter) SpilledBytes() int64 { return s.spills }
+func (s *Sorter) SpilledBytes() int64 { s.settle(); return s.spills }
 
-// sortBuffer orders the in-memory records by the total order.
-func (s *Sorter) sortBuffer() {
-	order := interval.SortPerm(len(s.recs), 1, func(i, j int) int {
-		return s.compare(&s.recs[i], &s.recs[j])
+// sortRecords orders a record batch by the total order.
+func sortRecords(recs []Record, parallelism int, cmp func(a, b *Record) int) []Record {
+	order := interval.SortPerm(len(recs), parallelism, func(i, j int) int {
+		return cmp(&recs[i], &recs[j])
 	})
-	sorted := make([]Record, len(s.recs))
+	sorted := make([]Record, len(recs))
 	for i, p := range order {
-		sorted[i] = s.recs[p]
+		sorted[i] = recs[p]
 	}
-	s.recs = sorted
+	return sorted
 }
 
-// flush sorts the buffered records and writes them out as one run.
+// flush hands the buffered records off as one run. With a budget-clamped
+// Parallelism of at least 2 (exec.Effective — a zero worker budget keeps
+// even the flush synchronous) the batch sorts and writes in the background — at most one flush in
+// flight, so a second over-budget batch waits for the first — and the
+// caller's buffer starts fresh immediately; otherwise the flush completes
+// before returning.
 func (s *Sorter) flush() error {
+	if err := s.settle(); err != nil {
+		return err
+	}
 	if len(s.recs) == 0 {
 		return nil
 	}
-	s.sortBuffer()
-	f, err := os.CreateTemp(s.cfg.Dir, "dixq-spill-*.run")
+	batch, bytes := s.recs, s.bytes
+	s.recs = nil
+	s.bytes = 0
+	if exec.Effective(s.cfg.Parallelism) >= 2 {
+		s.bg = make(chan flushResult, 1)
+		go func() {
+			path, err := writeRun(batch, s.cfg, s.totalOrder())
+			s.bg <- flushResult{path: path, bytes: bytes, err: err}
+		}()
+		return nil
+	}
+	path, err := writeRun(batch, s.cfg, s.totalOrder())
+	return s.finishRun(flushResult{path: path, bytes: bytes, err: err})
+}
+
+// settle waits for any in-flight background flush and folds its result
+// into the sorter. The first flush error latches into s.err.
+func (s *Sorter) settle() error {
+	if s.bg != nil {
+		res := <-s.bg
+		s.bg = nil
+		if err := s.finishRun(res); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// finishRun books one completed run into the sorter's accounting.
+func (s *Sorter) finishRun(res flushResult) error {
+	if res.err != nil {
+		return res.err
+	}
+	s.runs = append(s.runs, res.path)
+	s.spills += res.bytes
+	obs.SpilledRuns.Inc()
+	obs.SpilledBytes.Add(res.bytes)
+	return nil
+}
+
+// totalOrder returns the comparator-then-ordinal total order as a free
+// function, safe to call from the background flush goroutine (s.cmp and
+// s.compare read no mutable sorter state).
+func (s *Sorter) totalOrder() func(a, b *Record) int { return s.compare }
+
+// writeRun sorts one frozen batch and writes it out as a run file,
+// returning the file name.
+func writeRun(recs []Record, cfg Config, cmp func(a, b *Record) int) (string, error) {
+	recs = sortRecords(recs, max(1, cfg.Parallelism), cmp)
+	f, err := os.CreateTemp(cfg.Dir, "dixq-spill-*.run")
 	if err != nil {
-		return fmt.Errorf("extsort: create run: %w", err)
+		return "", fmt.Errorf("extsort: create run: %w", err)
 	}
 	w, err := store.NewRunWriter(f)
 	if err == nil {
-		for i := range s.recs {
-			if err = writeRecord(w, &s.recs[i]); err != nil {
+		for i := range recs {
+			if err = writeRecord(w, &recs[i]); err != nil {
 				break
 			}
 		}
@@ -137,15 +218,9 @@ func (s *Sorter) flush() error {
 	}
 	if err != nil {
 		os.Remove(f.Name())
-		return fmt.Errorf("extsort: write run %s: %w", f.Name(), err)
+		return "", fmt.Errorf("extsort: write run %s: %w", f.Name(), err)
 	}
-	s.runs = append(s.runs, f.Name())
-	s.spills += s.bytes
-	obs.SpilledRuns.Inc()
-	obs.SpilledBytes.Add(s.bytes)
-	s.recs = s.recs[:0]
-	s.bytes = 0
-	return nil
+	return f.Name(), nil
 }
 
 // writeRecord frames one record on a run stream: ordinal, key, tuple
@@ -251,10 +326,13 @@ func (h *mergeHeap) Pop() any           { x := h.s[len(h.s)-1]; h.s = h.s[:len(h
 // Returning an error from yield stops the merge.
 func (s *Sorter) Merge(yield func(*Record) error) error {
 	defer s.Close()
+	if err := s.settle(); err != nil {
+		return err
+	}
 	// Everything added passes through this sort exactly once: the flushed
 	// runs plus the in-memory tail.
 	obs.SortedBytes.Add(s.spills + s.bytes)
-	s.sortBuffer()
+	s.recs = sortRecords(s.recs, max(1, s.cfg.Parallelism), s.compare)
 	if len(s.runs) == 0 {
 		for i := range s.recs {
 			if err := yield(&s.recs[i]); err != nil {
@@ -320,8 +398,10 @@ func (s *Sorter) Merge(yield func(*Record) error) error {
 }
 
 // Close removes any spilled run files; safe to call more than once. Merge
-// calls it automatically.
+// calls it automatically. Any in-flight background flush settles first so
+// its run file is removed too.
 func (s *Sorter) Close() {
+	s.settle()
 	for _, path := range s.runs {
 		os.Remove(path)
 	}

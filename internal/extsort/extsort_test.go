@@ -207,3 +207,94 @@ func TestEmptyMerge(t *testing.T) {
 		t.Errorf("empty merge yielded %d records", n)
 	}
 }
+
+// collectPar is collect with a Parallelism setting: the background-flush
+// variant of the Add/Merge cycle.
+func collectPar(t *testing.T, recs []Record, maxBytes int64, dir string, par int) ([]Record, int) {
+	t.Helper()
+	s := New(Config{MaxBytes: maxBytes, Dir: dir, Parallelism: par}, keyCmp)
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := s.Runs()
+	var out []Record
+	err := s.Merge(func(r *Record) error {
+		cp := Record{Ord: r.Ord, Key: append(interval.Key{}, r.Key...)}
+		for _, tp := range r.Tuples {
+			cp.Tuples = append(cp.Tuples, interval.Tuple{
+				S: tp.S,
+				L: append(interval.Key{}, tp.L...),
+				R: append(interval.Key{}, tp.R...),
+			})
+		}
+		out = append(out, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, runs
+}
+
+// TestBackgroundFlushDigitIdentical: with Parallelism >= 2 runs sort and
+// write in the background while Add keeps buffering; the merged sequence,
+// run count and spill accounting must match the synchronous sorter
+// exactly, at every budget.
+func TestBackgroundFlushDigitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recs := randomRecords(rng, 300)
+	for _, budget := range []int64{1, 500, 5000, 0} {
+		want, _, wantRuns := collect(t, recs, budget, t.TempDir())
+		for _, par := range []int{2, 4, 8} {
+			got, runs := collectPar(t, recs, budget, t.TempDir(), par)
+			if !sameRecords(got, want) {
+				t.Fatalf("budget %d parallelism %d: merged order diverged", budget, par)
+			}
+			if runs != wantRuns {
+				t.Fatalf("budget %d parallelism %d: runs = %d, want %d", budget, par, runs, wantRuns)
+			}
+		}
+	}
+}
+
+// TestBackgroundFlushCleanup: Close while a background flush may still be
+// in flight must remove every run file it produced.
+func TestBackgroundFlushCleanup(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(17))
+	s := New(Config{MaxBytes: 1, Dir: dir, Parallelism: 4}, keyCmp)
+	for _, r := range randomRecords(rng, 100) {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	left, err := filepath.Glob(filepath.Join(dir, "dixq-spill-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("run files left behind: %v", left)
+	}
+}
+
+// TestBackgroundFlushErrorLatches: a failing background flush surfaces on
+// the next sorter operation instead of being lost.
+func TestBackgroundFlushErrorLatches(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "missing") // never created: CreateTemp fails
+	rng := rand.New(rand.NewSource(23))
+	s := New(Config{MaxBytes: 1, Dir: dir, Parallelism: 4}, keyCmp)
+	defer s.Close()
+	var addErr error
+	for _, r := range randomRecords(rng, 50) {
+		if addErr = s.Add(r); addErr != nil {
+			break
+		}
+	}
+	mergeErr := s.Merge(func(*Record) error { return nil })
+	if addErr == nil && mergeErr == nil {
+		t.Fatal("flush into a missing directory reported no error")
+	}
+}

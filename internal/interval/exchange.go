@@ -1,0 +1,198 @@
+// Exchange-style repartitioning for the parallel structural sorts. The
+// chunk phase of SortPerm leaves parallelism independently sorted runs;
+// merging them pairwise parallelizes poorly — every round halves the
+// number of concurrent merges, and the final round is one serial merge
+// over the whole input. ExchangeMerge instead repartitions the runs by key
+// range: sampled splitters cut the key space into one contiguous region
+// per worker, every run is sliced at those splitters by binary search, and
+// each worker k-way merges its region's slices into the output at a
+// precomputed offset. All partitions merge concurrently, including the
+// "last" one — there is no serial tail.
+//
+// The output is a pure function of the runs and the comparator: the merged
+// order is the unique total order (the comparator is made strict by the
+// caller's position tie-break), and the partitioning only decides which
+// worker writes which region of it. Splitter choice therefore affects
+// balance, never content — a skewed sample produces empty partitions and
+// idle workers, not wrong answers.
+package interval
+
+import (
+	"container/heap"
+	"slices"
+
+	"dixq/internal/exec"
+	"dixq/internal/obs"
+)
+
+// ExchangeMerge merges sorted runs of positions into out (len(out) must
+// equal the total run length), using up to parallelism concurrent
+// partition merges. cmp must be a strict total order (no two distinct
+// positions compare equal — SortPerm's position tie-break guarantees it)
+// and safe for concurrent calls. The result is identical to a serial
+// k-way merge of the runs at any parallelism and any worker grant.
+func ExchangeMerge(out []int, runs [][]int, parallelism int, cmp func(a, b int) int) {
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		copy(out, runs[0])
+		return
+	}
+	parts := partitionRuns(runs, parallelism, cmp)
+	// Output offsets: partition p writes out[offsets[p]:offsets[p+1]).
+	// Each partition's width is the sum of its run slices, so the regions
+	// tile the output exactly.
+	k := len(runs)
+	offsets := make([]int, len(parts)+1)
+	for p, cut := range parts {
+		width := 0
+		for r := 0; r < k; r++ {
+			width += cut[k+r] - cut[r]
+		}
+		offsets[p+1] = offsets[p] + width
+	}
+	exec.Run(len(parts), parallelism, func(task, worker int) {
+		cut := parts[task]
+		dst := out[offsets[task]:offsets[task+1]]
+		merged := make([][]int, 0, k)
+		for r, run := range runs {
+			if s := run[cut[r]:cut[k+r]]; len(s) > 0 {
+				merged = append(merged, s)
+			}
+		}
+		mergeK(dst, merged, cmp)
+		obs.ExchangePartitions.With(exec.WorkerLabel(worker)).Inc()
+	})
+}
+
+// partitionRuns cuts every run at parallelism-1 sampled splitters. The
+// returned cut vector of partition p has length 2*len(runs): cut[r] is
+// where the partition starts in run r and cut[len(runs)+r] where it ends.
+// Cuts are lower bounds of the splitters — every element comparing below
+// the splitter lands in an earlier partition — so with a strict comparator
+// the partitions are disjoint and cover every element. Splitters are the
+// medians of the runs' quantile elements; a bad sample only unbalances the
+// partitions (possibly to empty), it cannot lose or duplicate elements.
+func partitionRuns(runs [][]int, parallelism int, cmp func(a, b int) int) [][]int {
+	nparts := max(parallelism, 2)
+	splitters := make([]int, 0, nparts-1)
+	cand := make([]int, 0, len(runs))
+	for p := 1; p < nparts; p++ {
+		cand = cand[:0]
+		for _, run := range runs {
+			if len(run) > 0 {
+				cand = append(cand, run[len(run)*p/nparts])
+			}
+		}
+		if len(cand) == 0 {
+			break
+		}
+		slices.SortFunc(cand, cmp)
+		splitters = append(splitters, cand[len(cand)/2])
+	}
+	// bounds[r] holds run r's len(splitters)+2 monotone cut positions:
+	// start, one lower bound per splitter, end.
+	bounds := make([][]int, len(runs))
+	for r, run := range runs {
+		b := make([]int, len(splitters)+2)
+		b[len(b)-1] = len(run)
+		for si, sp := range splitters {
+			lo := b[si] // splitters ascend, so each search resumes at the previous cut
+			b[si+1] = lo + lowerBound(run[lo:], sp, cmp)
+		}
+		bounds[r] = b
+	}
+	nparts = len(splitters) + 1
+	parts := make([][]int, nparts)
+	for p := 0; p < nparts; p++ {
+		cut := make([]int, 2*len(runs))
+		for r := range runs {
+			cut[r] = bounds[r][p]
+			cut[len(runs)+r] = bounds[r][p+1]
+		}
+		parts[p] = cut
+	}
+	return parts
+}
+
+// lowerBound returns the first position i in the sorted run with
+// cmp(run[i], x) >= 0.
+func lowerBound(run []int, x int, cmp func(a, b int) int) int {
+	lo, hi := 0, len(run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmp(run[mid], x) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// runHead is one merge input's cursor for the partition k-way merge.
+type runHead struct {
+	run []int
+	pos int
+}
+
+type runHeap struct {
+	h   []runHead
+	cmp func(a, b int) int
+}
+
+func (r *runHeap) Len() int { return len(r.h) }
+func (r *runHeap) Less(i, j int) bool {
+	return r.cmp(r.h[i].run[r.h[i].pos], r.h[j].run[r.h[j].pos]) < 0
+}
+func (r *runHeap) Swap(i, j int) { r.h[i], r.h[j] = r.h[j], r.h[i] }
+func (r *runHeap) Push(x any)    { r.h = append(r.h, x.(runHead)) }
+func (r *runHeap) Pop() any      { x := r.h[len(r.h)-1]; r.h = r.h[:len(r.h)-1]; return x }
+
+// mergeK merges the sorted slices into dst. Two slices take the direct
+// two-way merge; more go through a lookahead heap.
+func mergeK(dst []int, in [][]int, cmp func(a, b int) int) {
+	switch len(in) {
+	case 0:
+		return
+	case 1:
+		copy(dst, in[0])
+		return
+	case 2:
+		merge2(dst, in[0], in[1], cmp)
+		return
+	}
+	h := &runHeap{cmp: cmp, h: make([]runHead, 0, len(in))}
+	for _, run := range in {
+		h.h = append(h.h, runHead{run: run})
+	}
+	heap.Init(h)
+	for i := range dst {
+		top := &h.h[0]
+		dst[i] = top.run[top.pos]
+		top.pos++
+		if top.pos >= len(top.run) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+}
+
+// merge2 is the allocation-free two-way merge.
+func merge2(dst, a, b []int, cmp func(x, y int) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(b[j], a[i]) < 0 {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}

@@ -1,0 +1,145 @@
+package interval
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dixq/internal/exec"
+)
+
+// exchangeCheck merges the runs through ExchangeMerge at several
+// parallelism values and compares each result against a serial sort of
+// the concatenated input. keys maps positions to sort keys; the
+// comparator tie-breaks on position, so it is strict like SortPerm's.
+func exchangeCheck(t *testing.T, keys []int, runs [][]int) {
+	t.Helper()
+	cmp := func(a, b int) int {
+		if v := keys[a] - keys[b]; v != 0 {
+			return v
+		}
+		return a - b
+	}
+	n := 0
+	var all []int
+	for _, run := range runs {
+		if !slices.IsSortedFunc(run, cmp) {
+			t.Fatal("test bug: input run not sorted")
+		}
+		n += len(run)
+		all = append(all, run...)
+	}
+	slices.SortFunc(all, cmp)
+	for _, par := range []int{1, 2, 3, 4, 7, 16} {
+		out := make([]int, n)
+		ExchangeMerge(out, runs, par, cmp)
+		if !slices.Equal(out, all) {
+			t.Fatalf("parallelism %d: got %v, want %v", par, out, all)
+		}
+	}
+}
+
+func TestExchangeMergeBasic(t *testing.T) {
+	keys := []int{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	exchangeCheck(t, keys, [][]int{{1, 3, 0}, {5, 7, 4}, {9, 8, 2}})
+	exchangeCheck(t, keys, [][]int{{9, 1, 5, 3, 7, 0, 8, 4, 6, 2}})
+	exchangeCheck(t, keys, nil)
+	exchangeCheck(t, keys, [][]int{{}, {}, {}})
+}
+
+// TestExchangeMergeEmptyAndSkewedRuns drives the splitter sampling into
+// empty partitions: one giant run plus empty and single-element runs
+// means most sampled splitters collide, leaving some partitions with no
+// elements. Content must be unaffected.
+func TestExchangeMergeEmptyAndSkewedRuns(t *testing.T) {
+	keys := make([]int, 64)
+	for i := range keys {
+		keys[i] = i / 8 // long duplicate plateaus
+	}
+	big := make([]int, 0, 60)
+	for i := 4; i < 64; i++ {
+		big = append(big, i)
+	}
+	exchangeCheck(t, keys, [][]int{big, {}, {0}, {}, {1, 2, 3}})
+	// All-equal keys: every splitter is the same key; partitions degenerate
+	// to one nonempty region.
+	eq := make([]int, 64)
+	exchangeCheck(t, eq, [][]int{big, {0, 1, 2, 3}})
+}
+
+// TestExchangeMergeDuplicateBoundaries puts the partition boundary
+// exactly on a run of duplicate keys: positions sharing a key are split
+// across partitions by the position tie-break, and the merged order must
+// still be the unique total order.
+func TestExchangeMergeDuplicateBoundaries(t *testing.T) {
+	keys := make([]int, 40)
+	for i := range keys {
+		keys[i] = 1 // one duplicate plateau spanning everything
+	}
+	a := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+	b := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	c := []int{20, 21, 22, 23, 24, 25, 26, 27, 28, 29}
+	d := []int{30, 31, 32, 33, 34, 35, 36, 37, 38, 39}
+	exchangeCheck(t, keys, [][]int{a, b, c, d})
+}
+
+func TestExchangeMergeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20030609))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(max(1, n/4)) // heavy duplicates
+		}
+		cmp := func(a, b int) int {
+			if v := keys[a] - keys[b]; v != 0 {
+				return v
+			}
+			return a - b
+		}
+		perm := rng.Perm(n)
+		nruns := 1 + rng.Intn(6)
+		runs := make([][]int, nruns)
+		for i, p := range perm {
+			r := i % nruns
+			runs[r] = append(runs[r], p)
+		}
+		for _, run := range runs {
+			slices.SortFunc(run, cmp)
+		}
+		exchangeCheck(t, keys, runs)
+	}
+}
+
+// TestSortPermExchangeIdentity pins the full SortPerm path: the parallel
+// chunk-sort + exchange-merge result must be identical to the serial sort
+// at every parallelism, including under a zero worker budget (all
+// partitions merged by the caller).
+func TestSortPermExchangeIdentity(t *testing.T) {
+	old := ParallelSortThreshold
+	ParallelSortThreshold = 8
+	defer func() { ParallelSortThreshold = old }()
+	// Raise the worker budget so the exec.Effective clamp does not collapse
+	// the higher parallelism values to 2-way on single-core machines.
+	prevLim := exec.SetLimit(8)
+	defer exec.SetLimit(prevLim)
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{8, 9, 100, 1000} {
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(10)
+		}
+		cmp := func(a, b int) int { return keys[a] - keys[b] }
+		want := SortPerm(n, 1, cmp)
+		for _, par := range []int{2, 3, 4, 8} {
+			if got := SortPerm(n, par, cmp); !slices.Equal(got, want) {
+				t.Fatalf("n=%d parallelism=%d: parallel perm differs from serial", n, par)
+			}
+		}
+		prev := exec.SetLimit(0)
+		if got := SortPerm(n, 4, cmp); !slices.Equal(got, want) {
+			t.Fatalf("n=%d: zero-budget parallel perm differs from serial", n)
+		}
+		exec.SetLimit(prev)
+	}
+}

@@ -35,20 +35,24 @@ func SortPerm(n, parallelism int, cmp func(a, b int) int) []int {
 		}
 		return a - b
 	}
-	if parallelism < 2 || n < ParallelSortThreshold {
+	par := exec.Effective(parallelism)
+	if par < 2 || n < ParallelSortThreshold {
 		slices.SortFunc(order, c)
 		return order
 	}
-	parallelSortPerm(order, c, parallelism)
+	parallelSortPerm(order, c, par)
 	return order
 }
 
 // parallelSortPerm sorts positions with concurrently sorted chunks
-// followed by merge rounds whose pairwise merges also run concurrently.
-// Chunk boundaries depend only on the input length and the requested
-// parallelism — never on how many workers the process budget actually
-// grants — so the merged result is bit-identical at any grant, and the
-// worker goroutines themselves come from the shared exec pool.
+// followed by an exchange repartitioning: sampled splitters cut the key
+// space into one region per worker and every region k-way merges
+// concurrently (see exchange.go), instead of pairwise merge rounds whose
+// final round was one serial merge over the whole input. Chunk boundaries
+// and splitters depend only on the input and the budget-clamped
+// parallelism (exec.Effective) — never on how many workers a Run call is
+// actually granted — so the merged result is bit-identical at any grant,
+// and the worker goroutines themselves come from the shared exec pool.
 func parallelSortPerm(order []int, cmp func(a, b int) int, parallelism int) {
 	chunk := (len(order) + parallelism - 1) / parallelism
 	var chunks [][]int
@@ -59,33 +63,7 @@ func parallelSortPerm(order []int, cmp func(a, b int) int, parallelism int) {
 	exec.Run(len(chunks), parallelism, func(task, worker int) {
 		slices.SortFunc(chunks[task], cmp)
 	})
-	for len(chunks) > 1 {
-		pairs := len(chunks) / 2
-		next := make([][]int, (len(chunks)+1)/2)
-		if len(chunks)%2 == 1 {
-			next[pairs] = chunks[len(chunks)-1]
-		}
-		exec.Run(pairs, parallelism, func(task, worker int) {
-			next[task] = mergePerm(chunks[2*task], chunks[2*task+1], cmp)
-		})
-		chunks = next
-	}
-	copy(order, chunks[0])
-}
-
-func mergePerm(a, b []int, cmp func(x, y int) int) []int {
-	out := make([]int, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if cmp(b[j], a[i]) < 0 {
-			out = append(out, b[j])
-			j++
-		} else {
-			out = append(out, a[i])
-			i++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	merged := make([]int, len(order))
+	ExchangeMerge(merged, chunks, parallelism, cmp)
+	copy(order, merged)
 }

@@ -73,6 +73,16 @@ var (
 	// (as opposed to the serial chain path).
 	ParallelChains = Default.NewCounter("dixq_parallel_chains_total",
 		"Fused path chains executed by the parallel morsel runner.")
+	// ExchangePartitions counts key-range partitions merged by the
+	// exchange repartitioning of the parallel structural sort, by worker
+	// slot — how the sort's merge phase spread across workers.
+	ExchangePartitions = Default.NewCounterVec("dixq_exchange_partitions_total",
+		"Key-range partitions merged by the exchange sort repartitioning, by worker slot.", "worker")
+	// ProbePairs counts merge-join output pairs produced by the probe
+	// phase, by worker slot; at parallelism 1 every pair lands on worker
+	// 0, so the label spread is the direct view of probe partitioning.
+	ProbePairs = Default.NewCounterVec("dixq_probe_pairs_total",
+		"Merge-join pairs produced by the probe phase, by worker slot.", "worker")
 	// IndexSeeks counts path chains served from a document's structural
 	// index as range reads instead of relation scans.
 	IndexSeeks = Default.NewCounter("dixq_index_seeks_total",

@@ -33,18 +33,16 @@
 package pipeline
 
 import (
-	"sync"
-
 	"dixq/internal/exec"
 	"dixq/internal/interval"
 	"dixq/internal/obs"
 )
 
 // maxMorselsPerChain caps how many morsels one chain is split into. The
-// morsel target size max(morselBatches*batchSize, n/maxMorselsPerChain)
-// depends only on the input size and the batch size — never on the worker
-// count — so the partitioning (and with it every per-morsel statistic) is
-// deterministic at any parallelism.
+// morsel target size max(morselBatches*batchSize, minMorselRows,
+// n/maxMorselsPerChain) depends only on the input size and the batch size
+// — never on the worker count — so the partitioning (and with it every
+// per-morsel statistic) is deterministic at any parallelism.
 const maxMorselsPerChain = 64
 
 // morselBatches is the minimum morsel size in batches. Per-morsel overhead
@@ -52,6 +50,13 @@ const maxMorselsPerChain = 64
 // full the morsel is, so a morsel holds several chunks' worth of rows —
 // single-batch morsels spent a measurable share of their time on setup.
 const morselBatches = 4
+
+// minMorselRows floors the morsel target in rows, independent of the
+// batch size: at small batch sizes morselBatches*batchSize alone would
+// produce morsels of a few rows each, and the per-morsel setup would
+// dominate the work. Like the rest of the sizing it depends only on the
+// input and the configuration, so partitioning stays deterministic.
+const minMorselRows = 1024
 
 // StageStat is one stage's aggregated actuals from a counted parallel
 // chain run: output rows, chunks and accounted chunk bytes, summed across
@@ -143,10 +148,11 @@ type chainWorker struct {
 	ctrs   []BatchCounter
 }
 
-// workerPool recycles chainWorker scratch (chunk buffers, stage lists,
-// counters) across RunChainParallel calls, so steady-state parallel runs
-// stop paying per-run worker-state allocations.
-var workerPool = sync.Pool{New: func() any { return new(chainWorker) }}
+// workerScratch recycles chainWorker scratch (chunk buffers, stage lists,
+// counters) across RunChainParallel calls through the exec pool's generic
+// per-worker scratch, so steady-state parallel runs stop paying per-run
+// worker-state allocations.
+var workerScratch = exec.NewScratch(func() *chainWorker { return new(chainWorker) })
 
 // prepare readies a pooled worker for a run over a chain of nStages
 // stages: it sizes the stage and counter lists for this chain's length and
@@ -183,6 +189,7 @@ func (w *chainWorker) reset(protos []Stage) {
 // batches and bytes (the analyze-mode actuals) into Stages.
 func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, parallelism int, counted bool) (ParallelChainResult, bool) {
 	var res ParallelChainResult
+	parallelism = exec.Effective(parallelism)
 	if parallelism < 2 || len(protos) == 0 {
 		return res, false
 	}
@@ -198,7 +205,7 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 	if !ok || len(starts) < 2 {
 		return res, false
 	}
-	target := morselBatches * size
+	target := max(morselBatches*size, minMorselRows)
 	if t := (n + maxMorselsPerChain - 1) / maxMorselsPerChain; t > target {
 		target = t
 	}
@@ -211,9 +218,8 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 	outs := make([][]interval.Tuple, nm)
 	stats := make([]BatchStats, nm)
 	stride := RelStride(rel)
-	workers := make([]*chainWorker, min(parallelism, nm))
+	workers := workerScratch.Acquire(min(parallelism, nm))
 	for i := range workers {
-		workers[i] = workerPool.Get().(*chainWorker)
 		workers[i].prepare(len(protos), counted)
 	}
 	res.Workers = exec.Run(nm, parallelism, func(task, worker int) {
@@ -264,9 +270,7 @@ func RunChainParallel(rel *interval.Relation, protos []Stage, batchSize, paralle
 			}
 		}
 	}
-	for _, w := range workers {
-		workerPool.Put(w)
-	}
+	workerScratch.Release(workers)
 	obs.ParallelChains.Inc()
 	return res, true
 }

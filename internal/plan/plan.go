@@ -391,11 +391,12 @@ func (n *Node) write(b *strings.Builder, indent int, role string, rs *RunStats) 
 		if n.Est >= 0 {
 			est = n.Est
 		}
-		// Deterministic actuals first (locked by the analyze goldens), the
+		// Deterministic actuals first (locked by the analyze goldens; parts
+		// depends only on the requested parallelism, so it qualifies), the
 		// run-dependent group last so tests can mask it in one pass
 		// (workers depends on the process worker budget at run time).
-		fmt.Fprintf(b, " (est=%d act=%d calls=%d rows=%d batches=%d spilled=%d skipped=%d workers=%d time=%s allocs=%d bytes=%d)",
-			est, s.Rows, s.Calls, s.Rows, s.Batches, s.Spilled, s.Skipped, s.Workers, s.Time, s.Allocs, s.Bytes)
+		fmt.Fprintf(b, " (est=%d act=%d calls=%d rows=%d batches=%d spilled=%d skipped=%d parts=%d workers=%d time=%s allocs=%d bytes=%d)",
+			est, s.Rows, s.Calls, s.Rows, s.Batches, s.Spilled, s.Skipped, s.Partitions, s.Workers, s.Time, s.Allocs, s.Bytes)
 	}
 	b.WriteByte('\n')
 	labels := n.inputLabels()

@@ -33,10 +33,17 @@ type NodeStats struct {
 	Skipped int64
 	// Workers is the largest number of pool workers that participated in
 	// one of the operator's parallel phases (morsel chains, concurrent
-	// merge-join sorts); 0 for operators that ran no parallel phase. The
-	// process-wide worker budget may grant fewer workers than
-	// Options.Parallelism requested, so this is an observed actual.
+	// merge-join sorts, the partitioned probe); 0 for operators that ran
+	// no parallel phase. The process-wide worker budget may grant fewer
+	// workers than Options.Parallelism requested, so this is an observed
+	// actual.
 	Workers int
+	// Partitions is the largest key-range partition count of the
+	// operator's exchange or probe repartitioning (1 when a join probe ran
+	// serial, 0 for operators that never partition). Unlike Workers it
+	// depends only on the input and the requested parallelism, never on
+	// the budget's grant.
+	Partitions int
 }
 
 // RunStats holds one execution's per-node actuals, indexed by Node.ID.
@@ -74,17 +81,18 @@ func (rs *RunStats) Total() time.Duration {
 
 // OperatorStat is one row of the flattened analyze report.
 type OperatorStat struct {
-	ID      int
-	Op      string
-	Calls   int
-	Rows    int64
-	Time    time.Duration
-	Allocs  int64
-	Batches int
-	Bytes   int64
-	Spilled int64
-	Skipped int64
-	Workers int
+	ID         int
+	Op         string
+	Calls      int
+	Rows       int64
+	Time       time.Duration
+	Allocs     int64
+	Batches    int
+	Bytes      int64
+	Spilled    int64
+	Skipped    int64
+	Workers    int
+	Partitions int
 }
 
 // Operators flattens a plan and its run stats into report rows in
@@ -98,17 +106,18 @@ func Operators(root *Node, rs *RunStats) []OperatorStat {
 			name += " [" + d + "]"
 		}
 		out = append(out, OperatorStat{
-			ID:      n.ID,
-			Op:      name,
-			Calls:   s.Calls,
-			Rows:    s.Rows,
-			Time:    s.Time,
-			Allocs:  s.Allocs,
-			Batches: s.Batches,
-			Bytes:   s.Bytes,
-			Spilled: s.Spilled,
-			Skipped: s.Skipped,
-			Workers: s.Workers,
+			ID:         n.ID,
+			Op:         name,
+			Calls:      s.Calls,
+			Rows:       s.Rows,
+			Time:       s.Time,
+			Allocs:     s.Allocs,
+			Batches:    s.Batches,
+			Bytes:      s.Bytes,
+			Spilled:    s.Spilled,
+			Skipped:    s.Skipped,
+			Workers:    s.Workers,
+			Partitions: s.Partitions,
 		})
 	})
 	return out

@@ -622,10 +622,14 @@ type OperatorJSON struct {
 	Spilled int64  `json:"spilled"`
 	// Skipped is the number of relation tuples an index access path never
 	// read (index seeks and dataguide-pruned chains).
-	Skipped int64   `json:"skipped,omitempty"`
-	Workers int     `json:"workers,omitempty"`
-	TimeMS  float64 `json:"time_ms"`
-	Allocs  int64   `json:"allocs"`
+	Skipped int64 `json:"skipped,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+	// Partitions is the key-range partition count of the operator's
+	// exchange or probe repartitioning (omitted for operators that never
+	// partition).
+	Partitions int     `json:"partitions,omitempty"`
+	TimeMS     float64 `json:"time_ms"`
+	Allocs     int64   `json:"allocs"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -660,17 +664,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		out.AnalyzedPlan = text
 		for _, op := range ops {
 			j := OperatorJSON{
-				ID:      op.ID,
-				Op:      op.Op,
-				Calls:   op.Calls,
-				Rows:    op.Rows,
-				Batches: op.Batches,
-				Bytes:   op.Bytes,
-				Spilled: op.Spilled,
-				Skipped: op.Skipped,
-				Workers: op.Workers,
-				TimeMS:  ms(op.Time),
-				Allocs:  op.Allocs,
+				ID:         op.ID,
+				Op:         op.Op,
+				Calls:      op.Calls,
+				Rows:       op.Rows,
+				Batches:    op.Batches,
+				Bytes:      op.Bytes,
+				Spilled:    op.Spilled,
+				Skipped:    op.Skipped,
+				Workers:    op.Workers,
+				Partitions: op.Partitions,
+				TimeMS:     ms(op.Time),
+				Allocs:     op.Allocs,
 			}
 			out.Operators = append(out.Operators, j)
 			// The reported total is the sum of the reported per-operator
