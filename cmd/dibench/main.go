@@ -67,7 +67,7 @@ func main() {
 		}
 		return
 	}
-	if cfg.BenchJSON6 != "" || cfg.BenchJSON7 != "" {
+	if cfg.BenchJSON6 != "" || cfg.BenchJSON7 != "" || cfg.BenchJSON10 != "" {
 		var sfs []float64
 		for _, s := range strings.Split(cfg.BenchScales, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -83,6 +83,11 @@ func main() {
 		}
 		if cfg.BenchJSON7 != "" {
 			if err := bench.WriteBenchPR7JSON(cfg.BenchJSON7, sfs, os.Stderr); err != nil {
+				fatal("%v", err)
+			}
+		}
+		if cfg.BenchJSON10 != "" {
+			if err := bench.WriteBenchPR10JSON(cfg.BenchJSON10, sfs, os.Stderr); err != nil {
 				fatal("%v", err)
 			}
 		}

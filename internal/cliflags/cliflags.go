@@ -84,6 +84,7 @@ type DibenchConfig struct {
 	BenchJSON7     string
 	BenchJSON8     string
 	BenchJSON9     string
+	BenchJSON10    string
 	BenchScale     float64
 	BenchScales    string
 	Bench8Scale    float64
@@ -111,8 +112,9 @@ func Dibench(fs *flag.FlagSet, experiments []string) *DibenchConfig {
 	fs.StringVar(&c.BenchJSON7, "benchjson7", "", "write cost-based-vs-forced-mode micro-benchmarks (Q8/Q9/Q13 across -benchscales) to this JSON file and exit")
 	fs.StringVar(&c.BenchJSON8, "benchjson8", "", "drive a sustained mixed read/update HTTP load against a live server and write the latency/admission report to this JSON file and exit")
 	fs.StringVar(&c.BenchJSON9, "benchjson9", "", "write parallel-operator scale-up micro-benchmarks (Q8/Q9/Q13: serial baseline plus the parallel plan at 1/2/4-worker grants) to this JSON file and exit")
+	fs.StringVar(&c.BenchJSON10, "benchjson10", "", "write the full-suite XMark table (Q1-Q20 across -benchscales: DI-OPT wall/allocs plus identity against forced modes and the interpreter) to this JSON file and exit")
 	fs.Float64Var(&c.BenchScale, "benchscale", 0.01, "XMark scale factor for -benchjson, -benchjson3, -benchjson5 and -benchjson9")
-	fs.StringVar(&c.BenchScales, "benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6 and -benchjson7")
+	fs.StringVar(&c.BenchScales, "benchscales", "0.1,1", "comma-separated XMark scale factors for -benchjson6, -benchjson7 and -benchjson10")
 	fs.Float64Var(&c.Bench8Scale, "bench8scale", 1, "XMark scale factor for -benchjson8")
 	fs.DurationVar(&c.Bench8Duration, "bench8duration", 10*time.Second, "load duration for -benchjson8")
 	fs.IntVar(&c.Bench8Readers, "bench8readers", 4, "concurrent query clients for -benchjson8")

@@ -43,6 +43,12 @@ func TestAnalyzeGoldenPlans(t *testing.T) {
 		{"q8", xmark.Q8},
 		{"q9", xmark.Q9},
 		{"q13", xmark.Q13},
+		// The aggregation/arithmetic/positional/order-by extensions:
+		// q3 locks take/arith/value-comparison plans, q5 the aggregate
+		// reduction, q19 the order-by lowering with its rank digit.
+		{"q3", xmark.Q3},
+		{"q5", xmark.Q5},
+		{"q19", xmark.Q19},
 	}
 	modes := []struct {
 		name  string

@@ -351,6 +351,21 @@ func (c *compiler) call(e xq.Call, depth int) *plan.Node {
 	case xq.FnCount:
 		return &plan.Node{Op: plan.OpCount, Depth: depth,
 			Digits: 1, Card: 2, Inputs: args}
+	case xq.FnSum, xq.FnAvg, xq.FnMin, xq.FnMax:
+		return &plan.Node{Op: plan.OpAggregate, Label: e.Fn, Depth: depth,
+			Digits: 1, Card: 2, Inputs: args}
+	case xq.FnArith:
+		return &plan.Node{Op: plan.OpArith, Label: e.Label, Depth: depth,
+			Digits: 1, Card: 2, Inputs: args}
+	case xq.FnTake:
+		return &plan.Node{Op: plan.OpTake, Label: e.Label, Depth: depth,
+			Digits: in().Digits, Card: in().Card/2 + 1, Inputs: args}
+	case xq.FnDrop:
+		return &plan.Node{Op: plan.OpDrop, Label: e.Label, Depth: depth,
+			Digits: in().Digits, Card: in().Card/2 + 1, Inputs: args}
+	case xq.FnOrdBy:
+		return &plan.Node{Op: plan.OpOrderBy, Label: e.Label, Depth: depth,
+			Digits: in().Digits + 1, Card: in().Card, Inputs: args}
 	default:
 		return &plan.Node{Op: plan.OpInvalid, Depth: depth, Card: -1,
 			Label: fmt.Sprintf("unknown function %q", e.Fn), Inputs: args}
@@ -366,6 +381,8 @@ func (c *compiler) cond(cd xq.Cond, depth int) *plan.Node {
 		return node(plan.OpCmpEq, c.expr(cd.L, depth), c.expr(cd.R, depth))
 	case xq.Less:
 		return node(plan.OpCmpLess, c.expr(cd.L, depth), c.expr(cd.R, depth))
+	case xq.CmpVal:
+		return node(plan.OpCmpVal, c.expr(cd.L, depth), c.expr(cd.R, depth))
 	case xq.Contains:
 		return node(plan.OpContainsTest, c.expr(cd.L, depth), c.expr(cd.R, depth))
 	case xq.Empty:

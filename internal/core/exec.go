@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -347,7 +348,8 @@ func (ev *evaluator) execNode(n *plan.Node, en *env) (*table, error) {
 	case plan.OpIndexPath:
 		return ev.execIndexPath(n, en)
 	case plan.OpStructuralSort, plan.OpReverse, plan.OpDistinct, plan.OpSubtreesDFS,
-		plan.OpConstruct, plan.OpConcat, plan.OpCount:
+		plan.OpConstruct, plan.OpConcat, plan.OpCount,
+		plan.OpAggregate, plan.OpArith, plan.OpTake, plan.OpDrop, plan.OpOrderBy:
 		return ev.execCall(n, en)
 	case plan.OpInvalid:
 		// Run the inputs first so their errors surface the way the
@@ -730,6 +732,16 @@ func traceName(n *plan.Node) string {
 		return "concat"
 	case plan.OpCount:
 		return "count"
+	case plan.OpAggregate:
+		return n.Label
+	case plan.OpArith:
+		return "arith"
+	case plan.OpTake:
+		return "take"
+	case plan.OpDrop:
+		return "drop"
+	case plan.OpOrderBy:
+		return "ordby"
 	default:
 		return n.OpName()
 	}
@@ -749,6 +761,24 @@ func (ev *evaluator) applyOp(n *plan.Node, args []*table, en *env) (*table, erro
 		defer track(ev.phaseDur(&ev.stats.Construction))()
 		rel := ev.ops.count(en.index, en.depth, args[0].rel)
 		return &table{rel: rel, local: 1}, nil
+	case plan.OpAggregate:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := engine.Aggregate(en.index, en.depth, n.Label, args[0].rel)
+		return &table{rel: rel, local: 1}, nil
+	case plan.OpArith:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := engine.Arith(en.index, en.depth, n.Label, args[0].rel, args[1].rel)
+		return &table{rel: rel, local: 1}, nil
+	case plan.OpTake:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Take(args[0].rel, en.depth, opCount(n)), local: args[0].local}, nil
+	case plan.OpDrop:
+		defer track(ev.phaseDur(&ev.stats.Paths))()
+		return &table{rel: engine.Drop(args[0].rel, en.depth, opCount(n)), local: args[0].local}, nil
+	case plan.OpOrderBy:
+		defer track(ev.phaseDur(&ev.stats.Construction))()
+		rel := engine.OrdBy(args[0].rel, en.depth, n.Label)
+		return &table{rel: rel, local: args[0].local + 1}, nil
 	case plan.OpReverse:
 		defer track(ev.phaseDur(&ev.stats.Construction))()
 		return &table{rel: ev.ops.reverse(args[0].rel, en.depth), local: args[0].local + 1}, nil
@@ -834,8 +864,28 @@ func (ev *evaluator) pred(n *plan.Node, en *env) ([]bool, error) {
 	return out, err
 }
 
+// opCount reads the decimal count a take/drop node carries in Label.
+func opCount(n *plan.Node) int64 {
+	v, err := strconv.ParseInt(n.Label, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
 func (ev *evaluator) predNode(n *plan.Node, en *env) ([]bool, error) {
 	switch n.Op {
+	case plan.OpCmpVal:
+		lt, err := ev.exec(n.Inputs[0], en)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := ev.exec(n.Inputs[1], en)
+		if err != nil {
+			return nil, err
+		}
+		defer track(&ev.stats.Join)()
+		return engine.ValueLessPerEnv(en.index, en.depth, lt.rel, rt.rel), nil
 	case plan.OpCmpEq, plan.OpCmpLess:
 		lt, err := ev.exec(n.Inputs[0], en)
 		if err != nil {

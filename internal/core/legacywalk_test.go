@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"dixq/internal/engine"
@@ -166,6 +167,18 @@ func (ev *evaluator) legacyApplyOp(e xq.Call, args []*table, en *env) (*table, e
 		return &table{rel: engine.Children(args[0].rel), local: args[0].local}, nil
 	case xq.FnSubtreesDFS:
 		return &table{rel: ev.ops.subtreesDFS(args[0].rel, en.depth), local: args[0].local + 1}, nil
+	case xq.FnSum, xq.FnAvg, xq.FnMin, xq.FnMax:
+		rel := engine.Aggregate(en.index, en.depth, e.Fn, args[0].rel)
+		return &table{rel: rel, local: 1}, nil
+	case xq.FnArith:
+		rel := engine.Arith(en.index, en.depth, e.Label, args[0].rel, args[1].rel)
+		return &table{rel: rel, local: 1}, nil
+	case xq.FnTake:
+		return &table{rel: engine.Take(args[0].rel, en.depth, legacyCallCount(e)), local: args[0].local}, nil
+	case xq.FnDrop:
+		return &table{rel: engine.Drop(args[0].rel, en.depth, legacyCallCount(e)), local: args[0].local}, nil
+	case xq.FnOrdBy:
+		return &table{rel: engine.OrdBy(args[0].rel, en.depth, e.Label), local: args[0].local + 1}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown function %q", e.Fn)
 	}
@@ -228,6 +241,16 @@ func (ev *evaluator) legacyEvalCond(c xq.Cond, en *env) ([]bool, error) {
 			return nil, err
 		}
 		return engine.EmptyPerEnv(en.index, en.depth, t.rel), nil
+	case xq.CmpVal:
+		lt, err := ev.legacyEval(c.L, en)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := ev.legacyEval(c.R, en)
+		if err != nil {
+			return nil, err
+		}
+		return engine.ValueLessPerEnv(en.index, en.depth, lt.rel, rt.rel), nil
 	case xq.Contains:
 		lt, err := ev.legacyEval(c.L, en)
 		if err != nil {
@@ -477,6 +500,16 @@ func (ev *evaluator) legacyIsOuterKey(e xq.Expr, loopVar string, en *env) bool {
 		}
 	}
 	return true
+}
+
+// legacyCallCount reads the decimal count a take/drop call carries in its
+// Label, mirroring the plan executor's opCount.
+func legacyCallCount(e xq.Call) int64 {
+	n, err := strconv.ParseInt(e.Label, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // legacyWalk runs the preserved executor over an already-rewritten

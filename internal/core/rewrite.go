@@ -92,6 +92,8 @@ func (h *hoister) rewriteCond(c xq.Cond) xq.Cond {
 		return xq.Equal{L: h.rewrite(c.L), R: h.rewrite(c.R)}
 	case xq.Less:
 		return xq.Less{L: h.rewrite(c.L), R: h.rewrite(c.R)}
+	case xq.CmpVal:
+		return xq.CmpVal{L: h.rewrite(c.L), R: h.rewrite(c.R)}
 	case xq.Empty:
 		return xq.Empty{E: h.rewrite(c.E)}
 	case xq.Contains:
@@ -170,6 +172,8 @@ func pullUpCond(c xq.Cond) xq.Cond {
 		return xq.Equal{L: PullUpJoinPredicates(c.L), R: PullUpJoinPredicates(c.R)}
 	case xq.Less:
 		return xq.Less{L: PullUpJoinPredicates(c.L), R: PullUpJoinPredicates(c.R)}
+	case xq.CmpVal:
+		return xq.CmpVal{L: PullUpJoinPredicates(c.L), R: PullUpJoinPredicates(c.R)}
 	case xq.Empty:
 		return xq.Empty{E: PullUpJoinPredicates(c.E)}
 	case xq.Contains:
@@ -265,6 +269,9 @@ func collectCondVars(c xq.Cond, out map[string]bool) {
 		addFree(c.L, out)
 		addFree(c.R, out)
 	case xq.Less:
+		addFree(c.L, out)
+		addFree(c.R, out)
+	case xq.CmpVal:
 		addFree(c.L, out)
 		addFree(c.R, out)
 	case xq.Empty:

@@ -128,9 +128,10 @@ func (a *widthAnalyzer) call(e xq.Call) (WidthAnalysis, error) {
 			Digits: max(args[0].Digits, args[1].Digits),
 		}, nil
 	case xq.FnHead, xq.FnTail, xq.FnReverse, xq.FnDistinct, xq.FnSelect,
-		xq.FnRoots, xq.FnChildren, xq.FnData, xq.FnSelText, xq.FnSort:
+		xq.FnRoots, xq.FnChildren, xq.FnData, xq.FnSelText, xq.FnSort,
+		xq.FnTake, xq.FnDrop, xq.FnOrdBy:
 		d := args[0].Digits
-		if e.Fn == xq.FnReverse || e.Fn == xq.FnSort {
+		if e.Fn == xq.FnReverse || e.Fn == xq.FnSort || e.Fn == xq.FnOrdBy {
 			d++ // renumbered with a position digit
 		}
 		return WidthAnalysis{Width: new(big.Int).Set(args[0].Width), Digits: d}, nil
@@ -139,7 +140,9 @@ func (a *widthAnalyzer) call(e xq.Call) (WidthAnalysis, error) {
 			Width:  new(big.Int).Mul(args[0].Width, args[0].Width),
 			Digits: args[0].Digits + 1,
 		}, nil
-	case xq.FnCount:
+	case xq.FnCount, xq.FnSum, xq.FnAvg, xq.FnMin, xq.FnMax:
+		return WidthAnalysis{Width: two, Digits: 1}, nil
+	case xq.FnArith:
 		return WidthAnalysis{Width: two, Digits: 1}, nil
 	default:
 		return WidthAnalysis{}, fmt.Errorf("core: unknown function %q", e.Fn)
@@ -155,6 +158,12 @@ func (a *widthAnalyzer) cond(c xq.Cond) error {
 		_, err := a.expr(c.R)
 		return err
 	case xq.Less:
+		if _, err := a.expr(c.L); err != nil {
+			return err
+		}
+		_, err := a.expr(c.R)
+		return err
+	case xq.CmpVal:
 		if _, err := a.expr(c.L); err != nil {
 			return err
 		}

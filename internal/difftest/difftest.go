@@ -49,10 +49,12 @@ type Case struct {
 // Corpus is the shared query corpus. The first group is the end-to-end
 // fuzz seed corpus over a small hand-written document — queries chosen to
 // cover the breadth of the core language (paths, correlated loops,
-// let/where, order by, quantifiers, user functions). The second group is
-// the paper's benchmark queries plus sort/distinct-heavy queries over a
-// generated XMark instance, where the structural sorts and merge joins
-// have enough input to engage the parallel and spilling code paths.
+// let/where, order by, quantifiers, user functions, aggregation,
+// arithmetic, positional predicates). The second group is the full XMark
+// suite expressible in the fragment (Q1-Q20) plus sort/distinct-heavy
+// queries over a generated XMark instance, where the structural sorts and
+// merge joins have enough input to engage the parallel and spilling code
+// paths.
 func Corpus() []Case {
 	return []Case{
 		{"seed-path-text", `document("d")/a/b/text()`, false},
@@ -61,9 +63,30 @@ func Corpus() []Case {
 		{"seed-order-by", `for $x at $i in document("d") order by $x descending return ($i, $x)`, false},
 		{"seed-some-sort", `if (some $v in document("d") satisfies contains($v, "x")) then "y" else sort(document("d"))`, false},
 		{"seed-function", `declare function f($v) { $v/b }; f(document("d"))`, false},
+		{"seed-aggregates", `<r>{sum((1, 2.5, document("d")/a/@x))} {avg(document("d")//b)} {min(document("d")//b/text())} {max(document("d")/a/@x)}</r>`, false},
+		{"seed-positional", `for $x in document("d")/a return ($x/b[1], $x/*[position() <= 2], $x/*[2])`, false},
+		{"seed-arith-cmp", `for $x in document("d")//b where $x/text() >= "t" return document("d")/a/@x + 2 * 3`, false},
+		{"seed-ordby-key", `for $x in document("d")//b order by $x/text() descending return $x`, false},
+		{"xmark-q1", xmark.Q1, true},
+		{"xmark-q2", xmark.Q2, true},
+		{"xmark-q3", xmark.Q3, true},
+		{"xmark-q4", xmark.Q4, true},
+		{"xmark-q5", xmark.Q5, true},
+		{"xmark-q6", xmark.Q6, true},
+		{"xmark-q7", xmark.Q7, true},
 		{"xmark-q8", xmark.Q8, true},
 		{"xmark-q9", xmark.Q9, true},
+		{"xmark-q10", xmark.Q10, true},
+		{"xmark-q11", xmark.Q11, true},
+		{"xmark-q12", xmark.Q12, true},
 		{"xmark-q13", xmark.Q13, true},
+		{"xmark-q14", xmark.Q14, true},
+		{"xmark-q15", xmark.Q15, true},
+		{"xmark-q16", xmark.Q16, true},
+		{"xmark-q17", xmark.Q17, true},
+		{"xmark-q18", xmark.Q18, true},
+		{"xmark-q19", xmark.Q19, true},
+		{"xmark-q20", xmark.Q20, true},
 		{"xmark-sort", `for $x in document("auction.xml")/site/people/person return sort($x/*)`, true},
 		{"xmark-distinct", `distinct(document("auction.xml")/site/regions/*/item/name)`, true},
 		// A structural self-join on a low-cardinality key: the generator

@@ -19,7 +19,7 @@ import (
 // queries, the end-to-end seed corpus, and generator-produced random
 // expressions, at chunk sizes around the morsel and batch boundaries.
 func FuzzParallelExecute(f *testing.F) {
-	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13} {
+	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13, xmark.Q3, xmark.Q19, xmark.Q20} {
 		f.Add(q, uint8(64), uint8(4))
 	}
 	for _, c := range Corpus() {
@@ -76,7 +76,7 @@ func FuzzParallelExecute(f *testing.F) {
 // exercise pruning (absent labels) and the runtime scan fallback (chains
 // under refined environments).
 func FuzzIndexedExecute(f *testing.F) {
-	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13} {
+	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13, xmark.Q5, xmark.Q15} {
 		f.Add(q, uint8(64), false)
 	}
 	for _, c := range Corpus() {
@@ -130,7 +130,7 @@ func FuzzIndexedExecute(f *testing.F) {
 // between real collected statistics and the nominal no-stats estimates,
 // so both costing regimes face the full input space.
 func FuzzOptimizedExecute(f *testing.F) {
-	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13} {
+	for _, q := range []string{xmark.Q8, xmark.Q9, xmark.Q13, xmark.Q11, xmark.Q18, xmark.Q19} {
 		f.Add(q, uint8(64), true)
 	}
 	for _, c := range Corpus() {

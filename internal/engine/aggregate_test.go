@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dixq/internal/xfn"
+	"dixq/internal/xmltree"
+)
+
+// numericForest produces a random forest whose top level mixes numeric
+// text roots (integers, decimals, negatives) into the generic random
+// trees, so the aggregates have real values to reduce — a plain
+// RandomForest almost never has a numeric root label.
+func numericForest(rng *rand.Rand, depth int) xmltree.Forest {
+	f := xmltree.RandomForest(rng, depth)
+	for n := rng.Intn(5); n > 0; n-- {
+		var v string
+		switch rng.Intn(4) {
+		case 0:
+			v = fmt.Sprintf("%d", rng.Intn(2000)-1000)
+		case 1:
+			v = fmt.Sprintf("%d.%02d", rng.Intn(100), rng.Intn(100))
+		case 2:
+			v = fmt.Sprintf("-%d.%d", rng.Intn(50), rng.Intn(10))
+		default:
+			v = "0"
+		}
+		at := rng.Intn(len(f) + 1)
+		f = append(f[:at:at], append(xmltree.Forest{xmltree.NewText(v)}, f[at:]...)...)
+	}
+	return f
+}
+
+// TestAggregatesMatchSpecPerEnv is the aggregation property test: for
+// random multi-environment inputs — numeric-heavy, empty-environment and
+// no-numeric-root cases included — every aggregate operator must agree
+// with its xfn specification applied per environment.
+func TestAggregatesMatchSpecPerEnv(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	kinds := map[string]func(xmltree.Forest) xmltree.Forest{
+		"sum": xfn.Sum, "avg": xfn.Avg, "min": xfn.Min, "max": xfn.Max,
+	}
+	for kind, spec := range kinds {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(4)
+			forests := make([]xmltree.Forest, n)
+			for i := range forests {
+				switch rng.Intn(4) {
+				case 0:
+					forests[i] = nil // empty sequence: sum is "0", the rest empty
+				case 1:
+					forests[i] = xmltree.RandomForest(rng, 5) // likely no numeric roots
+				default:
+					forests[i] = numericForest(rng, 5)
+				}
+			}
+			index, rel := encodeInEnvs(forests)
+			out := Aggregate(index, 1, kind, rel)
+			for i, forest := range forests {
+				got := decodeEnv(t, out, int64(i))
+				if !got.Equal(spec(forest)) {
+					t.Logf("%s seed %d env %d:\n in  %s\n got %s\nwant %s",
+						kind, seed, i, forest.String(), got.String(), spec(forest).String())
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+// TestArithMatchesSpecPerEnv pins binary arithmetic against xfn.Arith on
+// random per-environment operand pairs, covering empty operands (empty
+// result) and non-numeric first roots (coerced to zero).
+func TestArithMatchesSpecPerEnv(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	for _, op := range []string{"+", "-", "*", "div"} {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(4)
+			fas := make([]xmltree.Forest, n)
+			fbs := make([]xmltree.Forest, n)
+			for i := range fas {
+				fas[i] = numericForest(rng, 4)
+				fbs[i] = numericForest(rng, 4)
+				if rng.Intn(5) == 0 {
+					fas[i] = nil
+				}
+				if rng.Intn(5) == 0 {
+					fbs[i] = nil
+				}
+			}
+			index, ra := encodeInEnvs(fas)
+			_, rb := encodeInEnvs(fbs)
+			out := Arith(index, 1, op, ra, rb)
+			for i := range fas {
+				got := decodeEnv(t, out, int64(i))
+				if !got.Equal(xfn.Arith(op, fas[i], fbs[i])) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+// TestTakeDropMatchSpec pins the positional operators against their xfn
+// specifications for counts around every boundary (0, mid, past-end).
+func TestTakeDropMatchSpec(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		forests := make([]xmltree.Forest, n)
+		for i := range forests {
+			forests[i] = xmltree.RandomForest(rng, 5)
+			if rng.Intn(4) == 0 {
+				forests[i] = nil
+			}
+		}
+		_, rel := encodeInEnvs(forests)
+		for _, count := range []int64{0, 1, 2, 7} {
+			take := Take(rel, 1, count)
+			drop := Drop(rel, 1, count)
+			for i, forest := range forests {
+				if got := decodeEnv(t, take, int64(i)); !got.Equal(xfn.Take(count, forest)) {
+					return false
+				}
+				if got := decodeEnv(t, drop, int64(i)); !got.Equal(xfn.Drop(count, forest)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -198,9 +198,34 @@ func (ev *evaluator) evalCall(e xq.Call, env *Env) (xmltree.Forest, error) {
 		return xfn.SelText(arg(0)), nil
 	case xq.FnCount:
 		return xfn.Count(arg(0)), nil
+	case xq.FnSum:
+		return xfn.Sum(arg(0)), nil
+	case xq.FnAvg:
+		return xfn.Avg(arg(0)), nil
+	case xq.FnMin:
+		return xfn.Min(arg(0)), nil
+	case xq.FnMax:
+		return xfn.Max(arg(0)), nil
+	case xq.FnArith:
+		return xfn.Arith(e.Label, arg(0), arg(1)), nil
+	case xq.FnTake:
+		return xfn.Take(callCount(e), arg(0)), nil
+	case xq.FnDrop:
+		return xfn.Drop(callCount(e), arg(0)), nil
+	case xq.FnOrdBy:
+		return xfn.OrdBy(e.Label, arg(0)), nil
 	default:
 		return nil, fmt.Errorf("interp: unknown function %q", e.Fn)
 	}
+}
+
+// callCount reads the decimal count a take/drop call carries in Label.
+func callCount(e xq.Call) int64 {
+	n, err := strconv.ParseInt(e.Label, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // EvalCond evaluates a boolean condition.
@@ -230,6 +255,16 @@ func (ev *evaluator) evalCond(c xq.Cond, env *Env) (bool, error) {
 			return false, err
 		}
 		return xfn.Less(l, r), nil
+	case xq.CmpVal:
+		l, err := ev.eval(c.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.eval(c.R, env)
+		if err != nil {
+			return false, err
+		}
+		return xfn.CompareValue(l, r), nil
 	case xq.Empty:
 		v, err := ev.eval(c.E, env)
 		if err != nil {

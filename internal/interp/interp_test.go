@@ -327,12 +327,21 @@ func TestIfAndQuantifierSemantics(t *testing.T) {
 }
 
 func TestMinMaxLast(t *testing.T) {
-	docs := Catalog{"d": xmltree.Forest{
-		xmltree.NewText("b"), xmltree.NewText("c"), xmltree.NewText("a"),
-	}}
+	docs := Catalog{
+		"d": xmltree.Forest{
+			xmltree.NewText("b"), xmltree.NewText("c"), xmltree.NewText("a"),
+		},
+		"n": xmltree.Forest{
+			xmltree.NewText("20"), xmltree.NewText("3"), xmltree.NewText("11.5"),
+		},
+	}
 	tests := []struct{ query, want string }{
-		{`min(document("d"))`, "a"},
-		{`max(document("d"))`, "c"},
+		// min/max are numeric aggregates: non-numeric roots are skipped,
+		// and an all-non-numeric input yields the empty sequence.
+		{`min(document("n"))`, "3"},
+		{`max(document("n"))`, "20"},
+		{`min(document("d"))`, ""},
+		{`max(document("d"))`, ""},
 		{`last(document("d"))`, "a"},
 		{`head(document("d"))`, "b"},
 		{`min(())`, ""},

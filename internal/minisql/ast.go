@@ -19,14 +19,19 @@
 //	exprs   := expr [AS name] {, expr [AS name]} | *
 //	from    := item {, item}; item := table [alias] | (select) alias
 //	cond    := comparisons with = <> < <= > >=, AND, OR, NOT,
-//	           [NOT] EXISTS (select), expr LIKE 'prefix%'
-//	expr    := column | alias.column | integer | 'string' | expr (+|-|*) expr
-//	         | (scalar subquery) | COUNT(*) | MIN(expr) | MAX(expr)
-//	         | CAST(expr AS VARCHAR)
+//	           [NOT] EXISTS (select), expr LIKE 'prefix%', ISNUM(expr)
+//	expr    := column | alias.column | integer | 'string' | expr (+|-|*|/) expr
+//	         | (scalar subquery) | COUNT(*) | MIN/MAX/SUM/AVG(expr)
+//	         | CAST(expr AS VARCHAR) | NUM(expr) | FMT(expr)
+//
+// NUM, FMT and ISNUM are the scalar numeric-interpretation helpers the
+// translation's aggregate and arithmetic templates use; they follow the
+// xnum rules exactly so the generic engine's text output stays
+// digit-identical with the dynamic-interval engines.
 package minisql
 
-// Value is a runtime value: int64 or string (NULL does not occur in the
-// translation's schemas).
+// Value is a runtime value: int64, float64 or string (NULL does not occur
+// in the translation's schemas).
 type Value any
 
 // Statement is a parsed SQL statement.
@@ -83,7 +88,8 @@ type IntLit struct{ V int64 }
 // StrLit is a string literal.
 type StrLit struct{ V string }
 
-// BinOp is arithmetic: + - *.
+// BinOp is arithmetic: + - * /. Division is always IEEE float division;
+// the other operators stay in integers unless an operand is a float.
 type BinOp struct {
 	Op   byte
 	L, R Expr
@@ -93,15 +99,23 @@ type BinOp struct {
 // (aggregate selects always do).
 type ScalarSub struct{ Query *Select }
 
-// Agg is COUNT(*) (Arg nil) or MIN/MAX(expr), legal only as the single
-// output of an aggregate select.
+// Agg is COUNT(*) (Arg nil) or MIN/MAX/SUM/AVG(expr), legal only as the
+// single output of an aggregate select.
 type Agg struct {
-	Fn  string // COUNT, MIN, MAX
+	Fn  string // COUNT, MIN, MAX, SUM, AVG
 	Arg Expr
 }
 
 // Cast renders an expression as a string (CAST(e AS VARCHAR)).
 type Cast struct{ E Expr }
+
+// Func is a scalar numeric helper: NUM(e) reads a value as a float64
+// (non-numeric strings read as 0, the xnum coercion), FMT(e) renders a
+// number as its canonical xnum text.
+type Func struct {
+	Fn string // NUM, FMT
+	E  Expr
+}
 
 func (ColRef) isExpr()    {}
 func (IntLit) isExpr()    {}
@@ -110,6 +124,7 @@ func (BinOp) isExpr()     {}
 func (ScalarSub) isExpr() {}
 func (Agg) isExpr()       {}
 func (Cast) isExpr()      {}
+func (Func) isExpr()      {}
 
 // Cond is a boolean condition.
 type Cond interface{ isCond() }
@@ -138,8 +153,13 @@ type Like struct {
 	Pattern string
 }
 
+// IsNum tests whether an expression's value is numeric under the xnum
+// parsing rules (numbers are always numeric; strings when they parse).
+type IsNum struct{ E Expr }
+
 func (Cmp) isCond()     {}
 func (Logic) isCond()   {}
 func (NotCond) isCond() {}
 func (Exists) isCond()  {}
 func (Like) isCond()    {}
+func (IsNum) isCond()   {}

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dixq/internal/xnum"
 )
 
 // ErrDeadlineExceeded is returned when a query runs past the deadline set
@@ -268,6 +270,7 @@ func (ex *executor) aggregate(b *SelectBranch, agg Agg, outer *scope) *Table {
 	}
 	out := &Table{Cols: []string{name}}
 	var count int64
+	var sum float64
 	var best Value
 	var loop func(i int, s *scope)
 	loop = func(i int, s *scope) {
@@ -279,6 +282,14 @@ func (ex *executor) aggregate(b *SelectBranch, agg Agg, outer *scope) *Table {
 			count++
 			if agg.Arg != nil {
 				v := ex.expr(agg.Arg, s)
+				if agg.Fn == "SUM" || agg.Fn == "AVG" {
+					f, ok := toFloat(v)
+					if !ok {
+						ex.fail("%s over non-number %T", agg.Fn, v)
+					}
+					sum += f
+					return
+				}
 				if best == nil {
 					best = v
 					return
@@ -309,6 +320,15 @@ func (ex *executor) aggregate(b *SelectBranch, agg Agg, outer *scope) *Table {
 	switch agg.Fn {
 	case "COUNT":
 		out.Rows = [][]Value{{count}}
+	case "SUM":
+		// SUM over empty input is 0 here (SQL would say NULL): the
+		// translation's sum template relies on the zero baseline.
+		out.Rows = [][]Value{{sum}}
+	case "AVG":
+		if count == 0 {
+			ex.fail("AVG over empty input")
+		}
+		out.Rows = [][]Value{{sum / float64(count)}}
 	default:
 		if best == nil {
 			ex.fail("%s over empty input", agg.Fn)
@@ -345,18 +365,36 @@ func (ex *executor) expr(e Expr, s *scope) Value {
 	case StrLit:
 		return e.V
 	case BinOp:
-		l, lok := ex.expr(e.L, s).(int64)
-		r, rok := ex.expr(e.R, s).(int64)
+		l := ex.expr(e.L, s)
+		r := ex.expr(e.R, s)
+		li, lInt := l.(int64)
+		ri, rInt := r.(int64)
+		if lInt && rInt && e.Op != '/' {
+			switch e.Op {
+			case '+':
+				return li + ri
+			case '-':
+				return li - ri
+			default:
+				return li * ri
+			}
+		}
+		// Float arithmetic: division always, and any float operand
+		// promotes — matching xnum.Arith's IEEE semantics.
+		lf, lok := toFloat(l)
+		rf, rok := toFloat(r)
 		if !lok || !rok {
-			ex.fail("arithmetic on non-integers")
+			ex.fail("arithmetic on non-numbers")
 		}
 		switch e.Op {
 		case '+':
-			return l + r
+			return lf + rf
 		case '-':
-			return l - r
+			return lf - rf
+		case '*':
+			return lf * rf
 		default:
-			return l * r
+			return lf / rf
 		}
 	case ScalarSub:
 		t := ex.sel(e.Query, s)
@@ -369,41 +407,74 @@ func (ex *executor) expr(e Expr, s *scope) Value {
 		return nil
 	case Cast:
 		v := ex.expr(e.E, s)
-		if n, ok := v.(int64); ok {
+		switch n := v.(type) {
+		case int64:
 			return strconv.FormatInt(n, 10)
+		case float64:
+			return xnum.Format(n)
 		}
 		return v
+	case Func:
+		v := ex.expr(e.E, s)
+		switch e.Fn {
+		case "NUM":
+			f, ok := toFloat(v)
+			if !ok {
+				// Non-numeric text coerces to 0, the xnum.ParseOrZero rule.
+				return 0.0
+			}
+			return f
+		default: // FMT
+			f, ok := toFloat(v)
+			if !ok {
+				ex.fail("FMT on non-number %T", v)
+			}
+			return xnum.Format(f)
+		}
 	default:
 		ex.fail("unknown expression %T", e)
 		return nil
 	}
 }
 
-func compareValues(a, b Value, ex *executor) int {
-	switch av := a.(type) {
+// toFloat reads a value as a float64 under the xnum parsing rules.
+func toFloat(v Value) (float64, bool) {
+	switch v := v.(type) {
 	case int64:
-		bv, ok := b.(int64)
-		if !ok {
-			ex.fail("type mismatch in comparison (int vs string)")
+		return float64(v), true
+	case float64:
+		return v, true
+	case string:
+		return xnum.Parse(v)
+	default:
+		return 0, false
+	}
+}
+
+func compareValues(a, b Value, ex *executor) int {
+	// Numbers compare numerically, with int64/float64 promotion; strings
+	// compare bytewise. Mixing a number with a string is a type error.
+	if _, ok := a.(string); !ok {
+		af, aok := toFloat(a)
+		bf, bok := toFloat(b)
+		if _, isStr := b.(string); isStr || !aok || !bok {
+			ex.fail("type mismatch in comparison (%T vs %T)", a, b)
 		}
 		switch {
-		case av < bv:
+		case af < bf:
 			return -1
-		case av > bv:
+		case af > bf:
 			return 1
 		default:
 			return 0
 		}
-	case string:
-		bv, ok := b.(string)
-		if !ok {
-			ex.fail("type mismatch in comparison (string vs int)")
-		}
-		return strings.Compare(av, bv)
-	default:
-		ex.fail("unsupported value type %T", a)
-		return 0
 	}
+	av := a.(string)
+	bv, ok := b.(string)
+	if !ok {
+		ex.fail("type mismatch in comparison (string vs %T)", b)
+	}
+	return strings.Compare(av, bv)
 }
 
 func (ex *executor) cond(c Cond, s *scope) bool {
@@ -439,6 +510,14 @@ func (ex *executor) cond(c Cond, s *scope) bool {
 			ex.fail("LIKE on non-string")
 		}
 		return matchLike(v, c.Pattern, ex)
+	case IsNum:
+		switch v := ex.expr(c.E, s).(type) {
+		case string:
+			_, ok := xnum.Parse(v)
+			return ok
+		default:
+			return true // int64 and float64 are always numeric
+		}
 	default:
 		ex.fail("unknown condition %T", c)
 		return false

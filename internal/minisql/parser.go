@@ -223,7 +223,8 @@ var reservedWords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AS": true, "WITH": true,
 	"UNION": true, "ALL": true, "AND": true, "OR": true, "NOT": true,
 	"EXISTS": true, "ORDER": true, "BY": true, "LIKE": true, "COUNT": true,
-	"MIN": true, "MAX": true, "CAST": true, "VARCHAR": true,
+	"MIN": true, "MAX": true, "SUM": true, "AVG": true, "CAST": true,
+	"VARCHAR": true, "NUM": true, "FMT": true, "ISNUM": true,
 }
 
 func (p *sqlParser) parseStatement() *Statement {
@@ -365,6 +366,13 @@ func (p *sqlParser) parseCondUnary() Cond {
 		p.expectSymbol(")")
 		return Exists{Query: q}
 	}
+	if p.keyword("ISNUM") {
+		p.lex.next()
+		p.expectSymbol("(")
+		e := p.parseExpr()
+		p.expectSymbol(")")
+		return IsNum{E: e}
+	}
 	// Parenthesized condition vs parenthesized expression: try condition
 	// first by lookahead for SELECT (scalar subquery) — otherwise attempt
 	// a full comparison.
@@ -400,7 +408,7 @@ func (p *sqlParser) tryParenCond() (Cond, bool) {
 	}
 	// A bare comparison in parens is fine; but "(expr) op" means it was an
 	// expression grouping.
-	if t := p.lex.peek(); t.kind == tokSymbol && (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" || t.text == "<>" || t.text == "+" || t.text == "-" || t.text == "*") {
+	if t := p.lex.peek(); t.kind == tokSymbol && (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=" || t.text == "<>" || t.text == "+" || t.text == "-" || t.text == "*" || t.text == "/") {
 		*p.lex = save
 		return nil, false
 	}
@@ -452,9 +460,9 @@ func (p *sqlParser) parseTerm() Expr {
 	e := p.parseFactor()
 	for {
 		t := p.lex.peek()
-		if t.kind == tokSymbol && t.text == "*" {
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
 			p.lex.next()
-			e = BinOp{Op: '*', L: e, R: p.parseFactor()}
+			e = BinOp{Op: t.text[0], L: e, R: p.parseFactor()}
 			continue
 		}
 		return e
@@ -496,12 +504,18 @@ func (p *sqlParser) parseFactor() Expr {
 		p.expectSymbol("*")
 		p.expectSymbol(")")
 		return Agg{Fn: "COUNT"}
-	case p.keyword("MIN", "MAX"):
+	case p.keyword("MIN", "MAX", "SUM", "AVG"):
 		fn := strings.ToUpper(p.lex.next().text)
 		p.expectSymbol("(")
 		arg := p.parseExpr()
 		p.expectSymbol(")")
 		return Agg{Fn: fn, Arg: arg}
+	case p.keyword("NUM", "FMT"):
+		fn := strings.ToUpper(p.lex.next().text)
+		p.expectSymbol("(")
+		e := p.parseExpr()
+		p.expectSymbol(")")
+		return Func{Fn: fn, E: e}
 	case p.keyword("CAST"):
 		p.lex.next()
 		p.expectSymbol("(")

@@ -273,9 +273,22 @@ func (o *optimizer) est(n *plan.Node, envs float64, annotate bool) (rows, count 
 		bRows, bCount, _ := o.est(n.Inputs[1], envs, annotate)
 		return aRows + bRows, aCount + bCount, nil
 
-	case plan.OpCount:
+	case plan.OpCount, plan.OpAggregate:
 		o.est(n.Inputs[0], envs, annotate)
 		return 2 * envs, envs, nil
+
+	case plan.OpArith:
+		o.est(n.Inputs[0], envs, annotate)
+		o.est(n.Inputs[1], envs, annotate)
+		return 2 * envs, envs, nil
+
+	case plan.OpTake, plan.OpDrop:
+		inRows, inCount, _ := o.est(n.Inputs[0], envs, annotate)
+		return inRows/2 + 1, inCount/2 + 1, nil
+
+	case plan.OpOrderBy:
+		inRows, inCount, inProv := o.est(n.Inputs[0], envs, annotate)
+		return inRows, inCount, inProv
 
 	default:
 		// Predicates are estimated through selectivity; anything else
@@ -471,7 +484,7 @@ func (o *optimizer) selectivity(n *plan.Node, envs float64, annotate bool) float
 		_, _, lp := o.est(n.Inputs[0], envs, annotate)
 		_, _, rp := o.est(n.Inputs[1], envs, annotate)
 		return o.eqSelectivity(lp, rp, true)
-	case plan.OpCmpLess, plan.OpContainsTest:
+	case plan.OpCmpLess, plan.OpCmpVal, plan.OpContainsTest:
 		o.est(n.Inputs[0], envs, annotate)
 		o.est(n.Inputs[1], envs, annotate)
 		return defaultCondSel

@@ -78,10 +78,32 @@ const (
 	OpConcat
 	// OpCount yields each environment's top-level tree count as text.
 	OpCount
+	// OpAggregate reduces each environment's numeric root labels to one
+	// text atom; Label names the aggregate (sum, avg, min, max). sum
+	// yields "0" for environments without numeric roots; the others
+	// yield nothing there.
+	OpAggregate
+	// OpArith applies the binary arithmetic operator Label (+, -, *,
+	// div) to the first root labels of Inputs[0] and Inputs[1] per
+	// environment; an empty side yields nothing.
+	OpArith
+	// OpTake keeps each environment's first N top-level trees; Label
+	// carries the decimal N.
+	OpTake
+	// OpDrop removes each environment's first N top-level trees; Label
+	// carries the decimal N.
+	OpDrop
+	// OpOrderBy stably reorders each environment's #ord wrapper trees by
+	// their #key parts under the xnum value ordering; Label is the
+	// direction (asc or desc).
+	OpOrderBy
 	// OpCmpEq is structural (deep) equality of Inputs[0] and Inputs[1].
 	OpCmpEq
 	// OpCmpLess is strict structural order of Inputs[0] before Inputs[1].
 	OpCmpLess
+	// OpCmpVal is the existential value comparison: some root label of
+	// Inputs[0] is value-less than some root label of Inputs[1].
+	OpCmpVal
 	// OpEmptyTest tests Inputs[0] for emptiness per environment.
 	OpEmptyTest
 	// OpContainsTest is substring containment of string values.
@@ -211,7 +233,7 @@ type Node struct {
 // rather than a relation.
 func (n *Node) IsPredicate() bool {
 	switch n.Op {
-	case OpCmpEq, OpCmpLess, OpEmptyTest, OpContainsTest, OpNot, OpAnd, OpOr:
+	case OpCmpEq, OpCmpLess, OpCmpVal, OpEmptyTest, OpContainsTest, OpNot, OpAnd, OpOr:
 		return true
 	}
 	return false
@@ -256,10 +278,22 @@ func (n *Node) OpName() string {
 		return "concat"
 	case OpCount:
 		return "count"
+	case OpAggregate:
+		return "aggregate-" + n.Label
+	case OpArith:
+		return "arith(" + n.Label + ")"
+	case OpTake:
+		return "take"
+	case OpDrop:
+		return "drop"
+	case OpOrderBy:
+		return "order-by"
 	case OpCmpEq:
 		return "deep-compare(=)"
 	case OpCmpLess:
 		return "deep-compare(<)"
+	case OpCmpVal:
+		return "value-compare(<)"
 	case OpEmptyTest:
 		return "empty"
 	case OpContainsTest:
@@ -304,6 +338,10 @@ func (n *Node) Detail() string {
 		}
 		return ""
 	case OpConstruct:
+		return n.Label
+	case OpTake, OpDrop:
+		return n.Label
+	case OpOrderBy:
 		return n.Label
 	case OpInvalid:
 		return n.Label

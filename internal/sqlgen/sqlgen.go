@@ -23,8 +23,8 @@
 // the document size per nesting depth (Generate fails loudly on overflow
 // instead of corrupting intervals), and the operators whose templates the
 // paper omits "for space reasons" with no first-order rendering — sort,
-// reverse, distinct, subtrees-dfs, structural less — are rejected with
-// ErrUnsupported. The dynamic-interval engine (package core) has none of
+// reverse, distinct, subtrees-dfs, order-by, structural less — are
+// rejected with ErrUnsupported. The dynamic-interval engine (package core) has none of
 // these limits; this package exists to validate the translation itself.
 package sqlgen
 
@@ -219,7 +219,8 @@ func (g *generator) expr(n *plan.Node, env *sqlEnv) (sqlTab, error) {
 		// scan-backed fallback chain the node wraps.
 		return g.expr(n.Inputs[0], env)
 	case plan.OpRoots, plan.OpPathStep, plan.OpStructuralSort, plan.OpReverse,
-		plan.OpDistinct, plan.OpSubtreesDFS, plan.OpConstruct, plan.OpConcat, plan.OpCount:
+		plan.OpDistinct, plan.OpSubtreesDFS, plan.OpConstruct, plan.OpConcat, plan.OpCount,
+		plan.OpAggregate, plan.OpArith, plan.OpTake, plan.OpDrop, plan.OpOrderBy:
 		return g.call(n, env)
 	case plan.OpInvalid:
 		return sqlTab{}, fmt.Errorf("sqlgen: %s", n.Label)
@@ -291,11 +292,107 @@ func (g *generator) call(n *plan.Node, env *sqlEnv) (sqlTab, error) {
 			w1, wout, w1, wout, env.index, args[0].view, envWindow("a", w1),
 			w2, wout, w1, w2, wout, w1, env.index, args[1].view, envWindow("b", w2))
 		return sqlTab{view: g.view(body), width: wout}, nil
-	case plan.OpStructuralSort, plan.OpReverse, plan.OpDistinct, plan.OpSubtreesDFS:
+	case plan.OpAggregate:
+		return g.aggregate(n, args[0], env)
+	case plan.OpArith:
+		return g.arith(n, args[0], args[1], env)
+	case plan.OpTake, plan.OpDrop:
+		return g.takeDrop(n, args[0], env)
+	case plan.OpStructuralSort, plan.OpReverse, plan.OpDistinct, plan.OpSubtreesDFS,
+		plan.OpOrderBy:
 		return sqlTab{}, fmt.Errorf("%w: %s", ErrUnsupported, n.OpName())
 	default:
 		return sqlTab{}, fmt.Errorf("sqlgen: unknown operator %s", n.OpName())
 	}
+}
+
+// numericRoots renders the per-environment root-value scan the aggregate
+// templates share: the top-level roots of view whose labels are numeric.
+func numericRootsFrom(roots, alias string, w int64) string {
+	return fmt.Sprintf("%s %s WHERE %s AND ISNUM(%s.s)", roots, alias, envWindow(alias, w), alias)
+}
+
+// aggregate instantiates the numeric-aggregate templates: per environment
+// a single width-2 text tuple holding sum/avg/min/max of the numeric root
+// labels. sum always emits (SUM over no rows is 0); avg/min/max emit only
+// for environments with at least one numeric root, matching fn:sum's and
+// fn:avg's empty-sequence rules. NUM, FMT and ISNUM are the scalar
+// numeric-interpretation helpers minisql shares with xnum, which is what
+// keeps the text of the result digit-identical across every engine.
+func (g *generator) aggregate(n *plan.Node, arg sqlTab, env *sqlEnv) (sqlTab, error) {
+	w := arg.width
+	roots := g.rootsView(arg.view)
+	var agg string
+	switch n.Label {
+	case "sum":
+		agg = "SUM"
+	case "avg":
+		agg = "AVG"
+	case "min":
+		agg = "MIN"
+	case "max":
+		agg = "MAX"
+	default:
+		return sqlTab{}, fmt.Errorf("sqlgen: unknown aggregate %q", n.Label)
+	}
+	scalar := fmt.Sprintf("(SELECT %s(NUM(t.s)) FROM %s)", agg, numericRootsFrom(roots, "t", w))
+	body := fmt.Sprintf("SELECT FMT(%s) AS s, i*2 AS l, i*2 + 1 AS r FROM %s", scalar, env.index)
+	if n.Label != "sum" {
+		body += fmt.Sprintf(" WHERE EXISTS (SELECT * FROM %s)", numericRootsFrom(roots, "u", w))
+	}
+	return sqlTab{view: g.view(body), width: 2}, nil
+}
+
+// firstRoot renders the scalar subquery picking the first root label of a
+// view in the current environment — the MIN(l) tuple, which is always a
+// top-level root since contained intervals open after their container.
+func firstRoot(view string, w int64) string {
+	return fmt.Sprintf(
+		"(SELECT a.s FROM %s a WHERE %s AND a.l = (SELECT MIN(b.l) FROM %s b WHERE %s))",
+		view, envWindow("a", w), view, envWindow("b", w))
+}
+
+// arith instantiates the binary-arithmetic template: per environment one
+// width-2 text tuple holding l op r over the first root labels of the two
+// sides (non-numbers coerced to 0 by NUM), emitted only where both sides
+// are non-empty — xfn.Arith in first-order SQL.
+func (g *generator) arith(n *plan.Node, a, b sqlTab, env *sqlEnv) (sqlTab, error) {
+	op := n.Label
+	if op == "div" {
+		op = "/"
+	}
+	if op != "+" && op != "-" && op != "*" && op != "/" {
+		return sqlTab{}, fmt.Errorf("sqlgen: unknown arithmetic operator %q", n.Label)
+	}
+	nonEmpty := func(view string, w int64) string {
+		return fmt.Sprintf("EXISTS (SELECT * FROM %s t WHERE %s)", view, envWindow("t", w))
+	}
+	body := fmt.Sprintf(
+		"SELECT FMT(NUM(%s) %s NUM(%s)) AS s, i*2 AS l, i*2 + 1 AS r FROM %s WHERE %s AND %s",
+		firstRoot(a.view, a.width), op, firstRoot(b.view, b.width), env.index,
+		nonEmpty(a.view, a.width), nonEmpty(b.view, b.width))
+	return sqlTab{view: g.view(body), width: 2}, nil
+}
+
+// takeDrop instantiates the positional templates: a tuple survives take(n)
+// when the rank of its enclosing top-level tree — the count of roots
+// starting at or before it — is at most n, and drop(n) keeps the
+// complement. Original intervals are unchanged.
+func (g *generator) takeDrop(n *plan.Node, arg sqlTab, env *sqlEnv) (sqlTab, error) {
+	count, err := opCountLabel(n)
+	if err != nil {
+		return sqlTab{}, err
+	}
+	w := arg.width
+	roots := g.rootsView(arg.view)
+	cmp := "<="
+	if n.Op == plan.OpDrop {
+		cmp = ">"
+	}
+	body := fmt.Sprintf(
+		"SELECT t.s AS s, t.l AS l, t.r AS r FROM %s, %s t WHERE %s AND (SELECT COUNT(*) FROM %s r WHERE %s AND r.l <= t.l) %s %d",
+		env.index, arg.view, envWindow("t", w), roots, envWindow("r", w), cmp, count)
+	return sqlTab{view: g.view(body), width: w}, nil
 }
 
 // pathStep instantiates the unary path-operator templates of Section 4.1.
@@ -390,6 +487,16 @@ func (g *generator) cond(n *plan.Node, env *sqlEnv) (string, error) {
 		return g.deepEqual(a, b), nil
 	case plan.OpCmpLess:
 		return "", fmt.Errorf("%w: structural less in conditions", ErrUnsupported)
+	case plan.OpCmpVal:
+		a, err := g.expr(n.Inputs[0], env)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.expr(n.Inputs[1], env)
+		if err != nil {
+			return "", err
+		}
+		return g.valueLess(a, b), nil
 	case plan.OpContainsTest:
 		return "", fmt.Errorf("%w: contains (string aggregation has no first-order template)", ErrUnsupported)
 	case plan.OpNot:
@@ -443,6 +550,31 @@ func (g *generator) deepEqual(a, b sqlTab) string {
 		a.view, b.view, envWindow("qa", a.width), envWindow("qb", b.width),
 		rank(a.view, "qa", "ra", a.width), rank(b.view, "qb", "rb", b.width),
 		depth(a.view, "qa", "da", a.width), depth(b.view, "qb", "db", b.width))
+}
+
+// valueLess renders the existential value comparison a < b: some root
+// label of a is less than some root label of b under the xnum total
+// preorder — numbers ordered by value before non-numeric text, non-numeric
+// text bytewise. The class-then-value shape keeps the SQL predicate
+// equivalent to xnum.Less term for term.
+func (g *generator) valueLess(a, b sqlTab) string {
+	ra := g.rootsView(a.view)
+	rb := g.rootsView(b.view)
+	less := "(ISNUM(qa.s) AND ISNUM(qb.s) AND NUM(qa.s) < NUM(qb.s))" +
+		" OR (ISNUM(qa.s) AND NOT ISNUM(qb.s))" +
+		" OR (NOT ISNUM(qa.s) AND NOT ISNUM(qb.s) AND qa.s < qb.s)"
+	return fmt.Sprintf(
+		"EXISTS (SELECT * FROM %s qa, %s qb WHERE %s AND %s AND (%s))",
+		ra, rb, envWindow("qa", a.width), envWindow("qb", b.width), less)
+}
+
+// opCountLabel reads the decimal count a take/drop node carries in Label.
+func opCountLabel(n *plan.Node) (int64, error) {
+	var count int64
+	if _, err := fmt.Sscanf(n.Label, "%d", &count); err != nil {
+		return 0, fmt.Errorf("sqlgen: bad %s count %q", n.OpName(), n.Label)
+	}
+	return count, nil
 }
 
 // forLoop instantiates the iterator template of Section 4.2.4.

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"dixq/internal/xmltree"
+	"dixq/internal/xnum"
 )
 
 // Node wraps a forest under a new root with the given (already decorated)
@@ -156,6 +157,207 @@ func SelText(f xmltree.Forest) xmltree.Forest {
 // the forest.
 func Count(f xmltree.Forest) xmltree.Forest {
 	return xmltree.Forest{xmltree.NewText(strconv.Itoa(len(f)))}
+}
+
+// Take returns the first n top-level trees of the forest (all of them
+// when n exceeds the tree count, none when n <= 0).
+func Take(n int64, f xmltree.Forest) xmltree.Forest {
+	if n <= 0 {
+		return nil
+	}
+	if n >= int64(len(f)) {
+		return f
+	}
+	return f[:n]
+}
+
+// Drop returns all but the first n top-level trees of the forest.
+func Drop(n int64, f xmltree.Forest) xmltree.Forest {
+	if n <= 0 {
+		return f
+	}
+	if n >= int64(len(f)) {
+		return nil
+	}
+	return f[n:]
+}
+
+// numericRoots collects the root labels of the forest's top-level trees
+// that parse as numbers — the value sequence the aggregates reduce.
+func numericRoots(f xmltree.Forest) []float64 {
+	var vals []float64
+	for _, n := range f {
+		if v, ok := xnum.Parse(n.Label); ok {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// Sum returns a single text node holding the sum of the numeric root
+// labels of the forest's trees ("0" when none are numeric, following
+// fn:sum's empty-sequence rule).
+func Sum(f xmltree.Forest) xmltree.Forest {
+	var s float64
+	for _, v := range numericRoots(f) {
+		s += v
+	}
+	return xmltree.Forest{xmltree.NewText(xnum.Format(s))}
+}
+
+// Avg returns a single text node holding the average of the numeric root
+// labels, or the empty forest when none are numeric.
+func Avg(f xmltree.Forest) xmltree.Forest {
+	vals := numericRoots(f)
+	if len(vals) == 0 {
+		return nil
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return xmltree.Forest{xmltree.NewText(xnum.Format(s / float64(len(vals))))}
+}
+
+// Min returns a single text node holding the minimum numeric root label,
+// or the empty forest when none are numeric.
+func Min(f xmltree.Forest) xmltree.Forest {
+	return extremum(f, func(v, best float64) bool { return v < best })
+}
+
+// Max returns a single text node holding the maximum numeric root label,
+// or the empty forest when none are numeric.
+func Max(f xmltree.Forest) xmltree.Forest {
+	return extremum(f, func(v, best float64) bool { return v > best })
+}
+
+func extremum(f xmltree.Forest, better func(v, best float64) bool) xmltree.Forest {
+	vals := numericRoots(f)
+	if len(vals) == 0 {
+		return nil
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if better(v, best) {
+			best = v
+		}
+	}
+	return xmltree.Forest{xmltree.NewText(xnum.Format(best))}
+}
+
+// Arith applies one binary arithmetic operator to the first trees of two
+// (atomized) forests: each side contributes its first root label coerced
+// to a number (non-numbers read as 0), and either side being empty makes
+// the result empty. Division is IEEE float division (x div 0 is a signed
+// infinity, 0 div 0 is NaN), formatted deterministically by xnum.Format.
+func Arith(op string, a, b xmltree.Forest) xmltree.Forest {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	l := xnum.ParseOrZero(a[0].Label)
+	r := xnum.ParseOrZero(b[0].Label)
+	return xmltree.Forest{xmltree.NewText(xnum.Format(xnum.Arith(op, l, r)))}
+}
+
+// CompareValue is the existential typed value comparison backing the
+// parser's <, >, <=, >= desugar: it holds when some top-level root label
+// of a is value-less (xnum ordering) than some top-level root label of b.
+// Since the ordering is total, it suffices to compare a's minimum against
+// b's maximum.
+func CompareValue(a, b xmltree.Forest) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	min := a[0].Label
+	for _, n := range a[1:] {
+		if xnum.Less(n.Label, min) {
+			min = n.Label
+		}
+	}
+	max := b[0].Label
+	for _, n := range b[1:] {
+		if xnum.Less(max, n.Label) {
+			max = n.Label
+		}
+	}
+	return xnum.Less(min, max)
+}
+
+// ordKey extracts the order-by key parts of one wrapper tree: the text
+// content of each child of the tree's first <#key> child, in order. Trees
+// without a <#key> child (possible only for hand-built inputs, not the
+// parser's desugar) have no parts and sort first.
+func ordKey(t *xmltree.Node) []string {
+	for _, c := range t.Children {
+		if c.Label == "<#key>" {
+			parts := make([]string, len(c.Children))
+			for i, part := range c.Children {
+				parts[i] = textContent(part)
+			}
+			return parts
+		}
+	}
+	return nil
+}
+
+// textContent concatenates the text-leaf labels under n, in order.
+func textContent(n *xmltree.Node) string {
+	var b []byte
+	var walk func(*xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		if m.Kind() == xmltree.Text {
+			b = append(b, m.Label...)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return string(b)
+}
+
+// OrdKeyCompare compares two order-by part lists part-wise under the
+// xnum value ordering, shorter lists first on ties.
+func OrdKeyCompare(a, b []string) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := xnum.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// OrdBy stably reorders the forest's top-level trees by their order-by
+// key parts (see ordKey), ascending or descending. Descending reverses
+// the key comparison only — equal-key trees keep their original order,
+// per XQuery's stable ordering.
+func OrdBy(dir string, f xmltree.Forest) xmltree.Forest {
+	keys := make([][]string, len(f))
+	for i, t := range f {
+		keys[i] = ordKey(t)
+	}
+	idx := make([]int, len(f))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		c := OrdKeyCompare(keys[idx[i]], keys[idx[j]])
+		if dir == "desc" {
+			return c > 0
+		}
+		return c < 0
+	})
+	out := make(xmltree.Forest, len(f))
+	for i, k := range idx {
+		out[i] = f[k]
+	}
+	return out
 }
 
 // Equal is the structural (tree) equality test of Figure 2.

@@ -52,13 +52,20 @@ var regionShare = []float64{0.025, 0.09, 0.10, 0.275, 0.46, 0.05}
 
 // Generate produces a document forest with a single <site> root.
 func Generate(cfg Config) xmltree.Forest {
-	g := &generator{rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))}
+	// aux is a second stream for the fields added after the first release
+	// of this generator (profiles, reserves, annotations); drawing them
+	// from their own source keeps the original draw sequence — and with it
+	// every pinned expectation — intact.
+	g := &generator{
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e)),
+		aux: rand.New(rand.NewSource(cfg.Seed ^ 0x0ddba11)),
+	}
 	persons, open, closed, items, categories := Counts(cfg.ScaleFactor)
 
 	site := xmltree.NewElement("site",
 		g.regions(items),
 		g.categories(categories),
-		g.people(persons),
+		g.people(persons, categories),
 		g.openAuctions(open, items, persons),
 		g.closedAuctions(closed, items, persons),
 	)
@@ -67,6 +74,7 @@ func Generate(cfg Config) xmltree.Forest {
 
 type generator struct {
 	rng *rand.Rand
+	aux *rand.Rand
 }
 
 var firstNames = []string{
@@ -103,7 +111,7 @@ func (g *generator) sentence(n int) string {
 	return s
 }
 
-func (g *generator) people(n int) *xmltree.Node {
+func (g *generator) people(n, categories int) *xmltree.Node {
 	kids := make(xmltree.Forest, 0, n)
 	for i := 0; i < n; i++ {
 		first, last := g.name()
@@ -120,9 +128,29 @@ func (g *generator) people(n int) *xmltree.Node {
 				xmltree.NewElement("homepage",
 					xmltree.NewText(fmt.Sprintf("http://www.%s/~%s", domains[g.rng.Intn(len(domains))], last))))
 		}
+		person.Children = append(person.Children, g.profile(categories))
 		kids = append(kids, person)
 	}
 	return xmltree.NewElement("people", kids...)
+}
+
+// profile mirrors XMark's person profile: interests referencing category
+// ids (Q10) and an income attribute (Q11, Q12, Q20). A sixth of the
+// profiles omit income, feeding Q20's "na" bracket.
+func (g *generator) profile(categories int) *xmltree.Node {
+	p := xmltree.NewElement("profile")
+	if g.aux.Intn(6) > 0 {
+		p.Children = append(p.Children,
+			xmltree.NewAttribute("income", fmt.Sprintf("%d", 5000+g.aux.Intn(120000))))
+	}
+	for k := g.aux.Intn(4); k > 0; k-- {
+		p.Children = append(p.Children,
+			xmltree.NewElement("interest",
+				xmltree.NewAttribute("category", fmt.Sprintf("category%d", g.aux.Intn(categories)))))
+	}
+	p.Children = append(p.Children,
+		xmltree.NewElement("age", xmltree.NewText(fmt.Sprintf("%d", 18+g.aux.Intn(50)))))
+	return p
 }
 
 func (g *generator) regions(items int) *xmltree.Node {
@@ -200,11 +228,25 @@ func (g *generator) openAuctions(n, items, persons int) *xmltree.Node {
 			xmltree.NewAttribute("id", fmt.Sprintf("open_auction%d", i)),
 			xmltree.NewElement("initial", xmltree.NewText(g.price())),
 		)
-		// 0-4 bidders, as in XMark's bidder elements (Q2/Q3 read them).
+		// Half the auctions carry a reserve, as in XMark (Q4, Q18).
+		if g.aux.Intn(2) == 0 {
+			auction.Children = append(auction.Children,
+				xmltree.NewElement("reserve", xmltree.NewText(g.auxPrice())))
+		}
+		// 0-4 bidders, as in XMark's bidder elements (Q2/Q3 read them);
+		// each bidder names the bidding person (Q4's personref). The
+		// draw skews toward the lowest ids so queries pinned to person0
+		// and person1 stay non-degenerate at every scale.
 		for b := g.rng.Intn(5); b > 0; b-- {
+			ref := g.aux.Intn(persons)
+			if g.aux.Intn(3) == 0 {
+				ref %= 2
+			}
 			auction.Children = append(auction.Children,
 				xmltree.NewElement("bidder",
 					xmltree.NewElement("date", xmltree.NewText(g.date())),
+					xmltree.NewElement("personref",
+						xmltree.NewAttribute("person", fmt.Sprintf("person%d", ref))),
 					xmltree.NewElement("increase", xmltree.NewText(g.price()))))
 		}
 		auction.Children = append(auction.Children,
@@ -222,7 +264,7 @@ func (g *generator) openAuctions(n, items, persons int) *xmltree.Node {
 func (g *generator) closedAuctions(n, items, persons int) *xmltree.Node {
 	kids := make(xmltree.Forest, 0, n)
 	for i := 0; i < n; i++ {
-		kids = append(kids, xmltree.NewElement("closed_auction",
+		auction := xmltree.NewElement("closed_auction",
 			xmltree.NewElement("seller",
 				xmltree.NewAttribute("person", fmt.Sprintf("person%d", g.rng.Intn(persons)))),
 			xmltree.NewElement("buyer",
@@ -233,13 +275,53 @@ func (g *generator) closedAuctions(n, items, persons int) *xmltree.Node {
 			xmltree.NewElement("date", xmltree.NewText(g.date())),
 			xmltree.NewElement("quantity", xmltree.NewText(fmt.Sprintf("%d", 1+g.rng.Intn(3)))),
 			xmltree.NewElement("type", xmltree.NewText("Regular")),
-		))
+		)
+		if g.aux.Intn(3) > 0 {
+			auction.Children = append(auction.Children, g.annotation())
+		}
+		kids = append(kids, auction)
 	}
 	return xmltree.NewElement("closed_auctions", kids...)
 }
 
+// annotation reproduces XMark's nested parlist markup under closed
+// auctions. Half the annotations nest a second parlist level with an
+// emph/keyword leaf — the deep path Q15 and Q16 navigate.
+func (g *generator) annotation() *xmltree.Node {
+	text := xmltree.NewElement("text", xmltree.NewText(g.auxSentence(4+g.aux.Intn(8))))
+	if g.aux.Intn(2) == 0 {
+		text.Children = append(text.Children,
+			xmltree.NewElement("emph",
+				xmltree.NewElement("keyword", xmltree.NewText(g.auxSentence(1)))))
+	}
+	inner := xmltree.NewElement("listitem", text)
+	if g.aux.Intn(2) == 0 {
+		inner = xmltree.NewElement("listitem", xmltree.NewElement("parlist", inner))
+	}
+	return xmltree.NewElement("annotation",
+		xmltree.NewElement("description",
+			xmltree.NewElement("parlist", inner)))
+}
+
 func (g *generator) price() string {
 	return fmt.Sprintf("%d.%02d", 1+g.rng.Intn(300), g.rng.Intn(100))
+}
+
+// auxPrice and auxSentence draw from the auxiliary stream, keeping the
+// original field sequence stable.
+func (g *generator) auxPrice() string {
+	return fmt.Sprintf("%d.%02d", 1+g.aux.Intn(300), g.aux.Intn(100))
+}
+
+func (g *generator) auxSentence(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += words[g.aux.Intn(len(words))]
+	}
+	return s
 }
 
 func (g *generator) date() string {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"dixq/internal/interp"
 	"dixq/internal/xmltree"
 	"dixq/internal/xq"
 )
@@ -154,9 +155,33 @@ func TestFigure1Forest(t *testing.T) {
 }
 
 func TestQueriesParse(t *testing.T) {
-	for name, q := range map[string]string{"Q8": Q8, "Q9": Q9, "Q13": Q13} {
-		if _, err := xq.Parse(q); err != nil {
-			t.Errorf("%s does not parse: %v", name, err)
+	if len(All) != 20 {
+		t.Fatalf("All has %d queries, want 20", len(All))
+	}
+	for _, q := range All {
+		if _, err := xq.Parse(q.Text); err != nil {
+			t.Errorf("%s does not parse: %v", q.Name, err)
+		}
+	}
+}
+
+// TestQueriesNotDegenerate pins that at a moderate scale every query's
+// reference result is non-empty — a paraphrased query that matches
+// nothing would make the differential matrix vacuous.
+func TestQueriesNotDegenerate(t *testing.T) {
+	doc := Generate(Config{ScaleFactor: 0.01, Seed: 42})
+	docs := interp.Catalog{DocName: doc}
+	for _, q := range All {
+		e, err := xq.Parse(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		got, err := interp.Eval(e, nil, docs)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if len(got) == 0 {
+			t.Errorf("%s returned an empty forest at sf 0.01", q.Name)
 		}
 	}
 }

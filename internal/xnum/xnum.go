@@ -1,0 +1,121 @@
+// Package xnum fixes the numeric interpretation of text values shared by
+// every evaluation layer: the denotational interpreter, the dynamic
+// interval engine, the SQL generator's templates, and the minisql engine
+// that executes them. The aggregation, arithmetic and value-comparison
+// operators all reduce to two questions — "is this text a number?" and
+// "how does a number print?" — and digit-identity across engines requires
+// one answer, so the parse and format rules live here exactly once.
+//
+// Numbers are IEEE float64 throughout (the translation's schemas carry
+// text, so there is no separate integer type); formatting collapses
+// integral values to their plain decimal form and prints everything else
+// in the shortest round-trip representation.
+package xnum
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse interprets a text value as a number. It accepts the decimal forms
+// the XMark documents and the query literals use (an optional sign,
+// digits, an optional fraction) via Go's float syntax, but rejects the
+// spellings that would make "is a number" ambiguous across engines:
+// leading/trailing whitespace, hex floats, and the Inf/NaN words.
+func Parse(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.' || c == 'e' || c == 'E') {
+			return 0, false
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// ParseOrZero is Parse with non-numbers reading as 0 — the total coercion
+// the arithmetic operator applies to its operands (and the SQL backend's
+// NUM function applies to its argument).
+func ParseOrZero(s string) float64 {
+	v, _ := Parse(s)
+	return v
+}
+
+// Format renders a number as a text value. Integral values within the
+// exactly-representable range print as plain integers (so 3.0*1 is "3",
+// matching count()'s decimal output); everything else prints in the
+// shortest representation that round-trips, with non-finite results
+// pinned to fixed spellings so division by zero is deterministic
+// everywhere.
+func Format(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "Infinity"
+	case math.IsInf(v, -1):
+		return "-Infinity"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Less is the value comparison of two text atoms: numeric when both
+// parse as numbers, with numbers ordering before non-numeric text and
+// non-numeric text comparing bytewise — the single ordering every
+// engine's value comparison and order-by key comparison applies. The
+// class-then-value shape keeps the relation a total preorder (mixing
+// numeric and byte comparison pairwise would not be transitive, and an
+// intransitive comparator makes sort output algorithm-dependent).
+func Less(a, b string) bool {
+	return Compare(a, b) < 0
+}
+
+// Compare returns -1/0/+1 under the Less ordering.
+func Compare(a, b string) int {
+	av, aok := Parse(a)
+	bv, bok := Parse(b)
+	switch {
+	case aok && bok:
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	case aok:
+		return -1
+	case bok:
+		return 1
+	default:
+		return strings.Compare(a, b)
+	}
+}
+
+// Arith applies one arithmetic operator ("+", "-", "*", "div") to two
+// numeric values. Division is IEEE float division, so x div 0 is an
+// infinity (or NaN for 0 div 0) and Format pins its spelling.
+func Arith(op string, l, r float64) float64 {
+	switch op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "div":
+		return l / r
+	}
+	panic("xnum: unknown arithmetic operator " + op)
+}

@@ -99,6 +99,14 @@ const (
 	FnData        = "data"         // text leaves of the forest, as roots
 	FnSelText     = "seltext"      // trees whose root is a text node
 	FnCount       = "count"        // single text node holding the number of trees
+	FnSum         = "sum"          // text node holding the sum of the numeric root labels
+	FnAvg         = "avg"          // text node holding their average (empty if none)
+	FnMin         = "min"          // text node holding their minimum (empty if none)
+	FnMax         = "max"          // text node holding their maximum (empty if none)
+	FnArith       = "arith"        // binary arithmetic on first root labels; Label is +, -, * or div
+	FnTake        = "take"         // first N top-level trees; Label is the decimal N
+	FnDrop        = "drop"         // all but the first N top-level trees; Label is the decimal N
+	FnOrdBy       = "ordby"        // reorder #ord wrapper trees by their #key parts; Label is asc or desc
 )
 
 // Condition forms.
@@ -108,6 +116,14 @@ type Equal struct{ L, R Expr }
 
 // Less is strict structural (tree) order between two forests.
 type Less struct{ L, R Expr }
+
+// CmpVal is the existential typed value comparison of XQuery's general
+// "<": it holds when some top-level tree of L has a root label strictly
+// value-less (numeric when both sides parse as numbers, bytewise
+// otherwise) than some top-level tree's root label of R. The parser
+// atomizes both operands, so the root labels are text atoms. An empty
+// operand makes the existential false.
+type CmpVal struct{ L, R Expr }
 
 // Empty tests a forest for emptiness.
 type Empty struct{ E Expr }
@@ -135,6 +151,7 @@ func (Where) isExpr() {}
 
 func (Equal) isCond()    {}
 func (Less) isCond()     {}
+func (CmpVal) isCond()   {}
 func (Empty) isCond()    {}
 func (Contains) isCond() {}
 func (Not) isCond()      {}
@@ -153,11 +170,20 @@ func (e Const) String() string {
 }
 
 func (e Call) String() string {
+	if e.Fn == FnArith {
+		return fmt.Sprintf("(%s %s %s)", e.Args[0], e.Label, e.Args[1])
+	}
 	var b strings.Builder
 	b.WriteString(e.Fn)
 	b.WriteByte('(')
-	if e.Fn == FnNode || e.Fn == FnSelect {
+	switch e.Fn {
+	case FnNode, FnSelect, FnOrdBy:
 		fmt.Fprintf(&b, "%q", e.Label)
+		if len(e.Args) > 0 {
+			b.WriteString(", ")
+		}
+	case FnTake, FnDrop:
+		b.WriteString(e.Label)
 		if len(e.Args) > 0 {
 			b.WriteString(", ")
 		}
@@ -188,7 +214,8 @@ func (e Where) String() string {
 }
 
 func (c Equal) String() string    { return fmt.Sprintf("(%s = %s)", c.L, c.R) }
-func (c Less) String() string     { return fmt.Sprintf("(%s < %s)", c.L, c.R) }
+func (c Less) String() string     { return fmt.Sprintf("deep-less(%s, %s)", c.L, c.R) }
+func (c CmpVal) String() string   { return fmt.Sprintf("(%s < %s)", c.L, c.R) }
 func (c Empty) String() string    { return fmt.Sprintf("empty(%s)", c.E) }
 func (c Contains) String() string { return fmt.Sprintf("contains(%s, %s)", c.L, c.R) }
 func (c Not) String() string      { return fmt.Sprintf("not(%s)", c.C) }
@@ -262,6 +289,9 @@ func collectFreeCond(c Cond, bound, out map[string]bool) {
 	case Less:
 		collectFree(c.L, bound, out)
 		collectFree(c.R, bound, out)
+	case CmpVal:
+		collectFree(c.L, bound, out)
+		collectFree(c.R, bound, out)
 	case Empty:
 		collectFree(c.E, bound, out)
 	case Contains:
@@ -315,6 +345,9 @@ func Documents(e Expr) []string {
 			walkExpr(c.L)
 			walkExpr(c.R)
 		case Less:
+			walkExpr(c.L)
+			walkExpr(c.R)
+		case CmpVal:
 			walkExpr(c.L)
 			walkExpr(c.R)
 		case Empty:
@@ -379,6 +412,8 @@ func substCond(c Cond, rename map[string]string) Cond {
 		return Equal{L: substVars(c.L, rename), R: substVars(c.R, rename)}
 	case Less:
 		return Less{L: substVars(c.L, rename), R: substVars(c.R, rename)}
+	case CmpVal:
+		return CmpVal{L: substVars(c.L, rename), R: substVars(c.R, rename)}
 	case Empty:
 		return Empty{E: substVars(c.E, rename)}
 	case Contains:

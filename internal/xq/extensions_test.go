@@ -1,0 +1,205 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseArithmeticAndAggregates pins the desugaring of the arithmetic
+// and aggregate surface: precedence, atomization (operands that already
+// yield atoms are not re-wrapped in data()), and the aggregate calls.
+func TestParseArithmeticAndAggregates(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`1 + 2 * 3`, `(const(1) + (const(2) * const(3)))`},
+		{`1 * 2 + 3`, `((const(1) * const(2)) + const(3))`},
+		{`6 div 2`, `(const(6) div const(2))`},
+		{`6 div 2 div 3`, `((const(6) div const(2)) div const(3))`},
+		{`$v/a - 1`, `(data(select("<a>", children($v))) - const(1))`},
+		{`1 - 2 - 3`, `((const(1) - const(2)) - const(3))`},
+		{`count($v) + sum($v)`, `(count($v) + sum(data($v)))`},
+		{`sum($v/a)`, `sum(data(select("<a>", children($v))))`},
+		{`avg(count($v))`, `avg(count($v))`},
+		{`min($v/text())`, `min(seltext(children($v)))`},
+		{`max($v)`, `max(data($v))`},
+		{`sum($v) * 2 + avg($v)`, `((sum(data($v)) * const(2)) + avg(data($v)))`},
+		{`last($v)`, `head(reverse($v))`},
+		{`take(2, $v)`, `take(2, $v)`},
+		{`drop(3, $v)`, `drop(3, $v)`},
+		{`ordby("asc", $v)`, `ordby("asc", $v)`},
+		{`ordby("desc", $v)`, `ordby("desc", $v)`},
+	}
+	for _, tt := range tests {
+		e := mustParseQ(t, tt.src)
+		if got := e.String(); got != tt.want {
+			t.Errorf("Parse(%q) = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestParsePositionalPredicates pins every position() comparison form and
+// its take/drop/head desugaring, including the degenerate bounds.
+func TestParsePositionalPredicates(t *testing.T) {
+	base := `select("<a>", children($v))`
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`$v/a[1]`, `head(` + base + `)`},
+		{`$v/a[3]`, `head(drop(2, ` + base + `))`},
+		{`$v/a[position() <= 2]`, `take(2, ` + base + `)`},
+		{`$v/a[position() < 3]`, `take(2, ` + base + `)`},
+		{`$v/a[position() < 1]`, `take(0, ` + base + `)`},
+		{`$v/a[position() >= 1]`, base},
+		{`$v/a[position() >= 3]`, `drop(2, ` + base + `)`},
+		{`$v/a[position() > 2]`, `drop(2, ` + base + `)`},
+		{`$v/a[position() = 1]`, `head(` + base + `)`},
+		{`$v/a[position() = 2]`, `head(drop(1, ` + base + `))`},
+	}
+	for _, tt := range tests {
+		e := mustParseQ(t, tt.src)
+		if got := e.String(); got != tt.want {
+			t.Errorf("Parse(%q) = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestParseComparisonDesugar pins the six value comparisons: everything
+// reduces to Equal and a single less-than (CmpVal) via swaps and
+// negations, so every engine implements exactly one value ordering.
+func TestParseComparisonDesugar(t *testing.T) {
+	tests := []struct {
+		cond string
+		want string
+	}{
+		{`$a = $b`, `(data($a) = data($b))`},
+		{`$a != $b`, `not((data($a) = data($b)))`},
+		{`$a < $b`, `(data($a) < data($b))`},
+		{`$a > $b`, `(data($b) < data($a))`},
+		{`$a <= $b`, `not((data($b) < data($a)))`},
+		{`$a >= $b`, `not((data($a) < data($b)))`},
+		{`count($a) < 2`, `(count($a) < const(2))`},
+		{`deep-less($a, $b)`, `deep-less($a, $b)`},
+		{`contains($a, "z")`, `contains($a, const(z))`},
+	}
+	for _, tt := range tests {
+		e := mustParseQ(t, `for $x in $v where `+tt.cond+` return $x`)
+		f, ok := e.(For)
+		if !ok {
+			t.Fatalf("Parse(where %s): not a For: %T", tt.cond, e)
+		}
+		w, ok := f.Body.(Where)
+		if !ok {
+			t.Fatalf("Parse(where %s): body not a Where: %T", tt.cond, f.Body)
+		}
+		if got := w.Cond.String(); got != tt.want {
+			t.Errorf("cond %q = %s, want %s", tt.cond, got, tt.want)
+		}
+	}
+}
+
+// TestParseExtensionErrors pins the parse-time rejections of the
+// arithmetic, positional and order-by surface.
+func TestParseExtensionErrors(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantErr string
+	}{
+		{`1 + empty($v)`, "boolean expression used as an arithmetic operand"},
+		{`1 * empty($v)`, "boolean expression used as an arithmetic operand"},
+		{`for $x in $v order by empty($x) return $x`, "boolean expression used where a forest is required"},
+		{`$v/a[0]`, "positional predicate must be >= 1"},
+		{`$v/a[position() = 0]`, "position() = N requires N >= 1"},
+		{`$v/a[position() ! 2]`, "expected a comparison operator after position()"},
+		{`$v/a[position() < $x]`, "position() comparisons require an integer literal"},
+		{`ordby("up", $v)`, `ordby() direction must be "asc" or "desc"`},
+		{`ordby(asc, $v)`, "ordby() requires a string literal direction"},
+		{`take(x, $v)`, "take() requires an integer count"},
+		{`drop(, $v)`, "drop() requires an integer count"},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tt.src, tt.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", tt.src, err, tt.wantErr)
+		}
+	}
+}
+
+// TestFunctionInliningRenamesThroughConditions exercises the inliner's
+// capture-avoiding substitution through every condition form and through
+// shadowing binders: the inlined body must close over nothing but its
+// arguments and documents.
+func TestFunctionInliningRenamesThroughConditions(t *testing.T) {
+	src := `declare function local:pick($s, $lo) {
+  for $x at $i in $s
+  let $y := $x/price
+  where ($y >= $lo and not(empty($x/name))) or contains($x/name, "z")
+     or $x/@id = "a" or deep-less($x, $y) or $y != $lo
+  return let $lo := $y + 1 return $lo
+};
+local:pick(document("d")/site/item, 10)`
+	e := mustParseQ(t, src)
+	for free := range FreeVars(e) {
+		if !strings.HasPrefix(free, "doc:") {
+			t.Errorf("inlined call left free variable $%s", free)
+		}
+	}
+	docs := Documents(e)
+	if len(docs) != 1 || docs[0] != "d" {
+		t.Errorf("Documents = %v, want [d]", docs)
+	}
+	// The rendered body must reference the renamed parameters, not the
+	// declaration's names (which a caller could legally bind).
+	if s := e.String(); !strings.Contains(s, "arg") {
+		t.Errorf("inlined body shows no renamed parameters:\n%s", s)
+	}
+}
+
+// TestFunctionInliningShadowPreservesInnerBinding pins the without() path:
+// a binder inside a function body that reuses a parameter name must keep
+// its own scope — the inner occurrences stay bound to the inner binder.
+func TestFunctionInliningShadowPreservesInnerBinding(t *testing.T) {
+	src := `declare function local:f($a) {
+  ($a, let $a := "x" return $a, for $a in () return $a)
+};
+local:f($outer)`
+	e := mustParseQ(t, src)
+	free := FreeVars(e)
+	if !free["outer"] {
+		t.Fatalf("FreeVars = %v, want outer free", free)
+	}
+	for v := range free {
+		if v != "outer" {
+			t.Errorf("unexpected free name %q (shadowed binder leaked)", v)
+		}
+	}
+}
+
+// TestFreeVarsAndDocumentsOnExtendedNodes walks FreeVars and Documents
+// over the node kinds the workload extensions introduced: value
+// comparisons, arithmetic, aggregates and the order-by wrapper.
+func TestFreeVarsAndDocumentsOnExtendedNodes(t *testing.T) {
+	e := mustParseQ(t, `for $x in document("a")/i
+where $x/@id = $v and deep-less($x, $w) or contains($x, $u)
+   and not(empty($x)) and $x < $z and $x >= $q
+return sum($x) + $y * avg(document("b"))`)
+	free := FreeVars(e)
+	for _, want := range []string{"v", "w", "u", "z", "q", "y", "doc:a", "doc:b"} {
+		if !free[want] {
+			t.Errorf("FreeVars missing %q (got %v)", want, free)
+		}
+	}
+	if free["x"] {
+		t.Error("bound $x reported free")
+	}
+	docs := Documents(mustParseQ(t, `for $x in document("a") order by $x descending return ($x, document("a"))`))
+	if len(docs) != 1 || docs[0] != "a" {
+		t.Errorf("Documents = %v, want exactly [a] (deduplicated)", docs)
+	}
+}

@@ -2,6 +2,7 @@ package xq
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dixq/internal/xmltree"
@@ -27,10 +28,16 @@ func (e *SyntaxError) Error() string {
 //     (@name), text() and wildcard (*) steps, descendant steps (//tag),
 //     positional and boolean predicates ([1], [price = "3"]);
 //   - constructors: <tag a="v" b="{e}">text{e}<nested/></tag>;
-//   - comparisons = != < <= > >= (atomizing, value-based), deep-equal and
-//     deep-less (structural, the paper's equal/less), empty, not, and, or;
+//   - comparisons = != < <= > >= (atomizing, value-based: numeric when both
+//     atoms are numbers), deep-equal and deep-less (structural, the paper's
+//     equal/less), empty, not, and, or;
+//   - arithmetic + - * div over atomized operands (binary minus needs
+//     surrounding spaces, since '-' is a name character);
+//   - positional predicates [N], [position() <= N] and friends, and the
+//     FLWR order by clause (stable, numeric-aware key comparison);
 //   - the Figure 2 operators as functions: head, tail, reverse, select,
-//     distinct, sort, roots, children, subtrees-dfs, plus count and data;
+//     distinct, sort, roots, children, subtrees-dfs, plus count, data and
+//     the aggregates sum, avg, min, max;
 //   - literals: "string", 'string', integers and decimals (text nodes),
 //     the empty sequence (), and parenthesized sequences (e1, e2, ...).
 func Parse(src string) (Expr, error) {
@@ -371,7 +378,7 @@ done:
 			p.fail("expected 'by' after 'order'")
 		}
 		for {
-			orderKeys = append(orderKeys, p.parseUnaryExpr())
+			orderKeys = append(orderKeys, p.parseAdditiveExpr())
 			if !p.eat(",") {
 				break
 			}
@@ -405,11 +412,13 @@ done:
 		return assemble(body)
 	}
 
-	// order by desugars to sort + equijoin: collect the distinct key
-	// values in order, then re-run the tuple stream once per key keeping
-	// the matching tuples. Ties preserve the original tuple order (XQuery
-	// stable ordering), and the equijoin is exactly the shape the
-	// merge-join evaluation accelerates.
+	// order by desugars linearly: each iteration emits one wrapper tree
+	// <#ord> holding a <#key> (one <#kN> part per key, atomized) next to
+	// a <#val> carrying the body forest; ordby stably reorders the
+	// wrapper stream by the key parts (numeric when both atoms are
+	// numbers), and children/select/children peel the wrappers off
+	// again. The tuple stream runs exactly once, so ordering costs one
+	// sort instead of the quadratic sort + equijoin re-scan.
 	hasFor := false
 	for _, c := range clauses {
 		if c.isFor {
@@ -419,23 +428,21 @@ done:
 	if !hasFor {
 		p.fail("'order by' requires at least one for clause")
 	}
-	keyOf := func() Expr {
-		parts := make([]Expr, len(orderKeys))
-		for i, k := range orderKeys {
-			parts[i] = Call{Fn: FnNode, Label: fmt.Sprintf("<#k%d>", i+1), Args: []Expr{atomize(k)}}
-		}
-		return Call{Fn: FnNode, Label: "<#key>", Args: []Expr{concatAll(parts)}}
+	parts := make([]Expr, len(orderKeys))
+	for i, k := range orderKeys {
+		parts[i] = Call{Fn: FnNode, Label: fmt.Sprintf("<#k%d>", i+1), Args: []Expr{atomize(k)}}
 	}
-	keyStream := assemble(keyOf())
-	sorted := Call{Fn: FnSort, Args: []Expr{Call{Fn: FnDistinct, Args: []Expr{keyStream}}}}
-	var domain Expr = sorted
+	key := Call{Fn: FnNode, Label: "<#key>", Args: []Expr{concatAll(parts)}}
+	val := Call{Fn: FnNode, Label: "<#val>", Args: []Expr{body}}
+	wrapper := Call{Fn: FnNode, Label: "<#ord>", Args: []Expr{Call{Fn: FnConcat, Args: []Expr{key, val}}}}
+	dir := "asc"
 	if descending {
-		domain = Call{Fn: FnReverse, Args: []Expr{sorted}}
+		dir = "desc"
 	}
-	p.gensym++
-	keyVar := fmt.Sprintf("ord%d", p.gensym)
-	matched := Where{Cond: Equal{L: keyOf(), R: Var{Name: keyVar}}, Body: body}
-	return For{Var: keyVar, Domain: domain, Body: assemble(matched)}
+	sorted := Call{Fn: FnOrdBy, Label: dir, Args: []Expr{assemble(wrapper)}}
+	return Call{Fn: FnChildren, Args: []Expr{
+		Call{Fn: FnSelect, Label: "<#val>", Args: []Expr{
+			Call{Fn: FnChildren, Args: []Expr{sorted}}}}}}
 }
 
 // parseExprNoFLWRTail parses the right-hand side of a let clause: a full
@@ -530,19 +537,24 @@ func (p *qparser) parseCondLeaf() Cond {
 // expression (comparison, path step, predicate), meaning a speculative
 // parenthesized condition parse must be abandoned.
 func (p *qparser) continuesExpression() bool {
-	for _, lit := range []string{"=", "!=", "<=", ">=", ">", "/", "["} {
+	for _, lit := range []string{"=", "!=", "<=", ">=", ">", "/", "[", "+", "-", "*"} {
 		if p.peekLit(lit) {
 			return true
 		}
 	}
+	if p.peekKeyword("div") {
+		return true
+	}
 	return p.peekLit("<") && !p.looksLikeConstructor()
 }
 
-// parseComparable parses a path/primary expression optionally followed by a
+// parseComparable parses an arithmetic expression optionally followed by a
 // comparison operator. It returns either a forest expression (cond == nil)
-// or a condition.
+// or a condition. The value comparisons desugar to the existential CmpVal
+// (with operand swaps and negations for the three derived operators), so
+// every engine implements exactly one value ordering.
 func (p *qparser) parseComparable() (Expr, Cond) {
-	e, c := p.parseUnary()
+	e, c := p.parseAdditive()
 	if c != nil {
 		return nil, c
 	}
@@ -552,11 +564,11 @@ func (p *qparser) parseComparable() (Expr, Cond) {
 		mk  func(l, r Expr) Cond
 	}{
 		{"!=", func(l, r Expr) Cond { return Not{C: Equal{L: atomize(l), R: atomize(r)}} }},
-		{"<=", func(l, r Expr) Cond { return Not{C: Less{L: atomize(r), R: atomize(l)}} }},
-		{">=", func(l, r Expr) Cond { return Not{C: Less{L: atomize(l), R: atomize(r)}} }},
+		{"<=", func(l, r Expr) Cond { return Not{C: CmpVal{L: atomize(r), R: atomize(l)}} }},
+		{">=", func(l, r Expr) Cond { return Not{C: CmpVal{L: atomize(l), R: atomize(r)}} }},
 		{"=", func(l, r Expr) Cond { return Equal{L: atomize(l), R: atomize(r)} }},
-		{"<", func(l, r Expr) Cond { return Less{L: atomize(l), R: atomize(r)} }},
-		{">", func(l, r Expr) Cond { return Less{L: atomize(r), R: atomize(l)} }},
+		{"<", func(l, r Expr) Cond { return CmpVal{L: atomize(l), R: atomize(r)} }},
+		{">", func(l, r Expr) Cond { return CmpVal{L: atomize(r), R: atomize(l)} }},
 	}
 	for _, op := range ops {
 		// '<' must not swallow an element constructor start like "<item ...".
@@ -564,19 +576,83 @@ func (p *qparser) parseComparable() (Expr, Cond) {
 			break
 		}
 		if p.eat(op.lit) {
-			r := p.parseUnaryExpr()
+			r := p.parseAdditiveExpr()
 			return nil, op.mk(e, r)
 		}
 	}
 	return e, nil
 }
 
+// parseAdditive parses a chain of + and binary - over multiplicative
+// expressions. Operands are atomized (arithmetic is value arithmetic);
+// '-' is also a name byte, so binary minus requires surrounding spaces —
+// "$x-1" is a (probably unbound) name, "$x - 1" is a subtraction.
+func (p *qparser) parseAdditive() (Expr, Cond) {
+	e, c := p.parseMultiplicative()
+	if c != nil {
+		return nil, c
+	}
+	for {
+		var op string
+		switch {
+		case p.eat("+"):
+			op = "+"
+		case p.eat("-"):
+			op = "-"
+		default:
+			return e, nil
+		}
+		r, c := p.parseMultiplicative()
+		if c != nil {
+			p.fail("boolean expression used as an arithmetic operand")
+		}
+		e = Call{Fn: FnArith, Label: op, Args: []Expr{atomize(e), atomize(r)}}
+	}
+}
+
+// parseMultiplicative parses a chain of * and div over unary expressions.
+func (p *qparser) parseMultiplicative() (Expr, Cond) {
+	e, c := p.parseUnary()
+	if c != nil {
+		return nil, c
+	}
+	for {
+		var op string
+		switch {
+		case p.eat("*"):
+			op = "*"
+		case p.eatKeyword("div"):
+			op = "div"
+		default:
+			return e, nil
+		}
+		r, c := p.parseUnary()
+		if c != nil {
+			p.fail("boolean expression used as an arithmetic operand")
+		}
+		e = Call{Fn: FnArith, Label: op, Args: []Expr{atomize(e), atomize(r)}}
+	}
+}
+
+// parseAdditiveExpr is parseAdditive restricted to forest expressions.
+func (p *qparser) parseAdditiveExpr() Expr {
+	e, c := p.parseAdditive()
+	if c != nil {
+		p.fail("boolean expression used where a forest is required")
+	}
+	return e
+}
+
 // atomize wraps an expression with data() so comparisons are value-based
 // (XQuery general comparisons atomize their operands). Expressions that are
-// already atomizing are left alone.
+// already atomizing — including arithmetic and the numeric aggregates,
+// which yield bare text atoms — are left alone.
 func atomize(e Expr) Expr {
-	if c, ok := e.(Call); ok && (c.Fn == FnData || c.Fn == FnCount || c.Fn == FnSelText) {
-		return e
+	if c, ok := e.(Call); ok {
+		switch c.Fn {
+		case FnData, FnCount, FnSelText, FnArith, FnSum, FnAvg, FnMin, FnMax:
+			return e
+		}
 	}
 	if _, ok := e.(Const); ok {
 		return e
@@ -591,14 +667,6 @@ func (p *qparser) looksLikeConstructor() bool {
 	}
 	c := p.src[p.pos+1]
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
-}
-
-func (p *qparser) parseUnaryExpr() Expr {
-	e, c := p.parseUnary()
-	if c != nil {
-		p.fail("boolean expression used where a forest is required")
-	}
-	return e
 }
 
 // parseUnary parses a primary expression with its trailing path steps.
@@ -668,8 +736,10 @@ func (p *qparser) parseStepName(base Expr) Expr {
 }
 
 // parsePredicate parses [e] applied to base. Integer predicates select by
-// position; other predicates filter with the effective boolean value,
-// evaluated with the context item bound to each tree.
+// position ([1] is head, [N] peels N-1 trees with drop), position()
+// comparisons become take/drop prefixes, and other predicates filter with
+// the effective boolean value, evaluated with the context item bound to
+// each tree.
 func (p *qparser) parsePredicate(base Expr) Expr {
 	p.expect("[")
 	p.skipWS()
@@ -679,11 +749,19 @@ func (p *qparser) parsePredicate(base Expr) Expr {
 		if n < 1 {
 			p.fail("positional predicate must be >= 1")
 		}
-		e := base
-		for i := int64(1); i < n; i++ {
-			e = Call{Fn: FnTail, Args: []Expr{e}}
+		if n > 1 {
+			base = dropN(n-1, base)
 		}
-		return Call{Fn: FnHead, Args: []Expr{e}}
+		return Call{Fn: FnHead, Args: []Expr{base}}
+	}
+	// A position() comparison against an integer literal.
+	if p.peekKeyword("position") {
+		p.parseName()
+		p.expect("(")
+		p.expect(")")
+		e := p.parsePositionBound(base)
+		p.expect("]")
+		return e
 	}
 	p.gensym++
 	dot := fmt.Sprintf("dot%d", p.gensym)
@@ -692,6 +770,63 @@ func (p *qparser) parsePredicate(base Expr) Expr {
 	p.context = p.context[:len(p.context)-1]
 	p.expect("]")
 	return For{Var: dot, Domain: base, Body: Where{Cond: cond, Body: Var{Name: dot}}}
+}
+
+// parsePositionBound parses the comparison tail of [position() op N] and
+// desugars it into take/drop/head prefixes of base.
+func (p *qparser) parsePositionBound(base Expr) Expr {
+	p.skipWS()
+	op := ""
+	for _, lit := range []string{"<=", ">=", "<", ">", "="} {
+		if p.eat(lit) {
+			op = lit
+			break
+		}
+	}
+	if op == "" {
+		p.fail("expected a comparison operator after position()")
+	}
+	n, ok := p.tryInteger()
+	if !ok {
+		p.fail("position() comparisons require an integer literal")
+	}
+	switch op {
+	case "<=":
+		return takeN(n, base)
+	case "<":
+		return takeN(n-1, base)
+	case ">=":
+		if n <= 1 {
+			return base
+		}
+		return dropN(n-1, base)
+	case ">":
+		return dropN(n, base)
+	default: // "="
+		if n < 1 {
+			p.fail("position() = N requires N >= 1")
+		}
+		if n > 1 {
+			base = dropN(n-1, base)
+		}
+		return Call{Fn: FnHead, Args: []Expr{base}}
+	}
+}
+
+// takeN keeps the first n top-level trees (none when n <= 0).
+func takeN(n int64, e Expr) Expr {
+	if n < 0 {
+		n = 0
+	}
+	return Call{Fn: FnTake, Label: strconv.FormatInt(n, 10), Args: []Expr{e}}
+}
+
+// dropN removes the first n top-level trees.
+func dropN(n int64, e Expr) Expr {
+	if n < 0 {
+		n = 0
+	}
+	return Call{Fn: FnDrop, Label: strconv.FormatInt(n, 10), Args: []Expr{e}}
 }
 
 func (p *qparser) tryInteger() (int64, bool) {
@@ -881,13 +1016,53 @@ func (p *qparser) parseFunctionCall(name string) (Expr, Cond) {
 	case "last":
 		parseArgs(1)
 		return Call{Fn: FnHead, Args: []Expr{Call{Fn: FnReverse, Args: args}}}, nil
-	case "min":
-		// Structural minimum: the first tree in tree order.
+	case "sum":
 		parseArgs(1)
-		return Call{Fn: FnHead, Args: []Expr{Call{Fn: FnSort, Args: args}}}, nil
+		return Call{Fn: FnSum, Args: []Expr{atomize(args[0])}}, nil
+	case "avg":
+		parseArgs(1)
+		return Call{Fn: FnAvg, Args: []Expr{atomize(args[0])}}, nil
+	case "min":
+		// Numeric minimum over the atomized argument (empty if no atom
+		// is a number), like the other aggregates.
+		parseArgs(1)
+		return Call{Fn: FnMin, Args: []Expr{atomize(args[0])}}, nil
 	case "max":
 		parseArgs(1)
-		return Call{Fn: FnHead, Args: []Expr{Call{Fn: FnReverse, Args: []Expr{Call{Fn: FnSort, Args: args}}}}}, nil
+		return Call{Fn: FnMax, Args: []Expr{atomize(args[0])}}, nil
+	case "take", "drop":
+		p.skipWS()
+		start := p.pos
+		for p.pos < len(p.src) && isDigit(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			p.fail("%s() requires an integer count", name)
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			p.fail("%s() count out of range", name)
+		}
+		p.expect(",")
+		e := p.parseExpr()
+		p.expect(")")
+		if name == "take" {
+			return takeN(n, e), nil
+		}
+		return dropN(n, e), nil
+	case "ordby":
+		p.skipWS()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+			p.fail("ordby() requires a string literal direction")
+		}
+		dir := p.parseStringLit()
+		if dir != "asc" && dir != "desc" {
+			p.fail("ordby() direction must be \"asc\" or \"desc\"")
+		}
+		p.expect(",")
+		e := p.parseExpr()
+		p.expect(")")
+		return Call{Fn: FnOrdBy, Label: dir, Args: []Expr{e}}, nil
 	case "tail":
 		parseArgs(1)
 		return Call{Fn: FnTail, Args: args}, nil

@@ -64,8 +64,9 @@ func (g *exprGen) call(depth int, vars []string) Expr {
 	unary := []string{
 		FnHead, FnTail, FnReverse, FnDistinct, FnSort, FnRoots, FnChildren,
 		FnData, FnSelText, FnCount, FnSubtreesDFS,
+		FnSum, FnAvg, FnMin, FnMax,
 	}
-	switch g.rng.Intn(5) {
+	switch g.rng.Intn(8) {
 	case 0:
 		return Call{Fn: FnNode, Label: "<wrap>", Args: []Expr{g.expr(depth-1, vars)}}
 	case 1:
@@ -73,6 +74,17 @@ func (g *exprGen) call(depth int, vars []string) Expr {
 	case 2:
 		labels := []string{"<a>", "<b>", "<item>", "@id", "x"}
 		return Call{Fn: FnSelect, Label: labels[g.rng.Intn(len(labels))], Args: []Expr{g.expr(depth-1, vars)}}
+	case 3:
+		ops := []string{"+", "-", "*", "div"}
+		return Call{Fn: FnArith, Label: ops[g.rng.Intn(len(ops))],
+			Args: []Expr{g.expr(depth-1, vars), g.expr(depth-1, vars)}}
+	case 4:
+		fn := FnTake
+		if g.rng.Intn(2) == 1 {
+			fn = FnDrop
+		}
+		counts := []string{"0", "1", "2", "3"}
+		return Call{Fn: fn, Label: counts[g.rng.Intn(len(counts))], Args: []Expr{g.expr(depth-1, vars)}}
 	default:
 		fn := unary[g.rng.Intn(len(unary))]
 		return Call{Fn: fn, Args: []Expr{g.expr(depth-1, vars)}}
@@ -83,11 +95,13 @@ func (g *exprGen) cond(depth int, vars []string) Cond {
 	if depth <= 0 {
 		return Empty{E: g.leaf(vars)}
 	}
-	switch g.rng.Intn(7) {
+	switch g.rng.Intn(8) {
 	case 0:
 		return Equal{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
 	case 6:
 		return Contains{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
+	case 7:
+		return CmpVal{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
 	case 1:
 		return Less{L: g.expr(depth-1, vars), R: g.expr(depth-1, vars)}
 	case 2:
